@@ -1,0 +1,74 @@
+//! Criterion micro-benchmarks of the real BCH/CRC implementation —
+//! software counterparts of Figure 6(a)'s accelerator measurements.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flash_ecc::{crc32, BchCode};
+
+fn page_data() -> Vec<u8> {
+    (0..2048usize).map(|i| (i * 131 % 251) as u8).collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bch_encode_2kb");
+    for t in [1usize, 4, 8, 12] {
+        let code = BchCode::for_flash_page(t);
+        let data = page_data();
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
+            b.iter(|| code.encode(std::hint::black_box(&data)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bch_decode_2kb");
+    group.sample_size(20);
+    for t in [1usize, 4, 8, 12] {
+        let code = BchCode::for_flash_page(t);
+        let data = page_data();
+        let parity = code.encode(&data);
+        // Inject t errors so the decoder does full correction work.
+        let mut corrupted = data.clone();
+        for e in 0..t {
+            let bit = 1000 + e * 1201;
+            corrupted[bit / 8] ^= 1 << (7 - bit % 8);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
+            b.iter(|| {
+                let mut work = corrupted.clone();
+                code.decode(&mut work, std::hint::black_box(&parity)).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_crc(c: &mut Criterion) {
+    let data = page_data();
+    c.bench_function("crc32_2kb", |b| b.iter(|| crc32(std::hint::black_box(&data))));
+}
+
+fn bench_verified_roundtrip(c: &mut Criterion) {
+    use nand_flash::verified::VerifiedFlash;
+    use nand_flash::{BlockId, CellMode, FlashConfig, PageAddr};
+    let mut flash = VerifiedFlash::new(FlashConfig::default());
+    let data = page_data();
+    let addr = PageAddr::new(BlockId(0), 0);
+    c.bench_function("verified_flash_program_read_erase", |b| {
+        b.iter(|| {
+            flash.program(addr, CellMode::Slc, 4, &data).unwrap();
+            let out = flash.read(addr).unwrap();
+            flash.erase(BlockId(0)).unwrap();
+            std::hint::black_box(out.corrected)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_encode,
+    bench_decode,
+    bench_crc,
+    bench_verified_roundtrip
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks of the cache's hot paths: hits, misses
+//! with eviction pressure, and write churn with GC.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flashcache_core::{FlashCache, FlashCacheConfig};
+use nand_flash::{FlashConfig, FlashGeometry};
+
+fn cache(blocks: u32) -> FlashCache {
+    FlashCache::new(FlashCacheConfig {
+        flash: FlashConfig {
+            geometry: FlashGeometry {
+                blocks,
+                pages_per_block: 32,
+                ..FlashGeometry::default()
+            },
+            ..FlashConfig::default()
+        },
+        ..FlashCacheConfig::default()
+    })
+    .expect("valid config")
+}
+
+fn bench_read_hit(c: &mut Criterion) {
+    let mut cache = cache(64);
+    for p in 0..1000u64 {
+        cache.read(p);
+    }
+    let mut i = 0u64;
+    c.bench_function("flashcache_read_hit", |b| {
+        b.iter(|| {
+            i = (i + 1) % 1000;
+            std::hint::black_box(cache.read(i))
+        })
+    });
+}
+
+fn bench_read_capacity_miss(c: &mut Criterion) {
+    let mut cache = cache(32);
+    let mut p = 0u64;
+    c.bench_function("flashcache_read_capacity_miss", |b| {
+        b.iter(|| {
+            p += 1; // always-cold stream: every read fills and evicts
+            std::hint::black_box(cache.read(p))
+        })
+    });
+}
+
+fn bench_write_churn(c: &mut Criterion) {
+    let mut cache = cache(32);
+    let mut p = 0u64;
+    c.bench_function("flashcache_write_churn_gc", |b| {
+        b.iter(|| {
+            p = (p + 1) % 300; // hot overwrites: exercises GC
+            std::hint::black_box(cache.write(p))
+        })
+    });
+}
+
+criterion_group!(benches, bench_read_hit, bench_read_capacity_miss, bench_write_churn);
+criterion_main!(benches);

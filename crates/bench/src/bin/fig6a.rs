@@ -1,0 +1,23 @@
+//! Figure 6(a): BCH decode latency versus number of correctable errors
+//! on the 100MHz accelerator model.
+
+use flashcache_bench::{Exhibit, RunArgs};
+use flashcache_sim::experiments::curves::decode_latency_curve;
+
+fn main() {
+    let args = RunArgs::parse(1);
+    args.announce("Figure 6(a)", "BCH decode latency vs code strength");
+    let mut exhibit = Exhibit::new(
+        "fig6a_decode_latency",
+        &["t", "syndrome_us", "chien_us", "total_us"],
+    );
+    for p in decode_latency_curve(2..=11) {
+        exhibit.row([
+            format!("{}", p.t),
+            format!("{:.1}", p.syndrome_us),
+            format!("{:.1}", p.chien_us),
+            format!("{:.1}", p.total_us),
+        ]);
+    }
+    args.emit(&exhibit);
+}

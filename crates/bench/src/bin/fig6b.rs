@@ -1,0 +1,27 @@
+//! Figure 6(b): maximum tolerable write/erase cycles versus ECC code
+//! strength, for spatial oxide-thickness variation of 0/5/10/20%.
+
+use flashcache_bench::{Exhibit, RunArgs};
+use flashcache_sim::experiments::curves::lifetime_curve;
+
+fn main() {
+    let args = RunArgs::parse(1);
+    args.announce(
+        "Figure 6(b)",
+        "max tolerable W/E cycles vs correctable errors",
+    );
+    let mut exhibit = Exhibit::new(
+        "fig6b_lifetime_vs_strength",
+        &["t", "stdev_0", "stdev_5pct", "stdev_10pct", "stdev_20pct"],
+    );
+    for p in lifetime_curve(10) {
+        exhibit.row([
+            format!("{}", p.t),
+            format!("{:.3e}", p.cycles_by_stdev[0]),
+            format!("{:.3e}", p.cycles_by_stdev[1]),
+            format!("{:.3e}", p.cycles_by_stdev[2]),
+            format!("{:.3e}", p.cycles_by_stdev[3]),
+        ]);
+    }
+    args.emit(&exhibit);
+}

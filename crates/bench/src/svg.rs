@@ -1,0 +1,356 @@
+//! A small, dependency-free SVG line-chart renderer for the exported
+//! `.dat` series — turning each exhibit back into a figure.
+//!
+//! Not a general plotting library: exactly enough for the paper's
+//! exhibits (numeric x, one or more numeric series, optional log-y).
+
+use std::fmt::Write as _;
+
+/// One plotted series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// (x, y) points in data space.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Chart configuration.
+#[derive(Debug, Clone)]
+pub struct Chart {
+    /// Title drawn above the plot.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Log-scale the y axis (used by lifetime plots).
+    pub log_y: bool,
+    /// Series to draw.
+    pub series: Vec<Series>,
+}
+
+const WIDTH: f64 = 720.0;
+const HEIGHT: f64 = 480.0;
+const MARGIN_L: f64 = 84.0;
+const MARGIN_R: f64 = 24.0;
+const MARGIN_T: f64 = 48.0;
+const MARGIN_B: f64 = 64.0;
+const PALETTE: [&str; 6] = [
+    "#2563eb", "#dc2626", "#16a34a", "#9333ea", "#ea580c", "#0891b2",
+];
+
+impl Chart {
+    /// Renders the chart to an SVG document string.
+    ///
+    /// Series with fewer than one finite point are skipped; an entirely
+    /// empty chart still renders axes.
+    pub fn to_svg(&self) -> String {
+        let (x_min, x_max, y_min, y_max) = self.bounds();
+        let map_x = |x: f64| {
+            MARGIN_L + (x - x_min) / (x_max - x_min).max(1e-300) * (WIDTH - MARGIN_L - MARGIN_R)
+        };
+        let map_y = |y: f64| {
+            let v = if self.log_y { y.max(1e-300).log10() } else { y };
+            let (lo, hi) = if self.log_y {
+                (y_min.max(1e-300).log10(), y_max.max(1e-300).log10())
+            } else {
+                (y_min, y_max)
+            };
+            HEIGHT - MARGIN_B - (v - lo) / (hi - lo).max(1e-300) * (HEIGHT - MARGIN_T - MARGIN_B)
+        };
+
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}">"#
+        );
+        let _ = write!(
+            svg,
+            r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#
+        );
+        // Title and axis labels.
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="28" font-family="sans-serif" font-size="16" text-anchor="middle" font-weight="bold">{}</text>"#,
+            WIDTH / 2.0,
+            escape(&self.title)
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="{}" font-family="sans-serif" font-size="13" text-anchor="middle">{}</text>"#,
+            WIDTH / 2.0,
+            HEIGHT - 16.0,
+            escape(&self.x_label)
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="20" y="{}" font-family="sans-serif" font-size="13" text-anchor="middle" transform="rotate(-90 20 {})">{}</text>"#,
+            HEIGHT / 2.0,
+            HEIGHT / 2.0,
+            escape(&self.y_label)
+        );
+        // Axes box.
+        let _ = write!(
+            svg,
+            r##"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{}" height="{}" fill="none" stroke="#333" stroke-width="1"/>"##,
+            WIDTH - MARGIN_L - MARGIN_R,
+            HEIGHT - MARGIN_T - MARGIN_B
+        );
+        // Ticks.
+        for i in 0..=5 {
+            let fx = i as f64 / 5.0;
+            let x = x_min + fx * (x_max - x_min);
+            let px = map_x(x);
+            let _ = write!(
+                svg,
+                r##"<line x1="{px}" y1="{}" x2="{px}" y2="{}" stroke="#ccc" stroke-width="0.5"/>"##,
+                MARGIN_T,
+                HEIGHT - MARGIN_B
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{px}" y="{}" font-family="sans-serif" font-size="11" text-anchor="middle">{}</text>"#,
+                HEIGHT - MARGIN_B + 18.0,
+                format_tick(x)
+            );
+            let y = if self.log_y {
+                10f64.powf(
+                    y_min.max(1e-300).log10()
+                        + fx * (y_max.max(1e-300).log10() - y_min.max(1e-300).log10()),
+                )
+            } else {
+                y_min + fx * (y_max - y_min)
+            };
+            let py = map_y(y);
+            let _ = write!(
+                svg,
+                r##"<line x1="{MARGIN_L}" y1="{py}" x2="{}" y2="{py}" stroke="#ccc" stroke-width="0.5"/>"##,
+                WIDTH - MARGIN_R
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{}" y="{}" font-family="sans-serif" font-size="11" text-anchor="end">{}</text>"#,
+                MARGIN_L - 6.0,
+                py + 4.0,
+                format_tick(y)
+            );
+        }
+        // Series.
+        for (i, s) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            let pts: Vec<(f64, f64)> = s
+                .points
+                .iter()
+                .filter(|(x, y)| x.is_finite() && y.is_finite())
+                .map(|&(x, y)| (map_x(x), map_y(y)))
+                .collect();
+            if pts.is_empty() {
+                continue;
+            }
+            let path: Vec<String> = pts.iter().map(|(x, y)| format!("{x:.1},{y:.1}")).collect();
+            let _ = write!(
+                svg,
+                r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+                path.join(" ")
+            );
+            for (x, y) in &pts {
+                let _ = write!(svg, r#"<circle cx="{x:.1}" cy="{y:.1}" r="2.6" fill="{color}"/>"#);
+            }
+            // Legend entry.
+            let ly = MARGIN_T + 16.0 + i as f64 * 18.0;
+            let _ = write!(
+                svg,
+                r#"<line x1="{}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="3"/>"#,
+                MARGIN_L + 10.0,
+                MARGIN_L + 34.0
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{}" y="{}" font-family="sans-serif" font-size="12">{}</text>"#,
+                MARGIN_L + 40.0,
+                ly + 4.0,
+                escape(&s.label)
+            );
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+
+    fn bounds(&self) -> (f64, f64, f64, f64) {
+        let mut x_min = f64::INFINITY;
+        let mut x_max = f64::NEG_INFINITY;
+        let mut y_min = f64::INFINITY;
+        let mut y_max = f64::NEG_INFINITY;
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                if x.is_finite() && y.is_finite() {
+                    x_min = x_min.min(x);
+                    x_max = x_max.max(x);
+                    y_min = y_min.min(y);
+                    y_max = y_max.max(y);
+                }
+            }
+        }
+        if !x_min.is_finite() {
+            return (0.0, 1.0, 0.0, 1.0);
+        }
+        if (x_max - x_min).abs() < 1e-300 {
+            x_max = x_min + 1.0;
+        }
+        if (y_max - y_min).abs() < 1e-300 {
+            y_max = y_min + 1.0;
+        }
+        if !self.log_y {
+            y_min = y_min.min(0.0);
+        }
+        (x_min, x_max, y_min, y_max)
+    }
+}
+
+/// Parses a `.dat` file (as written by [`crate::Exhibit::save_dat`])
+/// into a chart: first numeric column = x, remaining numeric columns =
+/// series. Returns `None` when fewer than two numeric columns exist.
+pub fn chart_from_dat(name: &str, text: &str, log_y: bool) -> Option<Chart> {
+    let mut lines = text.lines();
+    let header = lines.next()?.trim_start_matches('#');
+    let columns: Vec<&str> = header.split('\t').map(str::trim).collect();
+    let rows: Vec<Vec<&str>> = lines
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| l.split('\t').map(str::trim).collect())
+        .collect();
+    if rows.is_empty() {
+        return None;
+    }
+    // Numeric columns: every row parses.
+    let numeric: Vec<usize> = (0..columns.len())
+        .filter(|&c| rows.iter().all(|r| r.get(c).is_some_and(|v| v.parse::<f64>().is_ok())))
+        .collect();
+    if numeric.len() < 2 {
+        return None;
+    }
+    let x_col = numeric[0];
+    let series = numeric[1..]
+        .iter()
+        .map(|&c| Series {
+            label: columns[c].to_string(),
+            points: rows
+                .iter()
+                .map(|r| {
+                    (
+                        r[x_col].parse::<f64>().expect("checked numeric"),
+                        r[c].parse::<f64>().expect("checked numeric"),
+                    )
+                })
+                .collect(),
+        })
+        .collect();
+    Some(Chart {
+        title: name.to_string(),
+        x_label: columns[x_col].to_string(),
+        y_label: String::new(),
+        log_y,
+        series,
+    })
+}
+
+fn format_tick(v: f64) -> String {
+    let a = v.abs();
+    if a == 0.0 {
+        "0".to_string()
+    } else if !(1e-2..1e5).contains(&a) {
+        format!("{v:.1e}")
+    } else if a >= 100.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_basic_chart() {
+        let chart = Chart {
+            title: "Miss rate".to_string(),
+            x_label: "flash (MB)".to_string(),
+            y_label: "miss %".to_string(),
+            log_y: false,
+            series: vec![
+                Series {
+                    label: "unified".to_string(),
+                    points: vec![(128.0, 55.0), (256.0, 40.0), (640.0, 25.0)],
+                },
+                Series {
+                    label: "split".to_string(),
+                    points: vec![(128.0, 53.0), (256.0, 36.0), (640.0, 17.0)],
+                },
+            ],
+        };
+        let svg = chart.to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("polyline"));
+        assert!(svg.contains("unified"));
+        assert!(svg.contains("Miss rate"));
+        // Two series, two polylines.
+        assert_eq!(svg.matches("<polyline").count(), 2);
+    }
+
+    #[test]
+    fn log_scale_handles_decades() {
+        let chart = Chart {
+            title: "lifetime".to_string(),
+            x_label: "t".to_string(),
+            y_label: "cycles".to_string(),
+            log_y: true,
+            series: vec![Series {
+                label: "stdev0".to_string(),
+                points: (0..10).map(|t| (t as f64, 1e5 * 2f64.powi(t))).collect(),
+            }],
+        };
+        let svg = chart.to_svg();
+        assert!(svg.contains("polyline"));
+    }
+
+    #[test]
+    fn empty_chart_still_renders_axes() {
+        let chart = Chart {
+            title: "empty".to_string(),
+            x_label: "x".to_string(),
+            y_label: "y".to_string(),
+            log_y: false,
+            series: vec![],
+        };
+        let svg = chart.to_svg();
+        assert!(svg.contains("<rect"));
+        assert_eq!(svg.matches("<polyline").count(), 0);
+    }
+
+    #[test]
+    fn dat_parsing_picks_numeric_columns() {
+        let text = "# workload\tecc\tdensity\nuniform\t10\t1\nalpha1\t7\t3\n";
+        // First column is text -> x becomes `ecc`, series `density`.
+        let chart = chart_from_dat("fig11", text, false).unwrap();
+        assert_eq!(chart.series.len(), 1);
+        assert_eq!(chart.series[0].label, "density");
+        assert_eq!(chart.series[0].points, vec![(10.0, 1.0), (7.0, 3.0)]);
+    }
+
+    #[test]
+    fn dat_without_numbers_is_rejected() {
+        assert!(chart_from_dat("x", "# a\tb\nfoo\tbar\n", false).is_none());
+        assert!(chart_from_dat("x", "# a\tb\n", false).is_none());
+    }
+
+    #[test]
+    fn escapes_markup() {
+        assert_eq!(escape("a<b&c"), "a&lt;b&amp;c");
+    }
+}

@@ -1,0 +1,324 @@
+//! Subcommand implementations for the `flashcache` CLI.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+
+use flashcache::nand::FlashConfig;
+use flashcache::nand::FlashGeometry;
+use flashcache::sim::hierarchy::{Hierarchy, HierarchyConfig};
+use flashcache::trace::spc::{write_spc, SpcReader};
+use flashcache::{
+    ControllerPolicy, DiskRequest, FlashCache, FlashCacheConfig, SplitPolicy, WorkloadSpec,
+};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+flashcache — NAND flash disk cache simulator (ISCA 2008 reproduction)
+
+USAGE:
+  flashcache <command> [options]
+
+COMMANDS:
+  simulate   replay a workload (or SPC trace) through DRAM + flash + HDD
+  sweep      miss rate vs flash size, unified vs split (Figure 4 style)
+  lifetime   accesses-to-failure per controller policy (Figure 12 style)
+  export     generate a synthetic workload as an SPC trace file
+  help       show this text
+
+COMMON OPTIONS:
+  --workload NAME     uniform|alpha1|alpha2|alpha3|exp1|exp2|dbt2|
+                      specweb99|websearch1|websearch2|financial1|financial2
+  --scale N           divide the workload footprint by N (default 64)
+  --seed S            RNG seed (default 352321544)
+  --requests N        requests to replay (default 100000)
+
+SIMULATE:
+  --spc FILE          replay an SPC trace instead of a synthetic workload
+  --dram-mb N         primary disk cache size (default 16)
+  --flash-mb N        flash cache size; 0 = DRAM-only baseline (default 64)
+  --unified           use one shared region instead of the 90/10 split
+
+SWEEP:
+  --sizes-mb A,B,C    flash sizes to evaluate (default 8,16,32,64)
+
+LIFETIME:
+  --acceleration X    wear acceleration factor (default 2e5)
+  --budget N          access budget per run (default 30000000)
+  --controller NAME   only run one: programmable|bch1|ecc-only|density-only
+
+EXPORT:
+  --out FILE          destination path (default: stdout)
+  --write-fraction F  override the workload's write fraction
+";
+
+fn workload_by_name(name: &str) -> Result<WorkloadSpec, String> {
+    WorkloadSpec::all()
+        .into_iter()
+        .find(|w| w.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown workload `{name}` (see `flashcache help`)"))
+}
+
+fn load_workload(args: &super::Args) -> Result<WorkloadSpec, String> {
+    let name = args.get("workload").unwrap_or("dbt2");
+    let scale: u64 = args.num("scale", 64).map_err(|e| e.to_string())?;
+    let spec = workload_by_name(name)?;
+    Ok(if scale > 1 { spec.scaled(scale) } else { spec })
+}
+
+fn flash_config(flash_mb: u64, unified: bool) -> FlashCacheConfig {
+    FlashCacheConfig {
+        flash: FlashConfig {
+            geometry: FlashGeometry::for_mlc_capacity(flash_mb << 20),
+            ..FlashConfig::default()
+        },
+        split: if unified {
+            SplitPolicy::Unified
+        } else {
+            SplitPolicy::default()
+        },
+        ..FlashCacheConfig::default()
+    }
+}
+
+/// `flashcache simulate`.
+pub fn simulate(args: &super::Args) -> Result<(), String> {
+    let seed: u64 = args.num("seed", 0x1507_2008u64).map_err(|e| e.to_string())?;
+    let requests: u64 = args.num("requests", 100_000u64).map_err(|e| e.to_string())?;
+    let dram_mb: u64 = args.num("dram-mb", 16u64).map_err(|e| e.to_string())?;
+    let flash_mb: u64 = args.num("flash-mb", 64u64).map_err(|e| e.to_string())?;
+    let mut hierarchy = Hierarchy::new(HierarchyConfig {
+        dram_bytes: dram_mb << 20,
+        flash: (flash_mb > 0).then(|| flash_config(flash_mb, args.flag("unified"))),
+        ..HierarchyConfig::default()
+    });
+
+    let replayed = if let Some(path) = args.get("spc") {
+        let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+        let mut n = 0u64;
+        for record in SpcReader::new(BufReader::new(file)) {
+            let record = record.map_err(|e| e.to_string())?;
+            hierarchy.submit(record.to_request());
+            n += 1;
+            if n >= requests {
+                break;
+            }
+        }
+        println!("replayed {n} SPC records from {path}");
+        n
+    } else {
+        let workload = load_workload(args)?;
+        let mut generator = workload.generator(seed);
+        for _ in 0..requests {
+            hierarchy.submit(generator.next_request());
+        }
+        println!(
+            "replayed {requests} requests of {} ({}MB footprint, seed {seed})",
+            workload.name,
+            workload.footprint_bytes() >> 20
+        );
+        requests
+    };
+    hierarchy.drain();
+    let report = hierarchy.report();
+    println!();
+    println!("requests          : {}", report.requests);
+    println!("pages touched     : {}", report.pages);
+    println!(
+        "latency           : mean {:.1} us | p50 {:.1} us | p99 {:.1} us | max {:.1} us",
+        report.avg_latency_us(),
+        report.latency.percentile_us(0.50),
+        report.latency.percentile_us(0.99),
+        report.latency.max_us(),
+    );
+    println!(
+        "served by         : DRAM {:.1}% | flash {:.1}% | disk {:.1}%",
+        pct(report.dram_hit_pages, report.pages),
+        pct(report.flash_hit_pages, report.pages),
+        pct(report.disk_read_pages, report.pages),
+    );
+    println!(
+        "disk traffic      : {} page reads, {} page writes ({:.2}s busy)",
+        report.disk_read_pages, report.disk_write_pages, report.disk.busy_s
+    );
+    if let Some(flash) = hierarchy.flash() {
+        println!();
+        println!("flash cache:");
+        println!("{}", flash.stats());
+        println!(
+            "SLC fraction {:.1}% | usable slots {} | erase spread {:?}",
+            flash.slc_fraction() * 100.0,
+            flash.usable_slots(),
+            flash.erase_spread(),
+        );
+    }
+    let _ = replayed;
+    Ok(())
+}
+
+/// `flashcache sweep`.
+pub fn sweep(args: &super::Args) -> Result<(), String> {
+    let workload = load_workload(args)?;
+    let seed: u64 = args.num("seed", 0x1507_2008u64).map_err(|e| e.to_string())?;
+    let requests: u64 = args.num("requests", 100_000u64).map_err(|e| e.to_string())?;
+    let sizes = args
+        .num_list("sizes-mb", &[8, 16, 32, 64])
+        .map_err(|e| e.to_string())?;
+    println!(
+        "workload {} ({}MB) | {} page accesses per point | seed {seed}\n",
+        workload.name,
+        workload.footprint_bytes() >> 20,
+        requests
+    );
+    println!(
+        "{:>10}{:>16}{:>16}{:>14}{:>14}",
+        "flash", "unified miss", "split miss", "unified GC", "split GC"
+    );
+    for &mb in &sizes {
+        let mut row = Vec::new();
+        for unified in [true, false] {
+            let mut cache = FlashCache::new(flash_config(mb, unified))
+                .map_err(|e| format!("{mb}MB: {e}"))?;
+            let mut generator = workload.generator(seed);
+            let mut done = 0u64;
+            while done < requests {
+                let req = generator.next_request();
+                for page in req.pages() {
+                    if req.is_write() {
+                        cache.write(page);
+                    } else {
+                        cache.read(page);
+                    }
+                    done += 1;
+                    if done >= requests {
+                        break;
+                    }
+                }
+            }
+            row.push((cache.stats().read_miss_rate(), cache.stats().gc_overhead()));
+        }
+        println!(
+            "{:>8}MB{:>15.1}%{:>15.1}%{:>13.1}%{:>13.1}%",
+            mb,
+            row[0].0 * 100.0,
+            row[1].0 * 100.0,
+            row[0].1 * 100.0,
+            row[1].1 * 100.0
+        );
+    }
+    Ok(())
+}
+
+/// `flashcache lifetime`.
+pub fn lifetime(args: &super::Args) -> Result<(), String> {
+    let workload = load_workload(args)?;
+    let seed: u64 = args.num("seed", 0x1507_2008u64).map_err(|e| e.to_string())?;
+    let acceleration: f64 = args.num("acceleration", 2e5).map_err(|e| e.to_string())?;
+    let budget: u64 = args.num("budget", 30_000_000u64).map_err(|e| e.to_string())?;
+    let policies: Vec<(&str, ControllerPolicy)> = match args.get("controller") {
+        None => vec![
+            ("bch1", ControllerPolicy::FixedEcc { strength: 1 }),
+            ("ecc-only", ControllerPolicy::EccOnly),
+            ("density-only", ControllerPolicy::DensityOnly),
+            ("programmable", ControllerPolicy::Programmable),
+        ],
+        Some(name) => vec![(
+            name,
+            match name {
+                "programmable" => ControllerPolicy::Programmable,
+                "bch1" => ControllerPolicy::FixedEcc { strength: 1 },
+                "ecc-only" => ControllerPolicy::EccOnly,
+                "density-only" => ControllerPolicy::DensityOnly,
+                other => return Err(format!("unknown controller `{other}`")),
+            },
+        )],
+    };
+    println!(
+        "workload {} | flash = half working set | acceleration {acceleration:.0}x | seed {seed}\n",
+        workload.name
+    );
+    println!("{:<16}{:>16}{:>12}{:>12}", "controller", "accesses", "erases", "retired");
+    let mut baseline = None;
+    for (name, policy) in policies {
+        let flash_bytes =
+            (workload.footprint_pages * flashcache::trace::PAGE_BYTES / 2).max(8 * 256 * 1024);
+        let mut config = flash_config(flash_bytes >> 20, false);
+        config.flash.geometry = FlashGeometry::for_mlc_capacity(flash_bytes);
+        config.controller = policy;
+        if let ControllerPolicy::FixedEcc { strength } = policy {
+            config.initial_ecc = strength;
+            config.max_ecc = strength;
+        }
+        config.flash.wear = nand_flash::WearConfig::default().accelerated(acceleration);
+        let mut cache = FlashCache::new(config).map_err(|e| e.to_string())?;
+        let mut generator = workload.generator(seed);
+        let mut accesses = 0u64;
+        'run: while !cache.is_dead() && accesses < budget {
+            let req = generator.next_request();
+            for page in req.pages() {
+                if req.is_write() {
+                    cache.write(page);
+                } else {
+                    cache.read(page);
+                }
+                accesses += 1;
+                if cache.is_dead() || accesses >= budget {
+                    break 'run;
+                }
+            }
+        }
+        let s = cache.stats();
+        let gain = baseline
+            .map(|b: u64| format!("  ({:.1}x)", accesses as f64 / b.max(1) as f64))
+            .unwrap_or_default();
+        println!(
+            "{:<16}{:>16}{:>12}{:>12}{}{}",
+            name,
+            accesses,
+            s.erases,
+            s.retired_blocks,
+            gain,
+            if cache.is_dead() { "" } else { "  [budget hit]" }
+        );
+        baseline.get_or_insert(accesses);
+    }
+    Ok(())
+}
+
+/// `flashcache export`.
+pub fn export(args: &super::Args) -> Result<(), String> {
+    let mut workload = load_workload(args)?;
+    if let Some(wf) = args.get("write-fraction") {
+        workload.write_fraction = wf
+            .parse()
+            .map_err(|_| format!("--write-fraction: cannot parse `{wf}`"))?;
+    }
+    let seed: u64 = args.num("seed", 0x1507_2008u64).map_err(|e| e.to_string())?;
+    let requests: u64 = args.num("requests", 100_000u64).map_err(|e| e.to_string())?;
+    let mut generator = workload.generator(seed);
+    let reqs: Vec<DiskRequest> = (0..requests).map(|_| generator.next_request()).collect();
+    let written = match args.get("out") {
+        Some(path) => {
+            let file = File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            let n = write_spc(BufWriter::new(file), reqs).map_err(|e| e.to_string())?;
+            eprintln!("wrote {n} records to {path}");
+            n
+        }
+        None => {
+            let stdout = std::io::stdout();
+            let mut lock = BufWriter::new(stdout.lock());
+            let n = write_spc(&mut lock, reqs).map_err(|e| e.to_string())?;
+            lock.flush().map_err(|e| e.to_string())?;
+            n
+        }
+    };
+    let _ = written;
+    Ok(())
+}
+
+fn pct(n: u64, d: u64) -> f64 {
+    if d == 0 {
+        0.0
+    } else {
+        100.0 * n as f64 / d as f64
+    }
+}

@@ -1,0 +1,41 @@
+//! `flashcache` — command-line front end for the NAND flash disk cache
+//! reproduction (ISCA 2008).
+//!
+//! ```text
+//! flashcache simulate  --workload dbt2 --scale 64 --dram-mb 8 --flash-mb 32
+//! flashcache simulate  --spc trace.spc --dram-mb 256 --flash-mb 1024
+//! flashcache sweep     --workload specweb99 --scale 64 --sizes-mb 8,16,32
+//! flashcache lifetime  --workload alpha2 --scale 1024 --acceleration 2e5
+//! flashcache export    --workload financial1 --scale 256 --requests 10000 --out t.spc
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let parsed = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", commands::USAGE);
+            std::process::exit(2);
+        }
+    };
+    if parsed.flag("help") || parsed.command.is_empty() || parsed.command == "help" {
+        println!("{}", commands::USAGE);
+        return;
+    }
+    let result = match parsed.command.as_str() {
+        "simulate" => commands::simulate(&parsed),
+        "sweep" => commands::sweep(&parsed),
+        "lifetime" => commands::lifetime(&parsed),
+        "export" => commands::export(&parsed),
+        other => Err(format!("unknown command `{other}`\n\n{}", commands::USAGE)),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,694 @@
+//! The flash based secondary disk cache (§3, §5).
+//!
+//! [`FlashCache`] manages a [`nand_flash::FlashDevice`] as a disk cache:
+//! a read region and a write region (or one unified pool), out-of-place
+//! writes, background garbage collection, wear-level-aware replacement,
+//! and the programmable controller's per-page ECC/density
+//! reconfiguration. Disk traffic (miss fetches and dirty flushes) is
+//! *reported* to the caller rather than simulated here, so the same cache
+//! drives both the trace simulator and the full-system model.
+
+use std::collections::VecDeque;
+
+use nand_flash::{BlockId, CellMode, FlashDevice, PageAddr};
+
+use crate::config::{ConfigError, ControllerPolicy, FlashCacheConfig, SplitPolicy};
+use crate::stats::CacheStats;
+use crate::tables::{Fbst, Fcht, Fgst, Fpst, RegionKind};
+
+/// Result of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AccessOutcome {
+    /// The request hit in flash.
+    pub hit: bool,
+    /// Critical-path latency contributed by flash + ECC, µs. On a miss
+    /// this is near zero; the caller adds its disk model's penalty.
+    pub flash_latency_us: f64,
+    /// Off-critical-path flash work this access triggered (fills,
+    /// migrations), µs. GC/eviction work is tracked separately in
+    /// [`CacheStats::gc_time_us`].
+    pub background_us: f64,
+    /// The caller must fetch the page from disk.
+    pub needs_disk_read: bool,
+    /// Dirty pages this access forced out; the caller owes these disk
+    /// writes.
+    pub flushed_dirty: u32,
+    /// The access hit a page whose accumulated bit errors exceeded its
+    /// ECC strength — the cached copy was lost.
+    pub uncorrectable: bool,
+    /// The cache could not allocate space (device worn out); the access
+    /// went straight to disk.
+    pub bypassed: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct OpenBlock {
+    pub(crate) id: BlockId,
+    pub(crate) next_slot: u32,
+}
+
+/// Allocation state of one region.
+#[derive(Debug, Default)]
+pub(crate) struct Region {
+    pub(crate) free: VecDeque<BlockId>,
+    pub(crate) open: Option<OpenBlock>,
+    /// Block reserved as the GC compaction destination.
+    pub(crate) spare: Option<BlockId>,
+    /// Live pages across the region (for the GC watermark).
+    pub(crate) valid_pages: u64,
+    /// Invalidated-but-not-erased pages across the region.
+    pub(crate) invalid_pages: u64,
+}
+
+/// The hardware-assisted, software-managed flash disk cache.
+///
+/// # Examples
+///
+/// ```
+/// use flashcache_core::{AccessOutcome, FlashCache, FlashCacheConfig};
+///
+/// let mut cache = FlashCache::new(FlashCacheConfig::default()).unwrap();
+/// let first = cache.read(42);
+/// assert!(!first.hit && first.needs_disk_read);
+/// let second = cache.read(42);
+/// assert!(second.hit);
+/// ```
+#[derive(Debug)]
+pub struct FlashCache {
+    pub(crate) config: FlashCacheConfig,
+    pub(crate) device: FlashDevice,
+    pub(crate) fcht: Fcht,
+    pub(crate) fpst: Fpst,
+    pub(crate) fbst: Fbst,
+    pub(crate) fgst: Fgst,
+    /// ECC strength the *current content* of each slot was encoded with
+    /// (configured strength applies from the next program, §5.2).
+    pub(crate) live_strength: Vec<u8>,
+    pub(crate) read_region: Region,
+    pub(crate) write_region: Region,
+    pub(crate) unified: bool,
+    /// Logical clock for LRU.
+    pub(crate) tick: u64,
+    /// Usable (non-retired) slots.
+    pub(crate) usable_slots: u64,
+    /// Per-operation accumulators, reset at the start of each access.
+    pub(crate) op_flushed: u32,
+    pub(crate) op_background_us: f64,
+    pub(crate) stats: CacheStats,
+}
+
+impl FlashCache {
+    /// Builds the cache, partitioning the device's blocks between the
+    /// read and write regions per the split policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration is invalid.
+    pub fn new(config: FlashCacheConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let device = FlashDevice::new(config.flash);
+        let geometry = *device.geometry();
+        let blocks = geometry.blocks;
+        let write_blocks = match config.split {
+            SplitPolicy::Unified => 0,
+            SplitPolicy::Split { write_fraction } => {
+                ((blocks as f64 * write_fraction).round() as u32).clamp(2, blocks - 2)
+            }
+        };
+        let unified = matches!(config.split, SplitPolicy::Unified);
+        // Write region takes the tail block ids.
+        let first_write = blocks - write_blocks;
+        let initial_slc = if config.default_mode == CellMode::Slc {
+            geometry.pages_per_block
+        } else {
+            0
+        };
+        let fbst = Fbst::new(
+            blocks,
+            geometry.slots_per_block(),
+            config.initial_ecc,
+            initial_slc,
+            |b| {
+                if !unified && b.0 >= first_write {
+                    RegionKind::Write
+                } else {
+                    RegionKind::Read
+                }
+            },
+        );
+        let fpst = Fpst::new(geometry, config.initial_ecc, config.default_mode);
+        let mut read_region = Region::default();
+        let mut write_region = Region::default();
+        for b in 0..first_write {
+            read_region.free.push_back(BlockId(b));
+        }
+        for b in first_write..blocks {
+            write_region.free.push_back(BlockId(b));
+        }
+        // Reserve one spare per active region for GC compaction.
+        read_region.spare = read_region.free.pop_back();
+        if !unified {
+            write_region.spare = write_region.free.pop_back();
+        }
+        let usable_slots = geometry.total_slots();
+        Ok(FlashCache {
+            live_strength: vec![config.initial_ecc; usable_slots as usize],
+            device,
+            fcht: Fcht::new(),
+            fpst,
+            fbst,
+            fgst: Fgst::default(),
+            read_region,
+            write_region,
+            unified,
+            tick: 0,
+            usable_slots,
+            op_flushed: 0,
+            op_background_us: 0.0,
+            stats: CacheStats::default(),
+            config,
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FlashCacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Clears statistics (cache contents and wear are untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+        self.device.reset_stats();
+    }
+
+    /// The underlying device (for power/wear inspection).
+    pub fn device(&self) -> &FlashDevice {
+        &self.device
+    }
+
+    /// Global status table snapshot.
+    pub fn fgst(&self) -> Fgst {
+        self.fgst
+    }
+
+    /// Logical access clock.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Number of cached disk pages.
+    pub fn cached_pages(&self) -> u64 {
+        self.fcht.len() as u64
+    }
+
+    /// `true` if `disk_page` is currently cached.
+    pub fn contains(&self, disk_page: u64) -> bool {
+        self.fcht.lookup(disk_page).is_some()
+    }
+
+    /// Usable (non-retired) slot count.
+    pub fn usable_slots(&self) -> u64 {
+        self.usable_slots
+    }
+
+    /// `true` once every block has been retired — the paper's "point of
+    /// total Flash failure" (Figure 12).
+    pub fn is_dead(&self) -> bool {
+        self.usable_slots == 0
+    }
+
+    /// Fraction of non-retired physical pages currently configured in
+    /// SLC mode (the quantity optimized in Figure 7).
+    pub fn slc_fraction(&self) -> f64 {
+        let mut slc = 0u64;
+        let mut total = 0u64;
+        for (b, s) in self.fbst.iter() {
+            if s.retired {
+                continue;
+            }
+            slc += s.slc_pages as u64;
+            total += self.device.geometry().pages_per_block as u64;
+            let _ = b;
+        }
+        if total == 0 {
+            0.0
+        } else {
+            slc as f64 / total as f64
+        }
+    }
+
+    /// Number of invalidated-but-not-yet-erased pages in `block`
+    /// (Figure 3's GC-candidate criterion).
+    pub fn block_invalid_pages(&self, block: nand_flash::BlockId) -> u32 {
+        self.fbst.get(block).invalid_pages
+    }
+
+    /// The region `block` currently serves.
+    pub fn block_region(&self, block: nand_flash::BlockId) -> RegionKind {
+        self.fbst.get(block).region
+    }
+
+    /// Diagnostic dump of allocator/region state (unstable format).
+    #[doc(hidden)]
+    pub fn debug_state(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, r) in [("read", &self.read_region), ("write", &self.write_region)] {
+            let _ = writeln!(
+                out,
+                "{name}: free={:?} open={:?} spare={:?} valid={} invalid={}",
+                r.free.iter().map(|b| b.0).collect::<Vec<_>>(),
+                r.open.map(|o| (o.id.0, o.next_slot)),
+                r.spare.map(|b| b.0),
+                r.valid_pages,
+                r.invalid_pages
+            );
+        }
+        for b in self.device.geometry().iter_blocks() {
+            let s = self.fbst.get(b);
+            let _ = writeln!(
+                out,
+                "b{}: {:?} valid={} invalid={} erase={} retired={} wear={:.1}",
+                b.0,
+                s.region,
+                s.valid_pages,
+                s.invalid_pages,
+                s.erase_count,
+                s.retired,
+                self.fbst.wear_out(b, self.config.wear_k1, self.config.wear_k2)
+            );
+        }
+        out
+    }
+
+    /// Erase-count spread `(min, max, mean)` over non-retired blocks —
+    /// the wear-levelling quality metric used by the ablation benches.
+    pub fn erase_spread(&self) -> (u64, u64, f64) {
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        let mut sum = 0u64;
+        let mut n = 0u64;
+        for b in self.device.geometry().iter_blocks() {
+            if self.fbst.get(b).retired {
+                continue;
+            }
+            let e = self.device.erase_count(b);
+            min = min.min(e);
+            max = max.max(e);
+            sum += e;
+            n += 1;
+        }
+        if n == 0 {
+            (0, 0, 0.0)
+        } else {
+            (min, max, sum as f64 / n as f64)
+        }
+    }
+
+    fn gidx(&self, addr: PageAddr) -> usize {
+        addr.block.0 as usize * self.device.geometry().slots_per_block() as usize
+            + addr.slot as usize
+    }
+
+    fn region_kind_of(&self, addr: PageAddr) -> RegionKind {
+        self.fbst.get(addr.block).region
+    }
+
+    pub(crate) fn region_mut(&mut self, kind: RegionKind) -> &mut Region {
+        if self.unified || kind == RegionKind::Read {
+            &mut self.read_region
+        } else {
+            &mut self.write_region
+        }
+    }
+
+    fn region(&self, kind: RegionKind) -> &Region {
+        if self.unified || kind == RegionKind::Read {
+            &self.read_region
+        } else {
+            &self.write_region
+        }
+    }
+
+    fn begin_op(&mut self) {
+        self.tick += 1;
+        self.op_flushed = 0;
+        self.op_background_us = 0.0;
+        let interval = if self.config.counter_decay_interval == 0 {
+            self.device.geometry().total_slots().max(1)
+        } else {
+            self.config.counter_decay_interval
+        };
+        if self.tick.is_multiple_of(interval) {
+            self.fpst.decay_access_counters();
+        }
+    }
+
+    fn finish(&mut self, mut outcome: AccessOutcome) -> AccessOutcome {
+        outcome.flushed_dirty = self.op_flushed;
+        outcome.background_us = self.op_background_us;
+        self.stats.foreground_us += outcome.flash_latency_us;
+        self.stats.background_us += outcome.background_us;
+        outcome
+    }
+
+    /// Services a read of `disk_page` (§5.1 read path).
+    pub fn read(&mut self, disk_page: u64) -> AccessOutcome {
+        self.begin_op();
+        self.stats.reads += 1;
+        if let Some(addr) = self.fcht.lookup(disk_page) {
+            let live_t = self.live_strength[self.gidx(addr)];
+            let out = self
+                .device
+                .read_page(addr)
+                .expect("FCHT maps only programmed pages");
+            self.stats.flash_reads += 1;
+            self.fbst.get_mut(addr.block).last_access = self.tick;
+            let ecc_us = self.config.ecc_latency.decode_us(live_t as usize);
+            self.stats.ecc_us += ecc_us;
+            let latency = out.latency_us + ecc_us;
+            if out.raw_bit_errors > live_t as u32 {
+                // Cached copy lost: detected by CRC after failed BCH.
+                self.stats.uncorrectable_reads += 1;
+                self.respond_to_errors(addr, out.raw_bit_errors);
+                self.drop_valid_page(addr, false);
+                // Refill from disk below (fall through to the miss path).
+            } else {
+                // §5.2.1: react only to errors that fail *consistently* —
+                // two consecutive reads at the strength boundary — so a
+                // transient soft error cannot cause a permanent
+                // reconfiguration.
+                if out.raw_bit_errors >= self.fpst.get(addr).ecc_strength as u32 {
+                    let streak = {
+                        let st = self.fpst.get_mut(addr);
+                        st.error_streak = st.error_streak.saturating_add(1);
+                        st.error_streak
+                    };
+                    if streak >= 2 {
+                        self.fpst.get_mut(addr).error_streak = 0;
+                        self.respond_to_errors(addr, out.raw_bit_errors);
+                    }
+                } else {
+                    self.fpst.get_mut(addr).error_streak = 0;
+                }
+                let count = self.fpst.get_mut(addr).bump_access();
+                self.maybe_promote_hot(addr, count);
+                self.stats.read_hits += 1;
+                self.fgst.record(true, latency);
+                return self.finish(AccessOutcome {
+                    hit: true,
+                    flash_latency_us: latency,
+                    ..AccessOutcome::default()
+                });
+            }
+            // Uncorrectable hit: account the wasted flash read, then miss.
+            self.fgst.record(false, 0.0);
+            let filled = self.fill_from_disk(disk_page, RegionKind::Read);
+            return self.finish(AccessOutcome {
+                hit: false,
+                flash_latency_us: latency,
+                needs_disk_read: true,
+                uncorrectable: true,
+                bypassed: !filled,
+                ..AccessOutcome::default()
+            });
+        }
+        // Plain miss: fetch from disk, fill the read cache.
+        self.fgst.record(false, 0.0);
+        let filled = self.fill_from_disk(disk_page, RegionKind::Read);
+        self.finish(AccessOutcome {
+            hit: false,
+            needs_disk_read: true,
+            bypassed: !filled,
+            ..AccessOutcome::default()
+        })
+    }
+
+    /// Services a write of `disk_page` (§5.1 write path): always an
+    /// out-of-place write into the write region.
+    pub fn write(&mut self, disk_page: u64) -> AccessOutcome {
+        self.begin_op();
+        self.stats.writes += 1;
+        let mut hit = false;
+        if let Some(addr) = self.fcht.lookup(disk_page) {
+            hit = true;
+            self.stats.write_hits += 1;
+            // Invalidate the stale copy (read- or write-region alike);
+            // the new data supersedes it, so no flush is owed.
+            self.invalidate_for_overwrite(addr);
+        }
+        let target = if self.unified {
+            RegionKind::Read
+        } else {
+            RegionKind::Write
+        };
+        let programmed = match self.allocate_slot(target, false) {
+            Some(addr) => {
+                let lat = self.program_slot(addr, disk_page, true, 0);
+                self.op_background_us += lat;
+                true
+            }
+            None => false,
+        };
+        self.fgst.record(hit, 0.0);
+        self.maybe_background_read_gc();
+        self.finish(AccessOutcome {
+            hit,
+            bypassed: !programmed,
+            ..AccessOutcome::default()
+        })
+    }
+
+    /// Marks every dirty page clean and returns how many disk writes the
+    /// caller owes — the periodic write-back flush of §5.1.
+    pub fn flush_writes(&mut self) -> u64 {
+        let mut flushed = 0;
+        for b in self.device.geometry().iter_blocks() {
+            if self.fbst.get(b).retired {
+                continue;
+            }
+            for slot in 0..self.device.geometry().slots_per_block() {
+                let addr = PageAddr::new(b, slot);
+                let st = self.fpst.get_mut(addr);
+                if st.valid && st.dirty {
+                    st.dirty = false;
+                    flushed += 1;
+                }
+            }
+        }
+        self.stats.flushed_dirty_pages += flushed;
+        flushed
+    }
+
+    /// Fills `disk_page` into `kind` after a disk fetch. Returns false if
+    /// no space could be allocated (worn-out device).
+    fn fill_from_disk(&mut self, disk_page: u64, kind: RegionKind) -> bool {
+        match self.allocate_slot(kind, false) {
+            Some(addr) => {
+                let lat = self.program_slot(addr, disk_page, false, 0);
+                self.op_background_us += lat;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Programs `addr` with the slot's configured mode/strength and
+    /// installs the FCHT mapping. Returns the program + encode latency.
+    pub(crate) fn program_slot(&mut self, addr: PageAddr, disk_page: u64, dirty: bool, access: u8) -> f64 {
+        let even = PageAddr::new(addr.block, addr.slot & !1);
+        let mode = if addr.is_upper_half() {
+            CellMode::Mlc
+        } else {
+            self.fpst.get(even).mode
+        };
+        let strength = self.fpst.get(addr).ecc_strength;
+        let out = self
+            .device
+            .program_page(addr, mode, None)
+            .expect("allocator hands out programmable slots");
+        self.stats.flash_programs += 1;
+        let gi = self.gidx(addr);
+        self.live_strength[gi] = strength;
+        let region = self.region_kind_of(addr);
+        {
+            let st = self.fpst.get_mut(addr);
+            st.valid = true;
+            st.dirty = dirty;
+            st.disk_page = Some(disk_page);
+            st.access_count = access;
+            st.error_streak = 0;
+        }
+        let bs = self.fbst.get_mut(addr.block);
+        bs.valid_pages += 1;
+        bs.last_access = self.tick;
+        self.region_mut(region).valid_pages += 1;
+        self.fcht.insert(disk_page, addr);
+        out.latency_us + self.config.ecc_latency.encode_us(strength as usize)
+    }
+
+    /// Invalidates a superseded page (no flush owed).
+    fn invalidate_for_overwrite(&mut self, addr: PageAddr) {
+        let st = self.fpst.get_mut(addr);
+        debug_assert!(st.valid);
+        st.valid = false;
+        st.dirty = false;
+        if let Some(dp) = st.disk_page.take() {
+            self.fcht.remove(dp);
+        }
+        let region = self.region_kind_of(addr);
+        let bs = self.fbst.get_mut(addr.block);
+        bs.valid_pages -= 1;
+        bs.invalid_pages += 1;
+        let r = self.region_mut(region);
+        r.valid_pages -= 1;
+        r.invalid_pages += 1;
+    }
+
+    /// Drops a live page, flushing it to disk first if it was dirty
+    /// (`flush` may be false when the content is known lost/uncorrectable).
+    pub(crate) fn drop_valid_page(&mut self, addr: PageAddr, flush: bool) {
+        let st = self.fpst.get_mut(addr);
+        if !st.valid {
+            return;
+        }
+        let was_dirty = st.dirty;
+        st.valid = false;
+        st.dirty = false;
+        if let Some(dp) = st.disk_page.take() {
+            self.fcht.remove(dp);
+        }
+        if was_dirty && flush {
+            self.op_flushed += 1;
+            self.stats.flushed_dirty_pages += 1;
+        }
+        let region = self.region_kind_of(addr);
+        let bs = self.fbst.get_mut(addr.block);
+        bs.valid_pages -= 1;
+        bs.invalid_pages += 1;
+        let r = self.region_mut(region);
+        r.valid_pages -= 1;
+        r.invalid_pages += 1;
+    }
+
+    /// §5.2.2: a saturated read counter promotes a hot MLC page to SLC.
+    fn maybe_promote_hot(&mut self, addr: PageAddr, count: u8) {
+        if count != self.config.hot_threshold {
+            return;
+        }
+        if !matches!(
+            self.config.controller,
+            ControllerPolicy::Programmable | ControllerPolicy::DensityOnly
+        ) {
+            return;
+        }
+        let phys_mode = self
+            .device
+            .physical_mode(addr)
+            .expect("hit pages are programmed");
+        if phys_mode != CellMode::Mlc {
+            return;
+        }
+        let kind = self.region_kind_of(addr);
+        let st = *self.fpst.get(addr);
+        let disk_page = st.disk_page.expect("valid page has a mapping");
+        // Invalidate *before* allocating: allocation may trigger GC, which
+        // must not relocate the page we are about to migrate ourselves.
+        self.invalidate_for_overwrite(addr);
+        let Some(dst) = self.allocate_slot(kind, true) else {
+            // Promotion failed for lack of space; the page falls out of
+            // the cache (its content was just served, and a dirty copy
+            // still owes a disk write).
+            if st.dirty {
+                self.op_flushed += 1;
+                self.stats.flushed_dirty_pages += 1;
+            }
+            return;
+        };
+        // Migrate: the page was just read; program the copy in SLC mode.
+        let lat = self.program_slot(dst, disk_page, st.dirty, self.config.hot_threshold);
+        self.op_background_us += lat;
+        self.stats.hot_promotions += 1;
+        self.stats.reconfig_density += 1;
+    }
+
+    /// §5.2.1: reacts to a page whose observed errors reached its
+    /// configured strength — raise ECC or demote density, whichever the
+    /// Δtcs/Δtd heuristic prefers.
+    fn respond_to_errors(&mut self, addr: PageAddr, errors: u32) {
+        let cfg_t = self.fpst.get(addr).ecc_strength;
+        let even = PageAddr::new(addr.block, addr.slot & !1);
+        let phys_mode = self.fpst.get(even).mode;
+        let (ecc_possible, slc_possible) = match self.config.controller {
+            ControllerPolicy::FixedEcc { .. } => (false, false),
+            ControllerPolicy::Programmable => (
+                cfg_t < self.config.max_ecc,
+                phys_mode == CellMode::Mlc,
+            ),
+            ControllerPolicy::EccOnly => (cfg_t < self.config.max_ecc, false),
+            ControllerPolicy::DensityOnly => (false, phys_mode == CellMode::Mlc),
+        };
+        let choose_ecc = match (ecc_possible, slc_possible) {
+            (false, false) => return,
+            (true, false) => true,
+            (false, true) => false,
+            (true, true) => {
+                let st = self.fpst.get(addr);
+                let freq =
+                    (st.access_count as f64 / self.config.hot_threshold as f64).min(1.0);
+                let d_code = self.config.ecc_latency.decode_us(cfg_t as usize + 1)
+                    - self.config.ecc_latency.decode_us(cfg_t as usize);
+                let d_tcs = freq * d_code;
+                let timing = self.config.flash.timing;
+                let d_slc = timing.read_us(CellMode::Slc) - timing.read_us(CellMode::Mlc);
+                let d_miss = if self.usable_slots == 0 {
+                    0.0
+                } else {
+                    self.fgst.miss_rate / self.usable_slots as f64
+                };
+                let t_miss = self.config.disk_latency_us;
+                let t_hit = self.fgst.avg_hit_latency_us;
+                let d_td = d_miss * (t_miss + t_hit) + freq * d_slc;
+                d_tcs <= d_td
+            }
+        };
+        if choose_ecc {
+            let new_t = (errors as u8 + 1)
+                .max(cfg_t + 1)
+                .min(self.config.max_ecc);
+            let delta = (new_t - cfg_t) as u32;
+            self.fpst.get_mut(addr).ecc_strength = new_t;
+            self.fbst.get_mut(addr.block).total_ecc += delta;
+            self.stats.reconfig_ecc += 1;
+        } else {
+            // Demote the physical page to SLC at its next program.
+            self.fpst.get_mut(even).mode = CellMode::Slc;
+            self.fpst.get_mut(even.sibling()).mode = CellMode::Slc;
+            self.fbst.get_mut(addr.block).slc_pages += 1;
+            self.stats.reconfig_density += 1;
+        }
+    }
+
+    /// Background read-region GC when invalid pages push valid capacity
+    /// below the watermark (§5.1).
+    fn maybe_background_read_gc(&mut self) {
+        if self.unified {
+            return;
+        }
+        let r = self.region(RegionKind::Read);
+        let occupied = r.valid_pages + r.invalid_pages;
+        if occupied == 0 {
+            return;
+        }
+        let valid_frac = r.valid_pages as f64 / occupied as f64;
+        if valid_frac < self.config.read_gc_watermark {
+            self.collect_garbage(RegionKind::Read);
+        }
+    }
+
+}

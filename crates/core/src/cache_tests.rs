@@ -1,0 +1,451 @@
+//! Behavioural tests of the flash cache: hit/miss flows, out-of-place
+//! writes, GC, eviction, wear levelling, controller reconfiguration, and
+//! full structural invariants after heavy churn.
+
+use nand_flash::{CellMode, FlashConfig, FlashGeometry, WearConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cache::FlashCache;
+use crate::config::{ControllerPolicy, FlashCacheConfig, SplitPolicy};
+
+/// A small cache: 16 blocks × 8 physical pages = 256 slots.
+fn small_config() -> FlashCacheConfig {
+    FlashCacheConfig {
+        flash: FlashConfig {
+            geometry: FlashGeometry {
+                blocks: 16,
+                pages_per_block: 8,
+                ..FlashGeometry::default()
+            },
+            ..FlashConfig::default()
+        },
+        ..FlashCacheConfig::default()
+    }
+}
+
+fn small_cache() -> FlashCache {
+    FlashCache::new(small_config()).unwrap()
+}
+
+#[test]
+fn read_miss_then_hit() {
+    let mut c = small_cache();
+    let first = c.read(100);
+    assert!(!first.hit);
+    assert!(first.needs_disk_read);
+    let second = c.read(100);
+    assert!(second.hit);
+    assert!(!second.needs_disk_read);
+    // MLC read (50µs) plus ECC decode at t=1.
+    assert!(second.flash_latency_us > 50.0);
+    assert_eq!(c.stats().reads, 2);
+    assert_eq!(c.stats().read_hits, 1);
+    c.check_invariants().unwrap();
+}
+
+#[test]
+fn write_then_read_hits() {
+    let mut c = small_cache();
+    let w = c.write(55);
+    assert!(!w.hit);
+    assert!(!w.needs_disk_read, "writes never need a disk fetch");
+    assert!(c.read(55).hit);
+    c.check_invariants().unwrap();
+}
+
+#[test]
+fn overwrite_is_out_of_place() {
+    let mut c = small_cache();
+    c.write(7);
+    let programs_before = c.stats().flash_programs;
+    let w = c.write(7);
+    assert!(w.hit);
+    // A second write programs a fresh slot rather than updating in place.
+    assert_eq!(c.stats().flash_programs, programs_before + 1);
+    // Exactly one mapping remains.
+    assert_eq!(c.cached_pages(), 1);
+    c.check_invariants().unwrap();
+}
+
+#[test]
+fn write_invalidates_read_copy() {
+    let mut c = small_cache();
+    c.read(9); // fills read region
+    let w = c.write(9); // §5.1: invalidate read copy, write region copy
+    assert!(w.hit);
+    assert_eq!(c.cached_pages(), 1);
+    assert!(c.read(9).hit);
+    c.check_invariants().unwrap();
+}
+
+#[test]
+fn capacity_misses_trigger_eviction_not_growth() {
+    let mut c = small_cache();
+    // Touch far more pages than the cache holds.
+    for p in 0..2_000u64 {
+        c.read(p);
+    }
+    let stats = c.stats();
+    assert!(stats.evictions > 0, "evictions must have happened");
+    assert!(c.cached_pages() <= c.usable_slots());
+    c.check_invariants().unwrap();
+}
+
+#[test]
+fn write_churn_triggers_gc() {
+    let mut c = small_cache();
+    let mut rng = StdRng::seed_from_u64(1);
+    // Repeatedly overwrite a small hot set that fits the write region:
+    // overwrites generate invalid pages, so the write region must
+    // garbage collect rather than evict.
+    for _ in 0..5_000 {
+        c.write(rng.gen_range(0..12));
+    }
+    let stats = c.stats();
+    assert!(stats.gc_runs > 0, "write churn must trigger GC");
+    assert!(stats.gc_time_us > 0.0);
+    assert_eq!(c.cached_pages(), 12);
+    c.check_invariants().unwrap();
+}
+
+#[test]
+fn unified_and_split_both_survive_mixed_churn() {
+    for split in [
+        SplitPolicy::Unified,
+        SplitPolicy::Split {
+            write_fraction: 0.25,
+        },
+    ] {
+        let mut c = FlashCache::new(FlashCacheConfig {
+            split,
+            ..small_config()
+        })
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..4_000 {
+            let p = rng.gen_range(0..300u64);
+            if rng.gen_bool(0.3) {
+                c.write(p);
+            } else {
+                c.read(p);
+            }
+        }
+        c.check_invariants()
+            .unwrap_or_else(|e| panic!("{split:?}: {e}"));
+        assert!(c.stats().reads + c.stats().writes == 4_000);
+    }
+}
+
+#[test]
+fn split_beats_unified_miss_rate_under_write_pressure() {
+    // The Figure 4 effect in miniature: with writes interleaved, the
+    // split cache contains GC damage to 10% of the blocks.
+    let run = |split: SplitPolicy| {
+        let mut c = FlashCache::new(FlashCacheConfig {
+            split,
+            flash: FlashConfig {
+                geometry: FlashGeometry {
+                    blocks: 32,
+                    pages_per_block: 16,
+                    ..FlashGeometry::default()
+                },
+                ..FlashConfig::default()
+            },
+            ..FlashCacheConfig::default()
+        })
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        // Zipf-ish: hot reads over 600 pages, scattered writes.
+        for _ in 0..30_000 {
+            if rng.gen_bool(0.25) {
+                c.write(rng.gen_range(0..3_000u64));
+            } else {
+                c.read(rng.gen_range(0..600u64));
+            }
+        }
+        c.check_invariants().unwrap();
+        c.stats().read_miss_rate()
+    };
+    let unified = run(SplitPolicy::Unified);
+    let split = run(SplitPolicy::Split {
+        write_fraction: 0.10,
+    });
+    assert!(
+        split <= unified + 0.02,
+        "split read miss rate {split:.3} should not exceed unified {unified:.3}"
+    );
+}
+
+#[test]
+fn flush_writes_cleans_dirty_pages() {
+    let mut c = small_cache();
+    for p in 0..10 {
+        c.write(p);
+    }
+    let flushed = c.flush_writes();
+    assert_eq!(flushed, 10);
+    assert_eq!(c.flush_writes(), 0, "second flush has nothing to do");
+}
+
+#[test]
+fn eviction_of_dirty_block_reports_flushes() {
+    // Tiny write region: dirty evictions must surface flush counts.
+    let mut c = FlashCache::new(FlashCacheConfig {
+        split: SplitPolicy::Split {
+            write_fraction: 0.25,
+        },
+        ..small_config()
+    })
+    .unwrap();
+    let mut total_flushed = 0u64;
+    for p in 0..4_000u64 {
+        let out = c.write(p); // all distinct: no invalidation, pure pressure
+        total_flushed += out.flushed_dirty as u64;
+    }
+    assert!(
+        total_flushed > 0,
+        "writing 4000 distinct pages through a tiny write region must flush"
+    );
+    assert_eq!(c.stats().flushed_dirty_pages, total_flushed);
+    c.check_invariants().unwrap();
+}
+
+#[test]
+fn hot_pages_get_promoted_to_slc() {
+    let mut c = small_cache();
+    c.read(1);
+    let threshold = c.config().hot_threshold as usize;
+    for _ in 0..threshold + 2 {
+        c.read(1);
+    }
+    let stats = c.stats();
+    assert_eq!(stats.hot_promotions, 1, "exactly one promotion");
+    assert_eq!(stats.reconfig_density, 1);
+    assert!(c.slc_fraction() > 0.0);
+    // Promotion preserves the cached data.
+    assert!(c.read(1).hit);
+    c.check_invariants().unwrap();
+}
+
+#[test]
+fn fixed_controller_never_reconfigures() {
+    let mut c = FlashCache::new(FlashCacheConfig {
+        controller: ControllerPolicy::FixedEcc { strength: 1 },
+        ..small_config()
+    })
+    .unwrap();
+    for p in 0..200u64 {
+        c.read(p % 20);
+    }
+    let stats = c.stats();
+    assert_eq!(stats.reconfig_ecc, 0);
+    assert_eq!(stats.reconfig_density, 0);
+    assert_eq!(stats.hot_promotions, 0);
+}
+
+#[test]
+fn worn_device_reconfigures_and_eventually_retires() {
+    // Heavy acceleration so wear failures appear within the test budget.
+    let mut c = FlashCache::new(FlashCacheConfig {
+        flash: FlashConfig {
+            geometry: FlashGeometry {
+                blocks: 8,
+                pages_per_block: 4,
+                ..FlashGeometry::default()
+            },
+            wear: WearConfig {
+                spatial_sigma_decades: 0.1,
+                ..WearConfig::default()
+            }
+            .accelerated(5e3),
+            ..FlashConfig::default()
+        },
+        ..small_config()
+    })
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut steps = 0u64;
+    while !c.is_dead() && steps < 3_000_000 {
+        let p = rng.gen_range(0..200u64);
+        if rng.gen_bool(0.6) {
+            c.write(p);
+        } else {
+            c.read(p);
+        }
+        steps += 1;
+    }
+    let stats = c.stats();
+    assert!(
+        stats.reconfig_ecc + stats.reconfig_density > 0,
+        "wear must trigger reconfiguration"
+    );
+    assert!(stats.retired_blocks > 0, "blocks must retire under wear");
+    assert!(c.is_dead(), "device must die within the step budget");
+    assert!(c.read(1).bypassed, "dead cache passes reads to disk");
+    assert!(c.write(1).bypassed, "dead cache passes writes to disk");
+}
+
+#[test]
+fn bch1_dies_much_sooner_than_programmable() {
+    // The Figure 12 effect in miniature.
+    let lifetime = |controller: ControllerPolicy| {
+        let mut c = FlashCache::new(FlashCacheConfig {
+            controller,
+            flash: FlashConfig {
+                geometry: FlashGeometry {
+                    blocks: 8,
+                    pages_per_block: 4,
+                    ..FlashGeometry::default()
+                },
+                wear: WearConfig {
+                    spatial_sigma_decades: 0.1,
+                    ..WearConfig::default()
+                }
+                .accelerated(5e3),
+                ..FlashConfig::default()
+            },
+            ..small_config()
+        })
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut steps = 0u64;
+        while !c.is_dead() && steps < 5_000_000 {
+            let p = rng.gen_range(0..200u64);
+            if rng.gen_bool(0.6) {
+                c.write(p);
+            } else {
+                c.read(p);
+            }
+            steps += 1;
+        }
+        steps
+    };
+    let fixed = lifetime(ControllerPolicy::FixedEcc { strength: 1 });
+    let programmable = lifetime(ControllerPolicy::Programmable);
+    assert!(
+        programmable > 3 * fixed,
+        "programmable {programmable} vs fixed {fixed}: expected a large lifetime win"
+    );
+}
+
+#[test]
+fn wear_levelling_migrates_cold_blocks() {
+    // Pin a cold block by reading a set once, then hammer writes so the
+    // erase counts diverge and the threshold trips.
+    let mut c = FlashCache::new(FlashCacheConfig {
+        wear_threshold: 20.0,
+        ..small_config()
+    })
+    .unwrap();
+    for p in 0..100u64 {
+        c.read(p);
+    }
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..30_000 {
+        c.write(rng.gen_range(0..30u64));
+    }
+    assert!(
+        c.stats().wear_migrations > 0,
+        "diverging wear must trigger newest-block migration"
+    );
+    c.check_invariants().unwrap();
+}
+
+#[test]
+fn stats_reset_keeps_contents() {
+    let mut c = small_cache();
+    c.read(5);
+    c.reset_stats();
+    assert_eq!(c.stats().reads, 0);
+    assert!(c.read(5).hit, "contents survive a stats reset");
+}
+
+#[test]
+fn ecc_only_policy_never_switches_density() {
+    let mut c = FlashCache::new(FlashCacheConfig {
+        controller: ControllerPolicy::EccOnly,
+        flash: FlashConfig {
+            wear: WearConfig::default().accelerated(5e3),
+            ..small_config().flash
+        },
+        ..small_config()
+    })
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(6);
+    for _ in 0..100_000 {
+        let p = rng.gen_range(0..100u64);
+        if rng.gen_bool(0.5) {
+            c.write(p);
+        } else {
+            c.read(p);
+        }
+        if c.is_dead() {
+            break;
+        }
+    }
+    assert_eq!(c.stats().reconfig_density, 0);
+    assert_eq!(c.slc_fraction(), 0.0);
+}
+
+#[test]
+fn invariants_hold_under_long_random_churn() {
+    let mut c = FlashCache::new(FlashCacheConfig {
+        split: SplitPolicy::Split {
+            write_fraction: 0.2,
+        },
+        ..small_config()
+    })
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    for i in 0..20_000 {
+        let p = rng.gen_range(0..500u64);
+        match rng.gen_range(0..10) {
+            0..=5 => {
+                c.read(p);
+            }
+            6..=8 => {
+                c.write(p);
+            }
+            _ => {
+                c.flush_writes();
+            }
+        }
+        if i % 5_000 == 0 {
+            c.check_invariants().unwrap();
+        }
+    }
+    c.check_invariants().unwrap();
+}
+
+#[test]
+fn cached_pages_unique_per_disk_page() {
+    let mut c = small_cache();
+    for _ in 0..50 {
+        c.write(11);
+        c.read(11);
+    }
+    assert_eq!(c.cached_pages(), 1, "one mapping per disk page, ever");
+}
+
+#[test]
+fn slc_default_mode_halves_capacity_but_works() {
+    let mut c = FlashCache::new(FlashCacheConfig {
+        default_mode: CellMode::Slc,
+        ..small_config()
+    })
+    .unwrap();
+    for p in 0..300u64 {
+        c.read(p);
+    }
+    c.check_invariants().unwrap();
+    assert!(c.read(299).hit);
+    // SLC hit latency (25µs + decode) is lower than the MLC default.
+    let mut mlc = small_cache();
+    for p in 0..300u64 {
+        mlc.read(p);
+    }
+    let slc_hit = c.read(299).flash_latency_us;
+    let mlc_hit = mlc.read(299).flash_latency_us;
+    assert!(slc_hit < mlc_hit);
+}

@@ -1,0 +1,265 @@
+//! Configuration of the flash disk cache and its controller policy.
+
+use std::error::Error;
+use std::fmt;
+
+use flash_ecc::EccLatencyModel;
+use nand_flash::{CellMode, FlashConfig};
+
+/// A configuration rejected by [`FlashCacheConfig::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    fn new(message: String) -> Self {
+        ConfigError { message }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid flash cache configuration: {}", self.message)
+    }
+}
+
+impl Error for ConfigError {}
+
+/// How the flash is divided between read and write caching (§3.5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SplitPolicy {
+    /// One shared pool handling both reads and writes (the baseline of
+    /// Figure 4, "RW unified").
+    Unified,
+    /// Separate read and write regions ("RW separate").
+    Split {
+        /// Fraction of blocks dedicated to the write cache. The paper
+        /// observes 10% suffices ("90% of Flash is dedicated to the read
+        /// cache and 10% write cache").
+        write_fraction: f64,
+    },
+}
+
+impl Default for SplitPolicy {
+    fn default() -> Self {
+        SplitPolicy::Split {
+            write_fraction: 0.10,
+        }
+    }
+}
+
+/// Flash memory controller reconfiguration policy (§4, §5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub enum ControllerPolicy {
+    /// The paper's programmable controller: variable ECC strength *and*
+    /// MLC→SLC density switching, chosen by the Δtcs/Δtd heuristics.
+    #[default]
+    Programmable,
+    /// Fixed ECC strength, no reconfiguration — the baseline of
+    /// Figure 12 is `FixedEcc { strength: 1 }`.
+    FixedEcc {
+        /// The immutable code strength.
+        strength: u8,
+    },
+    /// Ablation: only ECC strength may grow; no density switching.
+    EccOnly,
+    /// Ablation: only MLC→SLC switching; ECC stays at the initial
+    /// strength.
+    DensityOnly,
+}
+
+
+/// Full configuration of a [`crate::cache::FlashCache`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlashCacheConfig {
+    /// Underlying device configuration.
+    pub flash: FlashConfig,
+    /// Read/write split policy.
+    pub split: SplitPolicy,
+    /// Controller reconfiguration policy.
+    pub controller: ControllerPolicy,
+    /// Cell mode newly allocated pages start in. The paper's device is
+    /// MLC-first and demotes to SLC as needed.
+    pub default_mode: CellMode,
+    /// ECC strength newly allocated pages start with.
+    pub initial_ecc: u8,
+    /// Maximum ECC strength the controller may program (paper: 12).
+    pub max_ecc: u8,
+    /// ECC accelerator timing model.
+    pub ecc_latency: EccLatencyModel,
+    /// Wear-levelling trigger: evict the globally newest block instead of
+    /// the LRU block when the LRU block's degree of wear out exceeds the
+    /// newest's by this much (§3.6).
+    pub wear_threshold: f64,
+    /// Weight of total ECC strength in the degree-of-wear-out cost.
+    pub wear_k1: f64,
+    /// Weight of SLC-converted pages in the degree-of-wear-out cost
+    /// (`k2 > k1`: a mode switch signals far more wear than an ECC bump).
+    pub wear_k2: f64,
+    /// Read-region GC trigger: compact when valid capacity falls below
+    /// this fraction (§5.1: "below 90%").
+    pub read_gc_watermark: f64,
+    /// Minimum invalid fraction a block must carry before garbage
+    /// collection will compact it (either region). Compacting a mostly-
+    /// valid block rewrites many pages to reclaim few slots — ruinous
+    /// write amplification; below this floor the cache evicts a block
+    /// instead (clean pages are disk-backed; dirty ones are flushed).
+    pub gc_min_invalid_fraction: f64,
+    /// Read-access saturation count that promotes an MLC page to SLC
+    /// (§5.2.2). The FPST stores a saturating counter per page.
+    pub hot_threshold: u8,
+    /// Average disk miss penalty in µs used by the Δtd heuristic
+    /// (`tmiss`); the simulator keeps this in sync with its disk model.
+    pub disk_latency_us: f64,
+    /// Number of bit errors at which a read is considered to show
+    /// consistent wear (reconfiguration trigger margin): the page is
+    /// reconfigured when observed errors ≥ `strength`.
+    pub reconfig_margin: u8,
+    /// Accesses between halvings of every page's saturating access
+    /// counter, so "frequently accessed" means *recent* frequency
+    /// (§5.2.2). `0` selects one cache-capacity of accesses.
+    pub counter_decay_interval: u64,
+}
+
+impl Default for FlashCacheConfig {
+    fn default() -> Self {
+        FlashCacheConfig {
+            flash: FlashConfig::default(),
+            split: SplitPolicy::default(),
+            controller: ControllerPolicy::default(),
+            default_mode: CellMode::Mlc,
+            initial_ecc: 1,
+            max_ecc: 12,
+            ecc_latency: EccLatencyModel::default(),
+            wear_threshold: 64.0,
+            wear_k1: 0.5,
+            wear_k2: 8.0,
+            read_gc_watermark: 0.90,
+            gc_min_invalid_fraction: 0.25,
+            hot_threshold: 8,
+            disk_latency_us: 4200.0,
+            reconfig_margin: 0,
+            counter_decay_interval: 0,
+        }
+    }
+}
+
+impl FlashCacheConfig {
+    /// Validates invariants, returning a description of the first
+    /// violation.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] describing the violated constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if let SplitPolicy::Split { write_fraction } = self.split {
+            if !(0.0..1.0).contains(&write_fraction) || write_fraction <= 0.0 {
+                return Err(ConfigError::new(format!(
+                    "write_fraction must be in (0,1), got {write_fraction}"
+                )));
+            }
+        }
+        if self.initial_ecc == 0 || self.initial_ecc > self.max_ecc {
+            return Err(ConfigError::new(format!(
+                "initial_ecc {} must be in 1..={}",
+                self.initial_ecc, self.max_ecc
+            )));
+        }
+        // The paper's controller stops at 12 correctable bits, but its
+        // Figure 10 sweeps fixed strengths "beyond our Flash memory
+        // controller's capabilities to fully capture the performance
+        // trends" (§7.2) — so the *model* accepts larger values, which
+        // exercise only the latency model, not a real spare-area layout.
+        if self.max_ecc > 63 {
+            return Err(ConfigError::new(format!(
+                "max_ecc {} exceeds the modelling limit of 63",
+                self.max_ecc
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.gc_min_invalid_fraction) {
+            return Err(ConfigError::new(format!(
+                "gc_min_invalid_fraction must be in [0,1], got {}",
+                self.gc_min_invalid_fraction
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.read_gc_watermark) {
+            return Err(ConfigError::new(format!(
+                "read_gc_watermark must be in [0,1], got {}",
+                self.read_gc_watermark
+            )));
+        }
+        if self.wear_k2 <= self.wear_k1 {
+            return Err(ConfigError::new(format!(
+                "wear_k2 ({}) must exceed wear_k1 ({}) — a mode switch \
+                 signals more wear than an ECC bump",
+                self.wear_k2, self.wear_k1
+            )));
+        }
+        if self.flash.geometry.blocks < 4 {
+            return Err(ConfigError::new(
+                "cache needs at least 4 flash blocks".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert_eq!(FlashCacheConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn default_split_is_90_10() {
+        match SplitPolicy::default() {
+            SplitPolicy::Split { write_fraction } => {
+                assert!((write_fraction - 0.10).abs() < 1e-12)
+            }
+            SplitPolicy::Unified => panic!("default must be split"),
+        }
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        let mut c = FlashCacheConfig {
+            split: SplitPolicy::Split { write_fraction: 0.0 },
+            ..FlashCacheConfig::default()
+        };
+        assert!(c.validate().is_err());
+        c.split = SplitPolicy::default();
+        c.initial_ecc = 0;
+        assert!(c.validate().is_err());
+        c.initial_ecc = 13;
+        c.max_ecc = 12;
+        assert!(c.validate().is_err());
+        c.initial_ecc = 1;
+        c.max_ecc = 64;
+        assert!(c.validate().is_err());
+        c.max_ecc = 40; // beyond hardware, allowed for Figure 10 sweeps
+        assert!(c.validate().is_ok());
+        c.max_ecc = 12;
+        c.wear_k1 = 9.0;
+        assert!(c.validate().is_err());
+        c.wear_k1 = 0.5;
+        c.read_gc_watermark = 1.5;
+        assert!(c.validate().is_err());
+        c.read_gc_watermark = 0.9;
+        c.flash.geometry.blocks = 2;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn policies_compare() {
+        assert_eq!(ControllerPolicy::default(), ControllerPolicy::Programmable);
+        assert_ne!(
+            ControllerPolicy::FixedEcc { strength: 1 },
+            ControllerPolicy::EccOnly
+        );
+    }
+}

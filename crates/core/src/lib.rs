@@ -1,0 +1,54 @@
+//! NAND flash based secondary disk cache — the primary contribution of
+//! *Improving NAND Flash Based Disk Caches* (Kgil, Roberts & Mudge,
+//! ISCA 2008).
+//!
+//! The library implements the paper's full architecture:
+//!
+//! * the management tables — FCHT, FPST, FBST, FGST (§3, [`tables`]);
+//! * read/write region splitting of the flash cache (§3.5, Figure 3/4);
+//! * out-of-place writes with background garbage collection (Figure 8);
+//! * the wear-level-aware replacement policy with newest-block
+//!   migration (§3.6);
+//! * the programmable flash memory controller policy: per-page variable
+//!   ECC strength and MLC→SLC density switching driven by the Δtcs/Δtd
+//!   heuristics and hot-page promotion (§4, §5.2);
+//! * the DRAM primary disk cache fronting the flash ([`pdc`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use flashcache_core::{FlashCache, FlashCacheConfig};
+//!
+//! let mut cache = FlashCache::new(FlashCacheConfig::default()).unwrap();
+//! // Miss, fill, hit.
+//! assert!(cache.read(7).needs_disk_read);
+//! assert!(cache.read(7).hit);
+//! // Writes go to the write region out-of-place.
+//! let w = cache.write(7);
+//! assert!(w.hit);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod descriptor;
+#[cfg(test)]
+mod cache_tests;
+#[cfg(test)]
+mod edge_tests;
+pub mod config;
+pub mod lru;
+mod maint;
+pub mod overheads;
+pub mod pdc;
+pub mod stats;
+pub mod tables;
+
+pub use cache::{AccessOutcome, FlashCache};
+pub use config::{ConfigError, ControllerPolicy, FlashCacheConfig, SplitPolicy};
+pub use descriptor::{DescriptorOp, FlashDescriptor};
+pub use overheads::TableOverheads;
+pub use pdc::PrimaryDiskCache;
+pub use stats::CacheStats;
+pub use tables::RegionKind;

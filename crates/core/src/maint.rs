@@ -1,0 +1,652 @@
+//! Space maintenance for the flash cache: log-structured slot allocation,
+//! garbage collection (valid-data compaction, §3.5/Fig. 8), block
+//! eviction with the wear-level-aware replacement policy (§3.6), and
+//! block retirement (§5.2).
+//!
+//! All reclaim work (reads, programs, erases performed to make space) is
+//! accounted as *background* time in [`CacheStats::gc_time_us`], matching
+//! the paper's "all GCs are performed in the background".
+
+use nand_flash::{BlockId, CellMode, PageAddr};
+
+use crate::cache::{FlashCache, OpenBlock};
+use crate::config::ControllerPolicy;
+use crate::stats::CacheStats;
+use crate::tables::RegionKind;
+
+impl FlashCache {
+    /// The region a block's state should record, folding unified mode
+    /// onto the read region.
+    fn storage_kind(&self, kind: RegionKind) -> RegionKind {
+        if self.unified {
+            RegionKind::Read
+        } else {
+            kind
+        }
+    }
+
+    fn block_in_region(&self, b: BlockId, kind: RegionKind) -> bool {
+        self.unified || self.fbst.get(b).region == kind
+    }
+
+    fn block_is_reserved(&self, b: BlockId) -> bool {
+        let check = |r: &crate::cache::Region| {
+            r.open.map(|o| o.id) == Some(b) || r.spare == Some(b)
+        };
+        check(&self.read_region) || check(&self.write_region)
+    }
+
+    /// Maximum ECC strength the active controller policy can program.
+    fn policy_max_strength(&self) -> u8 {
+        match self.config.controller {
+            ControllerPolicy::FixedEcc { strength } => strength,
+            _ => self.config.max_ecc,
+        }
+    }
+
+    /// Whether the active policy can fall back to SLC mode.
+    fn policy_allows_slc(&self) -> bool {
+        matches!(
+            self.config.controller,
+            ControllerPolicy::Programmable | ControllerPolicy::DensityOnly
+        ) || self.config.default_mode == CellMode::Slc
+    }
+
+    /// Allocates the next programmable slot in `kind`, making space if
+    /// needed. `want_slc` forces the destination physical page into SLC
+    /// mode (hot-page promotion). Returns `None` when the device can no
+    /// longer provide space (worn out).
+    pub(crate) fn allocate_slot(&mut self, kind: RegionKind, want_slc: bool) -> Option<PageAddr> {
+        let mut attempts = 0u32;
+        let limit = 2 * self.device.geometry().blocks + 8;
+        loop {
+            if let Some(addr) = self.take_from_open(kind, want_slc) {
+                return Some(addr);
+            }
+            let region = self.region_mut(kind);
+            if let Some(b) = region.free.pop_front() {
+                region.open = Some(OpenBlock {
+                    id: b,
+                    next_slot: 0,
+                });
+                continue;
+            }
+            if !self.make_space(kind) {
+                // Last resort: consume the reserved spare so the final
+                // surviving blocks still cycle (and can retire) instead
+                // of sitting pinned forever.
+                let region = self.region_mut(kind);
+                if let Some(spare) = region.spare.take() {
+                    region.open = Some(OpenBlock {
+                        id: spare,
+                        next_slot: 0,
+                    });
+                    continue;
+                }
+                return None;
+            }
+            attempts += 1;
+            if attempts > limit {
+                return None;
+            }
+        }
+    }
+
+    /// Advances the open block's pointer to the next slot compatible with
+    /// the request, honouring per-physical-page mode configuration.
+    fn take_from_open(&mut self, kind: RegionKind, want_slc: bool) -> Option<PageAddr> {
+        let mut ob = self.region_mut(kind).open?;
+        let spb = self.device.geometry().slots_per_block();
+        let mut result = None;
+        while ob.next_slot < spb {
+            let addr = PageAddr::new(ob.id, ob.next_slot);
+            let even = PageAddr::new(ob.id, ob.next_slot & !1u32);
+            if want_slc {
+                if addr.is_upper_half() {
+                    // The lower half is already committed MLC; skip to the
+                    // next physical page for an SLC allocation.
+                    ob.next_slot += 1;
+                    continue;
+                }
+                if self.fpst.get(even).mode == CellMode::Mlc {
+                    self.fpst.get_mut(even).mode = CellMode::Slc;
+                    self.fpst.get_mut(even.sibling()).mode = CellMode::Slc;
+                    self.fbst.get_mut(ob.id).slc_pages += 1;
+                }
+                ob.next_slot += 2;
+                result = Some(addr);
+                break;
+            }
+            if addr.is_upper_half() {
+                // Lower half was programmed MLC; the upper half follows.
+                ob.next_slot += 1;
+                result = Some(addr);
+                break;
+            }
+            if self.fpst.get(even).mode == CellMode::Slc {
+                // Wear-demoted physical page: one SLC slot, skip sibling.
+                ob.next_slot += 2;
+                result = Some(addr);
+                break;
+            }
+            ob.next_slot += 1;
+            result = Some(addr);
+            break;
+        }
+        let region = self.region_mut(kind);
+        if result.is_none() && ob.next_slot >= spb {
+            region.open = None;
+        } else {
+            region.open = Some(ob);
+        }
+        result
+    }
+
+    /// Tries to create free space in `kind`. Returns `false` when no
+    /// further progress is possible (all blocks retired or pinned).
+    fn make_space(&mut self, kind: RegionKind) -> bool {
+        // 1. A fully invalidated block can simply be erased.
+        if let Some(b) = self.find_fully_invalid(kind) {
+            self.erase_and_recycle(b, kind);
+            return true;
+        }
+        // 2. Compaction GC — the common case for the write region (§5.1).
+        //    The read region compacts only via its watermark trigger.
+        if self.unified || kind == RegionKind::Write {
+            if let Some(b) = self.find_gc_victim(kind) {
+                if self.gc_compact(b, kind) {
+                    return true;
+                }
+            }
+        }
+        // 3. Evict a whole block.
+        self.evict_block(kind)
+    }
+
+    fn find_fully_invalid(&self, kind: RegionKind) -> Option<BlockId> {
+        self.fbst
+            .iter()
+            .filter(|(b, s)| {
+                !s.retired
+                    && self.block_in_region(*b, kind)
+                    && !self.block_is_reserved(*b)
+                    && s.valid_pages == 0
+                    && s.invalid_pages > 0
+            })
+            .map(|(b, _)| b)
+            .next()
+    }
+
+    /// The most profitable compaction victim: the block with the most
+    /// invalid pages, provided it clears the write-amplification floor
+    /// (`gc_min_invalid_fraction`) — otherwise `None`, and eviction is
+    /// the better reclaim.
+    fn find_gc_victim(&self, kind: RegionKind) -> Option<BlockId> {
+        let spb = self.device.geometry().slots_per_block();
+        let floor = ((spb as f64 * self.config.gc_min_invalid_fraction).ceil() as u32).max(1);
+        self.fbst
+            .iter()
+            .filter(|(b, s)| {
+                !s.retired
+                    && self.block_in_region(*b, kind)
+                    && !self.block_is_reserved(*b)
+                    && s.invalid_pages >= floor
+                    && s.valid_pages > 0
+            })
+            .max_by_key(|(_, s)| s.invalid_pages)
+            .map(|(b, _)| b)
+    }
+
+    fn find_lru_victim(&self, kind: RegionKind) -> Option<BlockId> {
+        self.fbst
+            .iter()
+            .filter(|(b, s)| {
+                !s.retired
+                    && self.block_in_region(*b, kind)
+                    && !self.block_is_reserved(*b)
+                    && s.valid_pages + s.invalid_pages > 0
+            })
+            .min_by_key(|(_, s)| s.last_access)
+            .map(|(b, _)| b)
+    }
+
+    /// The globally newest block: minimum degree of wear out across the
+    /// *entire* flash (§3.6: "Newest blocks are chosen from the entire
+    /// set of Flash blocks"), restricted to blocks whose content can be
+    /// migrated.
+    fn find_newest_block(&self, exclude: BlockId) -> Option<BlockId> {
+        let (k1, k2) = (self.config.wear_k1, self.config.wear_k2);
+        self.fbst
+            .iter()
+            .filter(|(b, s)| {
+                *b != exclude && !s.retired && !self.block_is_reserved(*b) && s.valid_pages > 0
+            })
+            .map(|(b, _)| b)
+            .min_by(|&a, &b| {
+                self.fbst
+                    .wear_out(a, k1, k2)
+                    .partial_cmp(&self.fbst.wear_out(b, k1, k2))
+                    .expect("wear costs are finite")
+            })
+    }
+
+    /// Public entry for watermark-triggered compaction. Returns whether a
+    /// pass ran (victim selection applies the write-amplification floor).
+    pub(crate) fn collect_garbage(&mut self, kind: RegionKind) -> bool {
+        match self.find_gc_victim(kind) {
+            Some(victim) => self.gc_compact(victim, kind),
+            None => false,
+        }
+    }
+
+    /// Moves the victim's valid pages into the allocation stream, then
+    /// erases the victim (Figure 8's GC flow).
+    fn gc_compact(&mut self, victim: BlockId, kind: RegionKind) -> bool {
+        let mut gc_us = 0.0;
+        let moved = self.relocate_valid_pages(victim, kind, &mut gc_us);
+        self.stats.gc_runs += 1;
+        self.stats.gc_moved_pages += moved as u64;
+        let retired = self.erase_block_internal(victim, &mut gc_us);
+        self.stats.gc_time_us += gc_us;
+        if !retired {
+            let storage = self.storage_kind(kind);
+            self.fbst.get_mut(victim).region = storage;
+            let region = self.region_mut(kind);
+            if region.spare.is_none() {
+                region.spare = Some(victim);
+            } else {
+                region.free.push_back(victim);
+            }
+        }
+        true
+    }
+
+    /// Relocates every valid page of `src` via the region's allocation
+    /// stream (open block, then free blocks, then the spare). Pages that
+    /// cannot be placed are evicted (dirty ones flushed). Returns the
+    /// number of pages moved.
+    fn relocate_valid_pages(&mut self, src: BlockId, kind: RegionKind, gc_us: &mut f64) -> u32 {
+        let spb = self.device.geometry().slots_per_block();
+        let mut moved = 0;
+        for slot in 0..spb {
+            let addr = PageAddr::new(src, slot);
+            if !self.fpst.get(addr).valid {
+                continue;
+            }
+            if self.move_page(addr, kind, gc_us) {
+                moved += 1;
+            }
+        }
+        moved
+    }
+
+    /// Moves one valid page to a new location. Returns `false` if the
+    /// page was dropped instead (uncorrectable or no destination).
+    fn move_page(&mut self, src: PageAddr, kind: RegionKind, gc_us: &mut f64) -> bool {
+        let st = *self.fpst.get(src);
+        let live_t = self.live_strength
+            [src.block.0 as usize * self.device.geometry().slots_per_block() as usize
+                + src.slot as usize];
+        let out = self
+            .device
+            .read_page(src)
+            .expect("valid pages are programmed");
+        self.stats.flash_reads += 1;
+        *gc_us += out.latency_us + self.config.ecc_latency.decode_us(live_t as usize);
+        if out.raw_bit_errors > live_t as u32 {
+            // Content lost during relocation.
+            self.stats.uncorrectable_reads += 1;
+            self.drop_valid_page(src, false);
+            return false;
+        }
+        let want_slc = st.access_count >= self.config.hot_threshold && self.policy_allows_slc();
+        let Some(dst) = self.gc_dest_slot(kind, want_slc) else {
+            self.drop_valid_page(src, true);
+            return false;
+        };
+        let disk_page = st.disk_page.expect("valid page maps a disk page");
+        // Re-home: clear the old mapping (no flush — data is moving).
+        {
+            let s = self.fpst.get_mut(src);
+            s.valid = false;
+            s.dirty = false;
+            s.disk_page = None;
+        }
+        let region = self.fbst.get(src.block).region;
+        let bs = self.fbst.get_mut(src.block);
+        bs.valid_pages -= 1;
+        bs.invalid_pages += 1;
+        let r = self.region_mut(region);
+        r.valid_pages -= 1;
+        r.invalid_pages += 1;
+        let lat = self.program_slot(dst, disk_page, st.dirty, st.access_count);
+        *gc_us += lat;
+        true
+    }
+
+    /// A destination slot for relocation: never recurses into
+    /// `make_space`; falls back to consuming the spare block.
+    fn gc_dest_slot(&mut self, kind: RegionKind, want_slc: bool) -> Option<PageAddr> {
+        loop {
+            if let Some(a) = self.take_from_open(kind, want_slc) {
+                return Some(a);
+            }
+            let region = self.region_mut(kind);
+            if let Some(b) = region.free.pop_front() {
+                region.open = Some(OpenBlock {
+                    id: b,
+                    next_slot: 0,
+                });
+                continue;
+            }
+            if let Some(s) = region.spare.take() {
+                region.open = Some(OpenBlock {
+                    id: s,
+                    next_slot: 0,
+                });
+                continue;
+            }
+            return None;
+        }
+    }
+
+    /// Evicts a whole block chosen by block-LRU, applying the
+    /// wear-level-aware override of §3.6.
+    fn evict_block(&mut self, kind: RegionKind) -> bool {
+        let Some(victim) = self.find_lru_victim(kind) else {
+            return false;
+        };
+        if self.config.wear_threshold.is_finite() {
+            if let Some(newest) = self.find_newest_block(victim) {
+                let (k1, k2) = (self.config.wear_k1, self.config.wear_k2);
+                let w_victim = self.fbst.wear_out(victim, k1, k2);
+                let w_newest = self.fbst.wear_out(newest, k1, k2);
+                if w_victim - w_newest > self.config.wear_threshold {
+                    return self.wear_level_swap(victim, newest, kind);
+                }
+            }
+        }
+        self.drop_block_content(victim);
+        self.stats.evictions += 1;
+        self.erase_and_recycle(victim, kind);
+        true
+    }
+
+    /// §3.6: the old (worn, LRU) block absorbs the newest block's
+    /// content; the newest block is erased and handed to the requesting
+    /// region, balancing wear.
+    fn wear_level_swap(&mut self, old: BlockId, newest: BlockId, kind: RegionKind) -> bool {
+        self.drop_block_content(old);
+        self.stats.evictions += 1;
+        let mut gc_us = 0.0;
+        let old_retired = self.erase_block_internal(old, &mut gc_us);
+        if old_retired {
+            // The worn block died on erase; treat as a plain eviction.
+            self.stats.gc_time_us += gc_us;
+            return true;
+        }
+        // The old block takes over the newest block's identity.
+        let newest_state = *self.fbst.get(newest);
+        {
+            let bs = self.fbst.get_mut(old);
+            bs.region = newest_state.region;
+            bs.last_access = newest_state.last_access;
+        }
+        self.migrate_block_content(newest, old, &mut gc_us);
+        // If migration salvaged nothing (end-of-life uncorrectable reads
+        // can drop every page), the old block is erased and empty: hand
+        // it to the requesting region's free pool rather than leaving it
+        // orphaned outside every allocator structure.
+        let old_bs = self.fbst.get(old);
+        if old_bs.valid_pages + old_bs.invalid_pages == 0 {
+            let storage = self.storage_kind(kind);
+            self.fbst.get_mut(old).region = storage;
+            self.region_mut(kind).free.push_back(old);
+        }
+        let newest_retired = self.erase_block_internal(newest, &mut gc_us);
+        self.stats.gc_time_us += gc_us;
+        if !newest_retired {
+            let storage = self.storage_kind(kind);
+            self.fbst.get_mut(newest).region = storage;
+            self.region_mut(kind).free.push_back(newest);
+        }
+        self.stats.wear_migrations += 1;
+        true
+    }
+
+    /// Moves every valid page of `src` into block `dst` (assumed fully
+    /// erased), walking `dst`'s slots with the same mode rules as normal
+    /// allocation. Unplaceable pages are evicted (flushed if dirty).
+    fn migrate_block_content(&mut self, src: BlockId, dst: BlockId, gc_us: &mut f64) {
+        let spb = self.device.geometry().slots_per_block();
+        let mut dst_slot = 0u32;
+        for slot in 0..spb {
+            let s_addr = PageAddr::new(src, slot);
+            if !self.fpst.get(s_addr).valid {
+                continue;
+            }
+            let st = *self.fpst.get(s_addr);
+            let live_t = self.live_strength
+                [s_addr.block.0 as usize * spb as usize + s_addr.slot as usize];
+            let out = self.device.read_page(s_addr).expect("valid page");
+            self.stats.flash_reads += 1;
+            *gc_us += out.latency_us + self.config.ecc_latency.decode_us(live_t as usize);
+            if out.raw_bit_errors > live_t as u32 {
+                self.stats.uncorrectable_reads += 1;
+                self.drop_valid_page(s_addr, false);
+                continue;
+            }
+            // Find the next compatible slot in dst.
+            let want_slc =
+                st.access_count >= self.config.hot_threshold && self.policy_allows_slc();
+            let mut placed = None;
+            while dst_slot < spb {
+                let d_addr = PageAddr::new(dst, dst_slot);
+                let d_even = PageAddr::new(dst, dst_slot & !1u32);
+                if want_slc {
+                    if d_addr.is_upper_half() {
+                        dst_slot += 1;
+                        continue;
+                    }
+                    if self.fpst.get(d_even).mode == CellMode::Mlc {
+                        self.fpst.get_mut(d_even).mode = CellMode::Slc;
+                        self.fpst.get_mut(d_even.sibling()).mode = CellMode::Slc;
+                        self.fbst.get_mut(dst).slc_pages += 1;
+                    }
+                    dst_slot += 2;
+                    placed = Some(d_addr);
+                    break;
+                }
+                if d_addr.is_upper_half() {
+                    dst_slot += 1;
+                    placed = Some(d_addr);
+                    break;
+                }
+                if self.fpst.get(d_even).mode == CellMode::Slc {
+                    dst_slot += 2;
+                    placed = Some(d_addr);
+                    break;
+                }
+                dst_slot += 1;
+                placed = Some(d_addr);
+                break;
+            }
+            match placed {
+                Some(d_addr) => {
+                    let disk_page = st.disk_page.expect("valid page maps a disk page");
+                    let sp = self.fpst.get_mut(s_addr);
+                    sp.valid = false;
+                    sp.dirty = false;
+                    sp.disk_page = None;
+                    let region = self.fbst.get(src).region;
+                    let bs = self.fbst.get_mut(src);
+                    bs.valid_pages -= 1;
+                    bs.invalid_pages += 1;
+                    let r = self.region_mut(region);
+                    r.valid_pages -= 1;
+                    r.invalid_pages += 1;
+                    let lat = self.program_slot(d_addr, disk_page, st.dirty, st.access_count);
+                    *gc_us += lat;
+                    self.stats.gc_moved_pages += 1;
+                }
+                None => {
+                    self.drop_valid_page(s_addr, true);
+                }
+            }
+        }
+    }
+
+    /// Flushes/drops every valid page of a block prior to erasure.
+    fn drop_block_content(&mut self, b: BlockId) {
+        let spb = self.device.geometry().slots_per_block();
+        for slot in 0..spb {
+            let addr = PageAddr::new(b, slot);
+            if self.fpst.get(addr).valid {
+                self.drop_valid_page(addr, true);
+            }
+        }
+    }
+
+    /// Erases `b` (which must hold no valid pages), resets its page
+    /// bookkeeping, probes post-erase health, and retires the block if a
+    /// physical page can no longer be protected at any configuration the
+    /// policy can reach. Returns `true` if the block was retired.
+    fn erase_block_internal(&mut self, b: BlockId, gc_us: &mut f64) -> bool {
+        debug_assert_eq!(self.fbst.get(b).valid_pages, 0, "erase of live block");
+        let region = self.fbst.get(b).region;
+        let invalid = self.fbst.get(b).invalid_pages;
+        self.region_mut(region).invalid_pages -= invalid as u64;
+        let spb = self.device.geometry().slots_per_block();
+        for slot in 0..spb {
+            let st = self.fpst.get_mut(PageAddr::new(b, slot));
+            st.valid = false;
+            st.dirty = false;
+            st.disk_page = None;
+            st.access_count = 0;
+            st.error_streak = 0;
+        }
+        {
+            let bs = self.fbst.get_mut(b);
+            bs.valid_pages = 0;
+            bs.invalid_pages = 0;
+            bs.erase_count += 1;
+        }
+        let out = self.device.erase_block(b).expect("block id in range");
+        self.stats.erases += 1;
+        *gc_us += out.latency_us;
+        // Retirement probe (§5.2): a page past the strongest reachable
+        // configuration kills the whole block.
+        let max_t = self.policy_max_strength() as u32;
+        let allow_slc = self.policy_allows_slc();
+        let mut dead = false;
+        for phys in 0..self.device.geometry().pages_per_block {
+            let addr = PageAddr::new(b, phys * 2);
+            let (fail_slc, fail_mlc) = self.device.probe_page_health(addr);
+            let best_case = if allow_slc { fail_slc } else { fail_mlc };
+            if best_case > max_t {
+                dead = true;
+                break;
+            }
+        }
+        if dead {
+            self.fbst.get_mut(b).retired = true;
+            self.stats.retired_blocks += 1;
+            self.usable_slots = self
+                .usable_slots
+                .saturating_sub(self.device.geometry().slots_per_block() as u64);
+        }
+        dead
+    }
+
+    /// Erase + return the block to `kind`'s free pool (unless retired).
+    fn erase_and_recycle(&mut self, b: BlockId, kind: RegionKind) -> bool {
+        let mut gc_us = 0.0;
+        let retired = self.erase_block_internal(b, &mut gc_us);
+        self.stats.gc_time_us += gc_us;
+        if !retired {
+            let storage = self.storage_kind(kind);
+            self.fbst.get_mut(b).region = storage;
+            self.region_mut(kind).free.push_back(b);
+        }
+        !retired
+    }
+
+    /// Test/diagnostic hook: consistency check between the incremental
+    /// region counters and a full FPST scan. O(slots); debug use only.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let g = self.device.geometry();
+        let mut valid = [0u64; 2];
+        let mut invalid_programmed = 0u64;
+        for b in g.iter_blocks() {
+            let mut bv = 0u32;
+            for slot in 0..g.slots_per_block() {
+                let addr = PageAddr::new(b, slot);
+                let st = self.fpst.get(addr);
+                if st.valid {
+                    bv += 1;
+                    let dp = st
+                        .disk_page
+                        .ok_or_else(|| format!("{addr}: valid without mapping"))?;
+                    if self.fcht.lookup(dp) != Some(addr) {
+                        return Err(format!("{addr}: FCHT does not point back"));
+                    }
+                    let idx = match self.fbst.get(b).region {
+                        RegionKind::Read => 0,
+                        RegionKind::Write => 1,
+                    };
+                    valid[idx] += 1;
+                    if !self.device.is_programmed(addr) {
+                        return Err(format!("{addr}: valid but not programmed on device"));
+                    }
+                }
+            }
+            let bs = self.fbst.get(b);
+            if bs.valid_pages != bv {
+                return Err(format!(
+                    "{b}: FBST valid {} != recount {bv}",
+                    bs.valid_pages
+                ));
+            }
+            // The incrementally maintained wear-cost components must
+            // agree with a full FPST recount.
+            if bs.total_ecc != self.fpst.total_ecc(b) {
+                return Err(format!(
+                    "{b}: FBST TotalECC {} != FPST recount {}",
+                    bs.total_ecc,
+                    self.fpst.total_ecc(b)
+                ));
+            }
+            if bs.slc_pages != self.fpst.total_slc(b) {
+                return Err(format!(
+                    "{b}: FBST TotalSLC {} != FPST recount {}",
+                    bs.slc_pages,
+                    self.fpst.total_slc(b)
+                ));
+            }
+            invalid_programmed += bs.invalid_pages as u64;
+        }
+        let region_valid = self.read_region.valid_pages + self.write_region.valid_pages;
+        if region_valid != valid[0] + valid[1] {
+            return Err(format!(
+                "region valid counters {region_valid} != recount {}",
+                valid[0] + valid[1]
+            ));
+        }
+        let region_invalid = self.read_region.invalid_pages + self.write_region.invalid_pages;
+        if region_invalid != invalid_programmed {
+            return Err(format!(
+                "region invalid counters {region_invalid} != recount {invalid_programmed}"
+            ));
+        }
+        if self.fcht.len() as u64 != valid[0] + valid[1] {
+            return Err(format!(
+                "FCHT size {} != valid pages {}",
+                self.fcht.len(),
+                valid[0] + valid[1]
+            ));
+        }
+        let _ = CacheStats::default();
+        Ok(())
+    }
+}

@@ -1,0 +1,116 @@
+//! DRAM overhead analysis of the management tables (§3).
+//!
+//! The paper bounds the cost of keeping the FCHT/FPST/FBST/FGST in DRAM:
+//! "The overhead of the four tables described above are less than 2% of
+//! the Flash size. … For example, the memory overhead for a 32GB Flash
+//! is approximately 360MB of DRAM." This module computes those sizes
+//! from the tables' field layouts so the claim is checkable for any
+//! geometry — and so users sizing a deployment can query it.
+
+use nand_flash::FlashGeometry;
+
+/// Byte sizes of each table for a device, at MLC (maximum) page count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableOverheads {
+    /// FlashCache hash table: one tag (disk LBA + flash address) per page.
+    pub fcht_bytes: u64,
+    /// Flash page status table: config + counters per page.
+    pub fpst_bytes: u64,
+    /// Flash block status table: erase/wear records per block.
+    pub fbst_bytes: u64,
+    /// Flash global status table: fixed-size summary.
+    pub fgst_bytes: u64,
+}
+
+/// Per-FCHT-entry bytes: a 64-bit disk logical block address plus a
+/// 32-bit flash page address plus hash-chain link (§3.1).
+pub const FCHT_ENTRY_BYTES: u64 = 8 + 4 + 4;
+
+/// Per-FPST-entry bytes: ECC strength, mode, saturating access counter,
+/// valid/dirty bits and the reverse disk-page pointer (§3.2).
+pub const FPST_ENTRY_BYTES: u64 = 1 + 1 + 1 + 1 + 8;
+
+/// Per-FBST-entry bytes: erase count, wear-out cost terms, recency, and
+/// valid/invalid page counts (§3.3).
+pub const FBST_ENTRY_BYTES: u64 = 8 + 8 + 8 + 4 + 4;
+
+/// FGST bytes: a fixed handful of global averages (§3.4).
+pub const FGST_BYTES: u64 = 64;
+
+impl TableOverheads {
+    /// Computes the table sizes for a geometry.
+    pub fn for_geometry(geometry: &FlashGeometry) -> Self {
+        let pages = geometry.total_slots();
+        let blocks = geometry.blocks as u64;
+        TableOverheads {
+            fcht_bytes: pages * FCHT_ENTRY_BYTES,
+            fpst_bytes: pages * FPST_ENTRY_BYTES,
+            fbst_bytes: blocks * FBST_ENTRY_BYTES,
+            fgst_bytes: FGST_BYTES,
+        }
+    }
+
+    /// Computes the table sizes for a flash of `capacity_bytes` (MLC).
+    pub fn for_capacity(capacity_bytes: u64) -> Self {
+        TableOverheads::for_geometry(&FlashGeometry::for_mlc_capacity(capacity_bytes))
+    }
+
+    /// Total DRAM bytes consumed by the four tables.
+    pub fn total_bytes(&self) -> u64 {
+        self.fcht_bytes + self.fpst_bytes + self.fbst_bytes + self.fgst_bytes
+    }
+
+    /// Overhead as a fraction of the flash capacity it manages.
+    pub fn fraction_of(&self, flash_bytes: u64) -> f64 {
+        self.total_bytes() as f64 / flash_bytes.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GIB: u64 = 1 << 30;
+
+    #[test]
+    fn paper_32gb_claim() {
+        // §3: "the memory overhead for a 32GB Flash is approximately
+        // 360MB of DRAM", dominated by the FCHT and FPST.
+        let o = TableOverheads::for_capacity(32 * GIB);
+        let mb = o.total_bytes() as f64 / (1 << 20) as f64;
+        assert!(
+            (300.0..=460.0).contains(&mb),
+            "32GB flash tables = {mb:.0}MB, paper says ~360MB"
+        );
+        // FCHT + FPST dominate, as the paper states.
+        assert!(o.fcht_bytes + o.fpst_bytes > 9 * (o.fbst_bytes + o.fgst_bytes));
+    }
+
+    #[test]
+    fn under_two_percent_for_all_paper_sizes() {
+        for gb in [1u64, 2, 8, 32, 128] {
+            let o = TableOverheads::for_capacity(gb * GIB);
+            let frac = o.fraction_of(gb * GIB);
+            assert!(
+                frac < 0.02,
+                "{gb}GB: overhead {:.2}% exceeds the paper's 2% bound",
+                frac * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn scales_linearly_with_capacity() {
+        let one = TableOverheads::for_capacity(GIB).total_bytes();
+        let four = TableOverheads::for_capacity(4 * GIB).total_bytes();
+        let ratio = four as f64 / one as f64;
+        assert!((3.9..=4.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn fgst_is_constant() {
+        let small = TableOverheads::for_capacity(GIB);
+        let large = TableOverheads::for_capacity(64 * GIB);
+        assert_eq!(small.fgst_bytes, large.fgst_bytes);
+    }
+}

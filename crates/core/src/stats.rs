@@ -1,0 +1,176 @@
+//! Aggregate statistics of the flash disk cache.
+
+use std::fmt;
+
+/// Counters accumulated by a [`crate::cache::FlashCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CacheStats {
+    /// Read lookups.
+    pub reads: u64,
+    /// Read hits.
+    pub read_hits: u64,
+    /// Write lookups.
+    pub writes: u64,
+    /// Writes that updated a page already cached (in either region).
+    pub write_hits: u64,
+    /// Flash page reads issued to the device.
+    pub flash_reads: u64,
+    /// Flash page programs issued to the device.
+    pub flash_programs: u64,
+    /// Block erases issued to the device.
+    pub erases: u64,
+    /// Garbage-collection passes.
+    pub gc_runs: u64,
+    /// Valid pages relocated by GC.
+    pub gc_moved_pages: u64,
+    /// Time spent in background GC, µs.
+    pub gc_time_us: f64,
+    /// Whole-block evictions.
+    pub evictions: u64,
+    /// Dirty pages flushed to disk by evictions/GC.
+    pub flushed_dirty_pages: u64,
+    /// Wear-levelling migrations (newest-block content moved, §3.6).
+    pub wear_migrations: u64,
+    /// Controller reconfigurations that raised ECC strength.
+    pub reconfig_ecc: u64,
+    /// Controller reconfigurations that switched MLC→SLC density
+    /// (both fault-driven and hot-page promotions).
+    pub reconfig_density: u64,
+    /// Hot-page promotions to SLC (subset of `reconfig_density`).
+    pub hot_promotions: u64,
+    /// Reads whose raw bit errors exceeded the configured ECC strength
+    /// (data lost; satisfied from disk).
+    pub uncorrectable_reads: u64,
+    /// Blocks permanently retired.
+    pub retired_blocks: u64,
+    /// Foreground latency accumulated by cache operations, µs
+    /// (flash + ECC; disk time is accounted by the caller).
+    pub foreground_us: f64,
+    /// Off-critical-path fill/migration time, µs (excludes GC time,
+    /// which is tracked in `gc_time_us`).
+    pub background_us: f64,
+    /// ECC decode/encode latency included in `foreground_us`, µs.
+    pub ecc_us: f64,
+}
+
+impl CacheStats {
+    /// Read miss rate.
+    pub fn read_miss_rate(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            1.0 - self.read_hits as f64 / self.reads as f64
+        }
+    }
+
+    /// Overall miss rate across reads and writes, counting a write to an
+    /// uncached page as a miss (the metric of Figure 4).
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.reads + self.writes;
+        if total == 0 {
+            0.0
+        } else {
+            1.0 - (self.read_hits + self.write_hits) as f64 / total as f64
+        }
+    }
+
+    /// GC overhead: GC time relative to all time the cache spent working
+    /// (the Figure 1(b) metric).
+    pub fn gc_overhead(&self) -> f64 {
+        let total = self.foreground_us + self.background_us + self.gc_time_us;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.gc_time_us / total
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "reads {} (hit {:.1}%), writes {} (hit {:.1}%)",
+            self.reads,
+            100.0 * (1.0 - self.read_miss_rate()),
+            self.writes,
+            if self.writes == 0 {
+                0.0
+            } else {
+                100.0 * self.write_hits as f64 / self.writes as f64
+            }
+        )?;
+        writeln!(
+            f,
+            "flash: {} reads, {} programs, {} erases",
+            self.flash_reads, self.flash_programs, self.erases
+        )?;
+        writeln!(
+            f,
+            "gc: {} runs moved {} pages ({:.2}% time overhead); {} evictions, {} flushed",
+            self.gc_runs,
+            self.gc_moved_pages,
+            100.0 * self.gc_overhead(),
+            self.evictions,
+            self.flushed_dirty_pages
+        )?;
+        write!(
+            f,
+            "controller: +ecc {} / density {} (hot {}), uncorrectable {}, retired blocks {}, wear migrations {}",
+            self.reconfig_ecc,
+            self.reconfig_density,
+            self.hot_promotions,
+            self.uncorrectable_reads,
+            self.retired_blocks,
+            self.wear_migrations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_empty() {
+        let s = CacheStats::default();
+        assert_eq!(s.read_miss_rate(), 0.0);
+        assert_eq!(s.miss_rate(), 0.0);
+        assert_eq!(s.gc_overhead(), 0.0);
+    }
+
+    #[test]
+    fn miss_rates_computed() {
+        let s = CacheStats {
+            reads: 100,
+            read_hits: 80,
+            writes: 100,
+            write_hits: 40,
+            ..CacheStats::default()
+        };
+        assert!((s.read_miss_rate() - 0.2).abs() < 1e-12);
+        assert!((s.miss_rate() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gc_overhead_fraction() {
+        let s = CacheStats {
+            foreground_us: 900.0,
+            gc_time_us: 100.0,
+            ..CacheStats::default()
+        };
+        assert!((s.gc_overhead() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_key_counters() {
+        let s = CacheStats {
+            reads: 5,
+            gc_runs: 2,
+            ..CacheStats::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("reads 5"));
+        assert!(text.contains("gc: 2 runs"));
+    }
+}

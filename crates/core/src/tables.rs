@@ -1,0 +1,432 @@
+//! The software management tables of the flash disk cache (§3):
+//! FCHT, FPST, FBST and FGST. In the paper these live in DRAM and are
+//! consulted by OS code; their total overhead is under 2% of flash size.
+
+use std::collections::HashMap;
+
+use nand_flash::{BlockId, CellMode, FlashGeometry, PageAddr};
+
+/// Which cache region a block belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionKind {
+    /// Read disk cache (evicts on read misses only).
+    Read,
+    /// Write disk cache (absorbs out-of-place writes).
+    Write,
+}
+
+/// FlashCache hash table: disk page → flash page mapping.
+///
+/// The paper implements this as a hashed fully-associative tag store
+/// (~100 hash entries suffice for throughput, §3.1); the lookup-cost
+/// question is moot for a software reproduction, so a hash map provides
+/// the same fully-associative semantics.
+#[derive(Debug, Default)]
+pub struct Fcht {
+    map: HashMap<u64, PageAddr>,
+}
+
+impl Fcht {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Fcht::default()
+    }
+
+    /// Number of cached disk pages.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` if no disk pages are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up the flash location of a disk page.
+    pub fn lookup(&self, disk_page: u64) -> Option<PageAddr> {
+        self.map.get(&disk_page).copied()
+    }
+
+    /// Installs or moves a mapping, returning any previous location.
+    pub fn insert(&mut self, disk_page: u64, addr: PageAddr) -> Option<PageAddr> {
+        self.map.insert(disk_page, addr)
+    }
+
+    /// Removes a mapping.
+    pub fn remove(&mut self, disk_page: u64) -> Option<PageAddr> {
+        self.map.remove(&disk_page)
+    }
+}
+
+/// Per-flash-page entry of the Flash page status table (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageState {
+    /// Valid bit: the page holds live cached data.
+    pub valid: bool,
+    /// Dirty: content newer than the disk copy (write-cache pages).
+    pub dirty: bool,
+    /// Configured ECC strength for this flash page.
+    pub ecc_strength: u8,
+    /// Mode this flash page is (or will next be) programmed in.
+    pub mode: CellMode,
+    /// Saturating read-access counter (§5.2.2).
+    pub access_count: u8,
+    /// Consecutive reads whose error count reached the configured
+    /// strength — reconfiguration waits for errors that "fail
+    /// consistently" (§5.2.1) so a transient soft error cannot trigger a
+    /// permanent descriptor change.
+    pub error_streak: u8,
+    /// Disk page currently stored here (reverse mapping), if valid or
+    /// awaiting GC.
+    pub disk_page: Option<u64>,
+}
+
+impl PageState {
+    fn fresh(ecc_strength: u8, mode: CellMode) -> Self {
+        PageState {
+            valid: false,
+            dirty: false,
+            ecc_strength,
+            mode,
+            access_count: 0,
+            error_streak: 0,
+            disk_page: None,
+        }
+    }
+
+    /// Saturating increment of the access counter; returns the new value.
+    pub fn bump_access(&mut self) -> u8 {
+        self.access_count = self.access_count.saturating_add(1);
+        self.access_count
+    }
+}
+
+/// Flash page status table: dense per-slot state.
+#[derive(Debug)]
+pub struct Fpst {
+    geometry: FlashGeometry,
+    pages: Vec<PageState>,
+}
+
+impl Fpst {
+    /// Builds the table for a device geometry with uniform initial
+    /// configuration.
+    pub fn new(geometry: FlashGeometry, initial_ecc: u8, initial_mode: CellMode) -> Self {
+        Fpst {
+            geometry,
+            pages: vec![
+                PageState::fresh(initial_ecc, initial_mode);
+                geometry.total_slots() as usize
+            ],
+        }
+    }
+
+    fn idx(&self, addr: PageAddr) -> usize {
+        addr.block.0 as usize * self.geometry.slots_per_block() as usize + addr.slot as usize
+    }
+
+    /// Immutable page state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the geometry.
+    pub fn get(&self, addr: PageAddr) -> &PageState {
+        &self.pages[self.idx(addr)]
+    }
+
+    /// Mutable page state.
+    pub fn get_mut(&mut self, addr: PageAddr) -> &mut PageState {
+        let i = self.idx(addr);
+        &mut self.pages[i]
+    }
+
+    /// Iterates (slot, state) pairs of one block.
+    pub fn iter_block(&self, block: BlockId) -> impl Iterator<Item = (PageAddr, &PageState)> {
+        let spb = self.geometry.slots_per_block();
+        (0..spb).map(move |slot| {
+            let addr = PageAddr::new(block, slot);
+            (addr, &self.pages[self.idx(addr)])
+        })
+    }
+
+    /// Halves every access counter — the periodic decay that keeps the
+    /// saturating counters measuring *recent* access frequency.
+    pub fn decay_access_counters(&mut self) {
+        for p in &mut self.pages {
+            p.access_count >>= 1;
+        }
+    }
+
+    /// Sum of configured ECC strengths across a block (`TotalECC` in the
+    /// degree-of-wear-out cost, §3.3).
+    pub fn total_ecc(&self, block: BlockId) -> u32 {
+        self.iter_block(block)
+            .map(|(_, p)| p.ecc_strength as u32)
+            .sum()
+    }
+
+    /// Number of pages of a block configured in SLC mode
+    /// (`TotalSLC_MLC` in the wear cost). Counted per physical page
+    /// (even slots), since a mode describes the physical page.
+    pub fn total_slc(&self, block: BlockId) -> u32 {
+        self.iter_block(block)
+            .filter(|(a, p)| !a.is_upper_half() && p.mode == CellMode::Slc)
+            .count() as u32
+    }
+}
+
+/// Per-block entry of the Flash block status table (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockState {
+    /// Erases performed on this block.
+    pub erase_count: u64,
+    /// Valid (live) pages currently in the block.
+    pub valid_pages: u32,
+    /// Programmed-but-invalidated pages awaiting GC.
+    pub invalid_pages: u32,
+    /// Logical timestamp of the last access, for block LRU.
+    pub last_access: u64,
+    /// Region the block currently serves.
+    pub region: RegionKind,
+    /// Permanently removed from service (§5.2: a page hit both the ECC
+    /// and density limits and still fails).
+    pub retired: bool,
+    /// Running sum of configured ECC strengths over the block's slots
+    /// (`TotalECC`), maintained incrementally so the wear cost is O(1).
+    pub total_ecc: u32,
+    /// Running count of physical pages configured in SLC mode
+    /// (`TotalSLC_MLC`).
+    pub slc_pages: u32,
+}
+
+impl BlockState {
+    fn fresh(region: RegionKind, total_ecc: u32) -> Self {
+        BlockState {
+            erase_count: 0,
+            valid_pages: 0,
+            invalid_pages: 0,
+            last_access: 0,
+            region,
+            retired: false,
+            total_ecc,
+            slc_pages: 0,
+        }
+    }
+}
+
+/// Flash block status table.
+#[derive(Debug)]
+pub struct Fbst {
+    blocks: Vec<BlockState>,
+}
+
+impl Fbst {
+    /// Builds the table with every block assigned by `region_of`, the
+    /// running `TotalECC` seeded to `slots_per_block × initial_ecc`, and
+    /// `slc_pages` seeded to `initial_slc_pages` (the block's physical
+    /// page count when the cache defaults to SLC mode).
+    pub fn new(
+        blocks: u32,
+        slots_per_block: u32,
+        initial_ecc: u8,
+        initial_slc_pages: u32,
+        mut region_of: impl FnMut(BlockId) -> RegionKind,
+    ) -> Self {
+        let total = slots_per_block * initial_ecc as u32;
+        Fbst {
+            blocks: (0..blocks)
+                .map(|b| {
+                    let mut state = BlockState::fresh(region_of(BlockId(b)), total);
+                    state.slc_pages = initial_slc_pages;
+                    state
+                })
+                .collect(),
+        }
+    }
+
+    /// Immutable block state.
+    pub fn get(&self, block: BlockId) -> &BlockState {
+        &self.blocks[block.0 as usize]
+    }
+
+    /// Mutable block state.
+    pub fn get_mut(&mut self, block: BlockId) -> &mut BlockState {
+        &mut self.blocks[block.0 as usize]
+    }
+
+    /// Iterates all blocks with their ids.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockId, &BlockState)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId(i as u32), b))
+    }
+
+    /// The degree-of-wear-out cost of §3.3:
+    /// `N_erase + k1·TotalECC + k2·TotalSLC`, from the incrementally
+    /// maintained sums (see [`Fpst::total_ecc`]/[`Fpst::total_slc`] for
+    /// the ground-truth recomputation used in tests).
+    pub fn wear_out(&self, block: BlockId, k1: f64, k2: f64) -> f64 {
+        let s = self.get(block);
+        s.erase_count as f64 + k1 * s.total_ecc as f64 + k2 * s.slc_pages as f64
+    }
+}
+
+/// Flash global status table (§3.4): run-time averages steering the
+/// controller heuristics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fgst {
+    /// Exponentially weighted flash miss rate.
+    pub miss_rate: f64,
+    /// Exponentially weighted average flash hit latency, µs.
+    pub avg_hit_latency_us: f64,
+    /// Total accesses observed.
+    pub accesses: u64,
+    /// Total misses observed.
+    pub misses: u64,
+    /// EWMA smoothing factor.
+    pub alpha: f64,
+}
+
+impl Default for Fgst {
+    fn default() -> Self {
+        Fgst {
+            miss_rate: 0.0,
+            avg_hit_latency_us: 50.0,
+            accesses: 0,
+            misses: 0,
+            alpha: 0.001,
+        }
+    }
+}
+
+impl Fgst {
+    /// Records an access outcome.
+    pub fn record(&mut self, hit: bool, hit_latency_us: f64) {
+        self.accesses += 1;
+        let miss = if hit { 0.0 } else { 1.0 };
+        if !hit {
+            self.misses += 1;
+        }
+        self.miss_rate += self.alpha * (miss - self.miss_rate);
+        if hit {
+            self.avg_hit_latency_us += self.alpha * (hit_latency_us - self.avg_hit_latency_us);
+        }
+    }
+
+    /// Lifetime (not EWMA) miss rate.
+    pub fn cumulative_miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> FlashGeometry {
+        FlashGeometry {
+            blocks: 4,
+            pages_per_block: 4,
+            ..FlashGeometry::default()
+        }
+    }
+
+    #[test]
+    fn fcht_roundtrip() {
+        let mut t = Fcht::new();
+        assert!(t.is_empty());
+        let a = PageAddr::new(BlockId(1), 3);
+        assert_eq!(t.insert(42, a), None);
+        assert_eq!(t.lookup(42), Some(a));
+        assert_eq!(t.len(), 1);
+        let b = PageAddr::new(BlockId(2), 0);
+        assert_eq!(t.insert(42, b), Some(a));
+        assert_eq!(t.remove(42), Some(b));
+        assert_eq!(t.lookup(42), None);
+    }
+
+    #[test]
+    fn fpst_block_sums() {
+        let mut t = Fpst::new(geom(), 1, CellMode::Mlc);
+        let b = BlockId(2);
+        // 8 slots per block here (4 physical pages x 2).
+        assert_eq!(t.total_ecc(b), 8);
+        assert_eq!(t.total_slc(b), 0);
+        t.get_mut(PageAddr::new(b, 0)).ecc_strength = 5;
+        t.get_mut(PageAddr::new(b, 0)).mode = CellMode::Slc;
+        t.get_mut(PageAddr::new(b, 2)).mode = CellMode::Slc;
+        t.get_mut(PageAddr::new(b, 3)).mode = CellMode::Slc; // upper half: not counted
+        assert_eq!(t.total_ecc(b), 12);
+        assert_eq!(t.total_slc(b), 2);
+        // Other blocks unaffected.
+        assert_eq!(t.total_ecc(BlockId(0)), 8);
+    }
+
+    #[test]
+    fn access_counter_saturates() {
+        let mut t = Fpst::new(geom(), 1, CellMode::Mlc);
+        let p = t.get_mut(PageAddr::new(BlockId(0), 0));
+        p.access_count = 254;
+        assert_eq!(p.bump_access(), 255);
+        assert_eq!(p.bump_access(), 255);
+    }
+
+    #[test]
+    fn fbst_wear_cost_weights_modes_heavily() {
+        let mut fbst = Fbst::new(4, 8, 1, 0, |_| RegionKind::Read);
+        fbst.get_mut(BlockId(0)).erase_count = 10;
+        let base = fbst.wear_out(BlockId(0), 0.5, 8.0);
+        assert!((base - (10.0 + 0.5 * 8.0)).abs() < 1e-12);
+        fbst.get_mut(BlockId(0)).slc_pages = 1;
+        let with_slc = fbst.wear_out(BlockId(0), 0.5, 8.0);
+        assert!((with_slc - base - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fbst_incremental_sums_match_fpst_recomputation() {
+        // The FBST keeps running TotalECC/TotalSLC; the FPST can always
+        // recompute them. They must agree after reconfiguration.
+        let mut fpst = Fpst::new(geom(), 1, CellMode::Mlc);
+        let mut fbst = Fbst::new(4, 8, 1, 0, |_| RegionKind::Read);
+        let b = BlockId(1);
+        fpst.get_mut(PageAddr::new(b, 0)).ecc_strength = 4;
+        fbst.get_mut(b).total_ecc += 3;
+        fpst.get_mut(PageAddr::new(b, 2)).mode = CellMode::Slc;
+        fpst.get_mut(PageAddr::new(b, 3)).mode = CellMode::Slc;
+        fbst.get_mut(b).slc_pages += 1;
+        assert_eq!(fbst.get(b).total_ecc, fpst.total_ecc(b));
+        assert_eq!(fbst.get(b).slc_pages, fpst.total_slc(b));
+    }
+
+    #[test]
+    fn fbst_regions_assigned() {
+        let fbst = Fbst::new(10, 8, 1, 0, |b| {
+            if b.0 < 9 {
+                RegionKind::Read
+            } else {
+                RegionKind::Write
+            }
+        });
+        let reads = fbst.iter().filter(|(_, s)| s.region == RegionKind::Read).count();
+        assert_eq!(reads, 9);
+    }
+
+    #[test]
+    fn fgst_tracks_rates() {
+        let mut g = Fgst::default();
+        for _ in 0..900 {
+            g.record(true, 50.0);
+        }
+        for _ in 0..100 {
+            g.record(false, 0.0);
+        }
+        assert!((g.cumulative_miss_rate() - 0.1).abs() < 1e-12);
+        assert!(g.miss_rate > 0.0 && g.miss_rate < 0.5);
+        assert!(g.avg_hit_latency_us > 0.0);
+    }
+}

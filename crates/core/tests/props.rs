@@ -1,0 +1,107 @@
+//! Property-based tests of the cache's supporting structures against
+//! naive reference models.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use flashcache_core::lru::LruTracker;
+use flashcache_core::pdc::PrimaryDiskCache;
+
+#[derive(Debug, Clone, Copy)]
+enum LruOp {
+    Touch(u64),
+    Remove(u64),
+    PopLru,
+}
+
+fn lru_op() -> impl Strategy<Value = LruOp> {
+    prop_oneof![
+        5 => (0u64..50).prop_map(LruOp::Touch),
+        2 => (0u64..50).prop_map(LruOp::Remove),
+        1 => Just(LruOp::PopLru),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The O(1) LRU tracker behaves identically to a naive Vec-based
+    /// recency list.
+    #[test]
+    fn lru_matches_naive_model(ops in prop::collection::vec(lru_op(), 1..300)) {
+        let mut fast = LruTracker::new();
+        let mut naive: Vec<u64> = Vec::new(); // front = most recent
+        for op in ops {
+            match op {
+                LruOp::Touch(k) => {
+                    fast.touch(k);
+                    naive.retain(|&x| x != k);
+                    naive.insert(0, k);
+                }
+                LruOp::Remove(k) => {
+                    let was = fast.remove(k);
+                    let had = naive.contains(&k);
+                    naive.retain(|&x| x != k);
+                    prop_assert_eq!(was, had);
+                }
+                LruOp::PopLru => {
+                    let got = fast.pop_lru();
+                    let expect = naive.pop();
+                    prop_assert_eq!(got, expect);
+                }
+            }
+            prop_assert_eq!(fast.len(), naive.len());
+            prop_assert_eq!(fast.lru(), naive.last().copied());
+        }
+        let order: Vec<u64> = fast.iter_lru_first().collect();
+        let expect: Vec<u64> = naive.iter().rev().copied().collect();
+        prop_assert_eq!(order, expect);
+    }
+
+    /// The PDC behaves like a naive LRU cache with dirty bits: same
+    /// hits, same evictions, same flush sets, capacity never exceeded.
+    #[test]
+    fn pdc_matches_naive_model(
+        capacity in 1usize..12,
+        ops in prop::collection::vec((0u64..30, any::<bool>()), 1..200),
+    ) {
+        let mut pdc = PrimaryDiskCache::new(capacity);
+        let mut naive_order: Vec<u64> = Vec::new(); // front = MRU
+        let mut naive_dirty: HashMap<u64, bool> = HashMap::new();
+        for (page, dirty) in ops {
+            let evicted = pdc.insert(page, dirty);
+            if let Some(d) = naive_dirty.get_mut(&page) {
+                *d |= dirty;
+                naive_order.retain(|&x| x != page);
+                naive_order.insert(0, page);
+                prop_assert!(evicted.is_none());
+            } else {
+                let expected_evict = if naive_order.len() >= capacity {
+                    let victim = naive_order.pop().unwrap();
+                    Some((victim, naive_dirty.remove(&victim).unwrap()))
+                } else {
+                    None
+                };
+                naive_order.insert(0, page);
+                naive_dirty.insert(page, dirty);
+                prop_assert_eq!(
+                    evicted.map(|e| (e.page, e.dirty)),
+                    expected_evict
+                );
+            }
+            prop_assert!(pdc.len() <= capacity);
+            prop_assert_eq!(pdc.len(), naive_order.len());
+        }
+        // Flush returns exactly the dirty set.
+        let mut flushed = pdc.flush_dirty();
+        flushed.sort_unstable();
+        let mut expect: Vec<u64> = naive_dirty
+            .iter()
+            .filter(|(_, &d)| d)
+            .map(|(&p, _)| p)
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(flushed, expect);
+        prop_assert!(pdc.flush_dirty().is_empty());
+    }
+}

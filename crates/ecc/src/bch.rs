@@ -1,0 +1,700 @@
+//! Binary BCH codes: construction, systematic encoding, and decoding via
+//! syndrome computation, Berlekamp–Massey, and Chien search.
+//!
+//! This is the error-correction engine of the paper's programmable flash
+//! memory controller (§4.1). The controller corrects up to `t` bit errors
+//! in a 2KB flash page; `t` is programmable per page (1..=12 in the paper,
+//! this implementation accepts larger `t` as well).
+//!
+//! The code is a *shortened* binary BCH code over GF(2^m): data bits that
+//! the page does not use are implicitly zero, which keeps the parity size
+//! at `m·t` bits regardless of shortening.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::bitpoly::BitPoly;
+use crate::gf::GfField;
+
+/// Error constructing a [`BchCode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodeConstructionError {
+    /// `t` must be at least 1.
+    ZeroStrength,
+    /// The requested data length plus parity does not fit in the code's
+    /// natural block length `2^m - 1`.
+    BlockTooSmall {
+        /// Bits required (data + parity).
+        required_bits: usize,
+        /// The natural block length of the field, `2^m - 1`.
+        block_bits: usize,
+    },
+    /// `data_bytes` must be at least 1.
+    EmptyData,
+}
+
+impl fmt::Display for CodeConstructionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodeConstructionError::ZeroStrength => {
+                write!(f, "BCH code strength t must be at least 1")
+            }
+            CodeConstructionError::BlockTooSmall {
+                required_bits,
+                block_bits,
+            } => write!(
+                f,
+                "data plus parity needs {required_bits} bits but the block length is only {block_bits} bits"
+            ),
+            CodeConstructionError::EmptyData => write!(f, "data length must be at least 1 byte"),
+        }
+    }
+}
+
+impl Error for CodeConstructionError {}
+
+/// Error returned when decoding fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// More errors occurred than the code can correct, and the decoder
+    /// detected it (no consistent error locator exists).
+    TooManyErrors,
+    /// The caller passed a data or parity buffer of the wrong length.
+    LengthMismatch {
+        /// What the code expects, in bytes.
+        expected: usize,
+        /// What the caller provided, in bytes.
+        got: usize,
+        /// Which buffer was wrong: `"data"` or `"parity"`.
+        which: &'static str,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::TooManyErrors => {
+                write!(f, "uncorrectable: more errors than the code strength")
+            }
+            DecodeError::LengthMismatch {
+                expected,
+                got,
+                which,
+            } => write!(f, "{which} buffer is {got} bytes, expected {expected}"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+/// Outcome of a successful decode.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DecodeReport {
+    /// Number of bit errors corrected (in data and parity combined).
+    pub corrected: usize,
+    /// Bit positions (within the data buffer, MSB-first numbering) that
+    /// were flipped. Parity-area corrections are not listed.
+    pub data_bit_positions: Vec<usize>,
+}
+
+/// A `t`-error-correcting shortened binary BCH code over GF(2^m).
+///
+/// # Examples
+///
+/// ```
+/// use flash_ecc::bch::BchCode;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // A small code protecting 32 bytes against 2-bit errors.
+/// let code = BchCode::new(9, 2, 32)?;
+/// let mut data = *b"All your disk cache experiments!";
+/// let parity = code.encode(&data);
+///
+/// data[7] ^= 0x10; // inject two bit errors
+/// data[20] ^= 0x01;
+/// let report = code.decode(&mut data, &parity)?;
+/// assert_eq!(report.corrected, 2);
+/// assert_eq!(&data, b"All your disk cache experiments!");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BchCode {
+    field: GfField,
+    t: usize,
+    data_bytes: usize,
+    data_bits: usize,
+    /// Parity length in bits = degree of the generator polynomial.
+    parity_bits: usize,
+    /// Generator polynomial over GF(2).
+    generator: BitPoly,
+    /// Generator with the leading `x^r` term cleared, pre-split into words
+    /// for the encoding LFSR.
+    feedback: Vec<u64>,
+}
+
+impl BchCode {
+    /// Constructs a `t`-error-correcting BCH code over GF(2^m) protecting
+    /// `data_bytes` bytes of payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeConstructionError`] if `t == 0`, `data_bytes == 0`, or
+    /// the payload plus parity exceeds the natural block length `2^m - 1`.
+    pub fn new(m: u32, t: usize, data_bytes: usize) -> Result<Self, CodeConstructionError> {
+        if t == 0 {
+            return Err(CodeConstructionError::ZeroStrength);
+        }
+        if data_bytes == 0 {
+            return Err(CodeConstructionError::EmptyData);
+        }
+        let field = GfField::new(m);
+        let generator = generator_poly(&field, t);
+        let parity_bits = generator
+            .degree()
+            .expect("generator polynomial is never zero");
+        let data_bits = data_bytes * 8;
+        let block_bits = field.group_order() as usize;
+        if data_bits + parity_bits > block_bits {
+            return Err(CodeConstructionError::BlockTooSmall {
+                required_bits: data_bits + parity_bits,
+                block_bits,
+            });
+        }
+        // feedback = generator without the x^r term, packed LSB-first.
+        let mut feedback = vec![0u64; parity_bits.div_ceil(64)];
+        for e in generator.iter_exponents() {
+            if e < parity_bits {
+                feedback[e / 64] |= 1 << (e % 64);
+            }
+        }
+        Ok(BchCode {
+            field,
+            t,
+            data_bytes,
+            data_bits,
+            parity_bits,
+            generator,
+            feedback,
+        })
+    }
+
+    /// The standard flash-page code from the paper: a 2048-byte payload
+    /// over GF(2^15), correcting `t` bit errors with `15·t` parity bits.
+    ///
+    /// The paper limits its controller to `t <= 12` so that CRC32 (4 bytes)
+    /// plus BCH parity (≤ 23 bytes) fit the 64-byte spare area; this
+    /// constructor accepts any `t` that fits the block length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t == 0` or `t` is too large for the block length
+    /// (`t` ≈ 1092 for 2KB payloads).
+    pub fn for_flash_page(t: usize) -> Self {
+        BchCode::new(15, t, 2048).expect("flash page code parameters are valid")
+    }
+
+    /// A 512-byte disk-sector code over GF(2^13) — the geometry used by
+    /// sector-granular flash controllers, provided for completeness
+    /// alongside [`Self::for_flash_page`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t == 0` or the sector plus parity exceeds the block
+    /// length (`t` ≈ 315).
+    pub fn for_disk_sector(t: usize) -> Self {
+        BchCode::new(13, t, 512).expect("sector code parameters are valid")
+    }
+
+    /// Correction strength `t` (maximum number of correctable bit errors).
+    pub fn strength(&self) -> usize {
+        self.t
+    }
+
+    /// Payload size in bytes.
+    pub fn data_bytes(&self) -> usize {
+        self.data_bytes
+    }
+
+    /// Parity size in bits (`m·t` for most parameter choices).
+    pub fn parity_bits(&self) -> usize {
+        self.parity_bits
+    }
+
+    /// Parity size in bytes (rounded up).
+    pub fn parity_bytes(&self) -> usize {
+        self.parity_bits.div_ceil(8)
+    }
+
+    /// The generator polynomial over GF(2).
+    pub fn generator(&self) -> &BitPoly {
+        self.generator
+            .degree()
+            .expect("generator is nonzero");
+        &self.generator
+    }
+
+    /// Encodes `data`, returning the parity bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from [`Self::data_bytes`].
+    pub fn encode(&self, data: &[u8]) -> Vec<u8> {
+        assert_eq!(
+            data.len(),
+            self.data_bytes,
+            "encode: data must be exactly {} bytes",
+            self.data_bytes
+        );
+        let r = self.parity_bits;
+        let words = r.div_ceil(64);
+        let top_word = (r - 1) / 64;
+        let top_bit = (r - 1) % 64;
+        let mut reg = vec![0u64; words];
+        // Shift data bits in MSB-first order through the division LFSR.
+        for &byte in data {
+            for bit in (0..8).rev() {
+                let din = (byte >> bit) & 1 == 1;
+                let feedback = din ^ ((reg[top_word] >> top_bit) & 1 == 1);
+                // reg <<= 1 (multi-word).
+                for w in (1..words).rev() {
+                    reg[w] = (reg[w] << 1) | (reg[w - 1] >> 63);
+                }
+                reg[0] <<= 1;
+                if feedback {
+                    for (r, f) in reg.iter_mut().zip(&self.feedback) {
+                        *r ^= f;
+                    }
+                }
+            }
+        }
+        // Mask off bits above r-1 in the top word.
+        if !r.is_multiple_of(64) {
+            let keep = r % 64;
+            reg[words - 1] &= (1u64 << keep) - 1;
+        }
+        // Serialize: parity byte 0 carries the highest-power coefficients
+        // (MSB-first), mirroring how the data was shifted in.
+        let nbytes = self.parity_bytes();
+        let mut out = vec![0u8; nbytes];
+        for i in 0..r {
+            // Coefficient of x^(r-1-i) becomes bit i (MSB-first stream).
+            let power = r - 1 - i;
+            if (reg[power / 64] >> (power % 64)) & 1 == 1 {
+                out[i / 8] |= 1 << (7 - i % 8);
+            }
+        }
+        out
+    }
+
+    /// Decodes in place: corrects up to `t` bit errors across `data` and
+    /// `parity`, returning how many were corrected.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::TooManyErrors`] if the error pattern exceeds the code
+    /// strength *and* the decoder can tell. Patterns beyond `t` errors may
+    /// also be silently miscorrected — that is inherent to BCH codes and is
+    /// why the paper pairs BCH with a CRC32 check (see
+    /// [`crate::page::PageCodec`]).
+    /// [`DecodeError::LengthMismatch`] if a buffer has the wrong size.
+    pub fn decode(&self, data: &mut [u8], parity: &[u8]) -> Result<DecodeReport, DecodeError> {
+        if data.len() != self.data_bytes {
+            return Err(DecodeError::LengthMismatch {
+                expected: self.data_bytes,
+                got: data.len(),
+                which: "data",
+            });
+        }
+        if parity.len() != self.parity_bytes() {
+            return Err(DecodeError::LengthMismatch {
+                expected: self.parity_bytes(),
+                got: parity.len(),
+                which: "parity",
+            });
+        }
+        let syndromes = self.syndromes(data, parity);
+        if syndromes.iter().all(|&s| s == 0) {
+            return Ok(DecodeReport::default());
+        }
+        let sigma = self.berlekamp_massey(&syndromes);
+        let num_errors = sigma.len() - 1;
+        if num_errors > self.t {
+            return Err(DecodeError::TooManyErrors);
+        }
+        let roots = self.chien_search(&sigma);
+        if roots.len() != num_errors {
+            return Err(DecodeError::TooManyErrors);
+        }
+        // Map codeword powers to buffer bit positions and flip.
+        let r = self.parity_bits;
+        let mut report = DecodeReport {
+            corrected: roots.len(),
+            data_bit_positions: Vec::with_capacity(roots.len()),
+        };
+        for power in roots {
+            if power >= r {
+                // Data area: data bit j has power r + data_bits - 1 - j.
+                let j = r + self.data_bits - 1 - power;
+                data[j / 8] ^= 1 << (7 - j % 8);
+                report.data_bit_positions.push(j);
+            }
+            // Parity-area errors need no fix: the caller's data is already
+            // correct once data-area flips are applied.
+        }
+        report.data_bit_positions.sort_unstable();
+        Ok(report)
+    }
+
+    /// Computes syndromes S_1..S_2t of the received word.
+    fn syndromes(&self, data: &[u8], parity: &[u8]) -> Vec<u32> {
+        let f = &self.field;
+        let n = f.group_order() as i64;
+        let r = self.parity_bits as i64;
+        let two_t = 2 * self.t;
+        let mut syn = vec![0u32; two_t];
+        // Odd syndromes by direct evaluation over set bits; even ones by
+        // squaring (S_2i = S_i^2 for binary codes).
+        let add_position = |syn: &mut Vec<u32>, power: i64| {
+            for i in (1..=two_t).step_by(2) {
+                let e = (power * i as i64) % n;
+                syn[i - 1] ^= f.alpha_pow(e);
+            }
+        };
+        for (byte_idx, &byte) in data.iter().enumerate() {
+            if byte == 0 {
+                continue;
+            }
+            for bit in 0..8 {
+                if (byte >> (7 - bit)) & 1 == 1 {
+                    let j = (byte_idx * 8 + bit) as i64;
+                    let power = r + self.data_bits as i64 - 1 - j;
+                    add_position(&mut syn, power);
+                }
+            }
+        }
+        for i in 0..self.parity_bits {
+            if (parity[i / 8] >> (7 - i % 8)) & 1 == 1 {
+                let power = r - 1 - i as i64;
+                add_position(&mut syn, power);
+            }
+        }
+        for i in 1..=self.t {
+            syn[2 * i - 1] = f.mul(syn[i - 1], syn[i - 1]);
+        }
+        syn
+    }
+
+    /// Berlekamp–Massey: returns the error-locator polynomial
+    /// `sigma(x) = 1 + sigma_1 x + ... + sigma_L x^L` (index = degree),
+    /// trimmed so `sigma.len() - 1` is its degree.
+    fn berlekamp_massey(&self, syndromes: &[u32]) -> Vec<u32> {
+        let f = &self.field;
+        let two_t = syndromes.len();
+        let mut sigma = vec![0u32; two_t + 2];
+        let mut prev = vec![0u32; two_t + 2];
+        sigma[0] = 1;
+        prev[0] = 1;
+        let mut l = 0usize; // current LFSR length
+        let mut shift = 1usize; // x^shift multiplier for prev
+        let mut b = 1u32; // last nonzero discrepancy
+        for n_iter in 0..two_t {
+            // Discrepancy d = S_n + sum_{i=1..L} sigma_i * S_{n-i}.
+            let mut d = syndromes[n_iter];
+            for i in 1..=l {
+                d ^= f.mul(sigma[i], syndromes[n_iter - i]);
+            }
+            if d == 0 {
+                shift += 1;
+            } else if 2 * l <= n_iter {
+                let saved = sigma.clone();
+                let coef = f.div(d, b);
+                for (i, &p) in prev.iter().enumerate() {
+                    if p != 0 && i + shift < sigma.len() {
+                        sigma[i + shift] ^= f.mul(coef, p);
+                    }
+                }
+                l = n_iter + 1 - l;
+                prev = saved;
+                b = d;
+                shift = 1;
+            } else {
+                let coef = f.div(d, b);
+                for (i, &p) in prev.clone().iter().enumerate() {
+                    if p != 0 && i + shift < sigma.len() {
+                        sigma[i + shift] ^= f.mul(coef, p);
+                    }
+                }
+                shift += 1;
+            }
+        }
+        // Trim to the actual degree.
+        let mut deg = 0;
+        for (i, &c) in sigma.iter().enumerate() {
+            if c != 0 {
+                deg = i;
+            }
+        }
+        sigma.truncate(deg + 1);
+        sigma
+    }
+
+    /// Chien search: returns the codeword powers `p` (0-based exponent of
+    /// `x` in the codeword polynomial) where errors occurred. Only
+    /// positions inside the shortened length are returned; a root outside
+    /// it is simply absent, which the caller detects as a count mismatch.
+    fn chien_search(&self, sigma: &[u32]) -> Vec<usize> {
+        let f = &self.field;
+        let used_bits = self.data_bits + self.parity_bits;
+        let mut roots = Vec::new();
+        // terms[j] = sigma_j * alpha^(-j*p), updated incrementally over p.
+        let mut terms: Vec<u32> = sigma.to_vec();
+        let steps: Vec<u32> = (0..sigma.len())
+            .map(|j| f.alpha_pow(-(j as i64)))
+            .collect();
+        for p in 0..used_bits {
+            if p > 0 {
+                for j in 1..terms.len() {
+                    terms[j] = f.mul(terms[j], steps[j]);
+                }
+            }
+            let sum = terms.iter().fold(0u32, |acc, &t| acc ^ t);
+            if sum == 0 {
+                roots.push(p);
+            }
+        }
+        roots
+    }
+}
+
+/// Computes the generator polynomial of a `t`-error-correcting binary BCH
+/// code over `field`: the least common multiple of the minimal polynomials
+/// of `alpha, alpha^3, ..., alpha^(2t-1)`.
+fn generator_poly(field: &GfField, t: usize) -> BitPoly {
+    let n = field.group_order() as usize;
+    let mut seen_cosets: Vec<usize> = Vec::new();
+    let mut gen = BitPoly::one();
+    for i in (1..2 * t).step_by(2) {
+        let i = i % n;
+        // Cyclotomic coset of i mod n.
+        let mut coset = Vec::new();
+        let mut j = i;
+        loop {
+            coset.push(j);
+            j = (j * 2) % n;
+            if j == i {
+                break;
+            }
+        }
+        let rep = *coset.iter().min().expect("coset is nonempty");
+        if seen_cosets.contains(&rep) {
+            continue;
+        }
+        seen_cosets.push(rep);
+        gen = gen.mul(&minimal_poly(field, &coset));
+    }
+    gen
+}
+
+/// Expands `prod_{j in coset} (x - alpha^j)`, which has GF(2) coefficients.
+fn minimal_poly(field: &GfField, coset: &[usize]) -> BitPoly {
+    // Coefficients in GF(2^m), index = degree.
+    let mut coeffs: Vec<u32> = vec![1];
+    for &j in coset {
+        let root = field.alpha_pow(j as i64);
+        let mut next = vec![0u32; coeffs.len() + 1];
+        for (d, &c) in coeffs.iter().enumerate() {
+            next[d + 1] ^= c; // x * c
+            next[d] ^= field.mul(c, root); // root * c (== -root in char 2)
+        }
+        coeffs = next;
+    }
+    BitPoly::from_exponents(coeffs.iter().enumerate().filter_map(|(d, &c)| {
+        debug_assert!(c <= 1, "minimal polynomial must have GF(2) coefficients");
+        if c == 1 {
+            Some(d)
+        } else {
+            None
+        }
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_generator_bch_15_1() {
+        // The classic (15, 11) single-error-correcting BCH code over
+        // GF(2^4) has generator x^4 + x + 1.
+        let f = GfField::new(4);
+        let g = generator_poly(&f, 1);
+        assert_eq!(g, BitPoly::from_exponents([4, 1, 0]));
+    }
+
+    #[test]
+    fn known_generator_bch_15_2() {
+        // The (15, 7) double-error-correcting BCH code has generator
+        // x^8 + x^7 + x^6 + x^4 + 1.
+        let f = GfField::new(4);
+        let g = generator_poly(&f, 2);
+        assert_eq!(g, BitPoly::from_exponents([8, 7, 6, 4, 0]));
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert_eq!(
+            BchCode::new(8, 0, 16).unwrap_err(),
+            CodeConstructionError::ZeroStrength
+        );
+        assert_eq!(
+            BchCode::new(8, 1, 0).unwrap_err(),
+            CodeConstructionError::EmptyData
+        );
+        // 255-bit block cannot hold 32 bytes of data + parity.
+        assert!(matches!(
+            BchCode::new(8, 2, 32).unwrap_err(),
+            CodeConstructionError::BlockTooSmall { .. }
+        ));
+    }
+
+    #[test]
+    fn parity_size_is_m_times_t() {
+        let code = BchCode::new(10, 3, 64).unwrap();
+        assert_eq!(code.parity_bits(), 30);
+        assert_eq!(code.parity_bytes(), 4);
+        let page = BchCode::new(15, 12, 2048).unwrap();
+        assert_eq!(page.parity_bits(), 180);
+        // Paper: "a maximum of 23 bytes are needed for check bits".
+        assert_eq!(page.parity_bytes(), 23);
+    }
+
+    #[test]
+    fn clean_roundtrip_no_errors() {
+        let code = BchCode::new(9, 3, 40).unwrap();
+        let data: Vec<u8> = (0..40u8).collect();
+        let parity = code.encode(&data);
+        let mut received = data.clone();
+        let report = code.decode(&mut received, &parity).unwrap();
+        assert_eq!(report.corrected, 0);
+        assert_eq!(received, data);
+    }
+
+    #[test]
+    fn corrects_exactly_t_errors() {
+        let code = BchCode::new(9, 4, 48).unwrap();
+        let data: Vec<u8> = (0..48u8).map(|b| b.wrapping_mul(37)).collect();
+        let parity = code.encode(&data);
+        let mut received = data.clone();
+        // Inject exactly t=4 errors at scattered positions.
+        for &(byte, bit) in &[(0usize, 7u8), (13, 0), (25, 3), (47, 6)] {
+            received[byte] ^= 1 << bit;
+        }
+        let report = code.decode(&mut received, &parity).unwrap();
+        assert_eq!(report.corrected, 4);
+        assert_eq!(received, data);
+        assert_eq!(report.data_bit_positions.len(), 4);
+    }
+
+    #[test]
+    fn corrects_error_in_parity_area() {
+        let code = BchCode::new(9, 2, 32).unwrap();
+        let data = vec![0xA5u8; 32];
+        let mut parity = code.encode(&data);
+        parity[0] ^= 0x80;
+        let mut received = data.clone();
+        let report = code.decode(&mut received, &parity).unwrap();
+        assert_eq!(report.corrected, 1);
+        assert!(report.data_bit_positions.is_empty());
+        assert_eq!(received, data);
+    }
+
+    #[test]
+    fn detects_more_than_t_errors_with_crc_style_check() {
+        // With t=1, three errors must either be flagged TooManyErrors or
+        // miscorrected to a *different* word — never silently "fixed" back
+        // to the original.
+        let code = BchCode::new(9, 1, 32).unwrap();
+        let data = vec![0x5Au8; 32];
+        let parity = code.encode(&data);
+        let mut received = data.clone();
+        received[0] ^= 0x01;
+        received[1] ^= 0x02;
+        received[2] ^= 0x04;
+        match code.decode(&mut received, &parity) {
+            Err(DecodeError::TooManyErrors) => {}
+            Ok(_) => assert_ne!(received, data, "3 errors cannot be truly corrected at t=1"),
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+
+    #[test]
+    fn length_mismatch_reported() {
+        let code = BchCode::new(9, 2, 32).unwrap();
+        let mut short = vec![0u8; 31];
+        let parity = vec![0u8; code.parity_bytes()];
+        assert!(matches!(
+            code.decode(&mut short, &parity),
+            Err(DecodeError::LengthMismatch { which: "data", .. })
+        ));
+        let mut ok = vec![0u8; 32];
+        assert!(matches!(
+            code.decode(&mut ok, &[0u8; 1]),
+            Err(DecodeError::LengthMismatch { which: "parity", .. })
+        ));
+    }
+
+    #[test]
+    fn flash_page_code_roundtrip() {
+        // Full 2KB page over GF(2^15) with t=4: encode, corrupt, decode.
+        let code = BchCode::for_flash_page(4);
+        let mut data: Vec<u8> = (0..2048usize).map(|i| (i * 31 % 251) as u8).collect();
+        let parity = code.encode(&data);
+        let original = data.clone();
+        for &pos in &[5usize, 1000, 9999, 16000] {
+            data[pos / 8] ^= 1 << (7 - pos % 8);
+        }
+        let report = code.decode(&mut data, &parity).unwrap();
+        assert_eq!(report.corrected, 4);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn all_single_bit_errors_corrected_small_code() {
+        let code = BchCode::new(8, 1, 8).unwrap();
+        let data: Vec<u8> = vec![0xC3, 0x00, 0xFF, 0x12, 0x34, 0x56, 0x78, 0x9A];
+        let parity = code.encode(&data);
+        for bit in 0..64 {
+            let mut received = data.clone();
+            received[bit / 8] ^= 1 << (7 - bit % 8);
+            let report = code.decode(&mut received, &parity).unwrap();
+            assert_eq!(report.corrected, 1, "bit {bit}");
+            assert_eq!(received, data, "bit {bit}");
+            assert_eq!(report.data_bit_positions, vec![bit]);
+        }
+    }
+
+    #[test]
+    fn disk_sector_code_roundtrip() {
+        let code = BchCode::for_disk_sector(3);
+        assert_eq!(code.data_bytes(), 512);
+        assert_eq!(code.parity_bits(), 39);
+        let data: Vec<u8> = (0..512usize).map(|i| (i % 256) as u8).collect();
+        let parity = code.encode(&data);
+        let mut received = data.clone();
+        for &bit in &[0usize, 2048, 4095] {
+            received[bit / 8] ^= 1 << (7 - bit % 8);
+        }
+        let report = code.decode(&mut received, &parity).unwrap();
+        assert_eq!(report.corrected, 3);
+        assert_eq!(received, data);
+    }
+
+    #[test]
+    fn generator_accessor_nonzero() {
+        let code = BchCode::new(8, 2, 16).unwrap();
+        assert!(code.generator().degree().is_some());
+        assert_eq!(code.strength(), 2);
+        assert_eq!(code.data_bytes(), 16);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests of the coding layer: field laws, polynomial
+//! algebra, BCH correction guarantees, and CRC detection.
+
+use proptest::prelude::*;
+
+use flash_ecc::bch::BchCode;
+use flash_ecc::bitpoly::BitPoly;
+use flash_ecc::crc::crc32;
+use flash_ecc::gf::GfField;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// GF(2^m) multiplication is commutative, associative, and
+    /// distributes over addition.
+    #[test]
+    fn gf_field_laws(m in 3u32..=12, a in 0u32..4096, b in 0u32..4096, c in 0u32..4096) {
+        let f = GfField::new(m);
+        let mask = (1u32 << m) - 1;
+        let (a, b, c) = (a & mask, b & mask, c & mask);
+        prop_assert_eq!(f.mul(a, b), f.mul(b, a));
+        prop_assert_eq!(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+        prop_assert_eq!(f.mul(a, b ^ c), f.mul(a, b) ^ f.mul(a, c));
+        // Inverses invert.
+        if a != 0 {
+            prop_assert_eq!(f.mul(a, f.inv(a)), 1);
+            prop_assert_eq!(f.div(f.mul(a, b), a), b);
+        }
+    }
+
+    /// Polynomial multiplication over GF(2) is commutative and degree-
+    /// additive.
+    #[test]
+    fn bitpoly_mul_laws(
+        ea in prop::collection::btree_set(0usize..96, 0..10),
+        eb in prop::collection::btree_set(0usize..96, 0..10),
+    ) {
+        let a = BitPoly::from_exponents(ea.iter().copied());
+        let b = BitPoly::from_exponents(eb.iter().copied());
+        let ab = a.mul(&b);
+        prop_assert_eq!(&ab, &b.mul(&a));
+        match (a.degree(), b.degree()) {
+            (Some(da), Some(db)) => prop_assert_eq!(ab.degree(), Some(da + db)),
+            _ => prop_assert!(ab.is_zero()),
+        }
+    }
+
+    /// Any error pattern within the code strength is corrected exactly.
+    #[test]
+    fn bch_corrects_arbitrary_patterns(
+        t in 1usize..=5,
+        data in prop::collection::vec(any::<u8>(), 24..=48),
+        bit_seed in any::<u64>(),
+    ) {
+        let code = BchCode::new(10, t, data.len()).unwrap();
+        let parity = code.encode(&data);
+        // Derive up to t distinct error positions from the seed.
+        let nbits = data.len() * 8;
+        let mut positions = std::collections::BTreeSet::new();
+        let mut x = bit_seed | 1;
+        while positions.len() < t {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            positions.insert((x >> 16) as usize % nbits);
+        }
+        let mut corrupted = data.clone();
+        for &bit in &positions {
+            corrupted[bit / 8] ^= 1 << (7 - bit % 8);
+        }
+        let report = code.decode(&mut corrupted, &parity);
+        prop_assert!(report.is_ok(), "{:?}", report);
+        prop_assert_eq!(report.unwrap().corrected, positions.len());
+        prop_assert_eq!(corrupted, data);
+    }
+
+    /// Parity-area errors are also corrected (the whole codeword is
+    /// protected, not just the payload).
+    #[test]
+    fn bch_corrects_parity_errors(
+        data in prop::collection::vec(any::<u8>(), 16..=32),
+        which in 0usize..8,
+    ) {
+        let code = BchCode::new(9, 2, data.len()).unwrap();
+        let mut parity = code.encode(&data);
+        let bit = which % (code.parity_bits());
+        parity[bit / 8] ^= 1 << (7 - bit % 8);
+        let mut received = data.clone();
+        let report = code.decode(&mut received, &parity).unwrap();
+        prop_assert_eq!(report.corrected, 1);
+        prop_assert_eq!(received, data);
+    }
+
+    /// A clean codeword always decodes with zero corrections, for every
+    /// supported (m, t) pair that fits.
+    #[test]
+    fn bch_clean_roundtrip_all_parameters(
+        m in 8u32..=12,
+        t in 1usize..=8,
+        data in prop::collection::vec(any::<u8>(), 8..=24),
+    ) {
+        prop_assume!(data.len() * 8 + m as usize * t < (1 << m) - 1);
+        let code = BchCode::new(m, t, data.len()).unwrap();
+        let parity = code.encode(&data);
+        let mut received = data.clone();
+        let report = code.decode(&mut received, &parity).unwrap();
+        prop_assert_eq!(report.corrected, 0);
+        prop_assert_eq!(received, data);
+    }
+
+    /// CRC32 detects every single- and double-bit flip.
+    #[test]
+    fn crc_detects_small_flips(
+        data in prop::collection::vec(any::<u8>(), 1..128),
+        b1 in any::<u16>(),
+        b2 in any::<u16>(),
+    ) {
+        let clean = crc32(&data);
+        let nbits = data.len() * 8;
+        let p1 = b1 as usize % nbits;
+        let p2 = b2 as usize % nbits;
+        let mut corrupted = data.clone();
+        corrupted[p1 / 8] ^= 1 << (p1 % 8);
+        if p2 != p1 {
+            corrupted[p2 / 8] ^= 1 << (p2 % 8);
+        }
+        prop_assert_ne!(crc32(&corrupted), clean);
+    }
+
+    /// CRC32 is linear in the XOR sense over equal-length messages
+    /// relative to the zero message — a structural sanity property.
+    #[test]
+    fn crc_differs_for_different_data(
+        a in prop::collection::vec(any::<u8>(), 1..64),
+        flip_at in any::<u16>(),
+    ) {
+        let mut b = a.clone();
+        let i = flip_at as usize % b.len();
+        b[i] = b[i].wrapping_add(1);
+        prop_assert_ne!(crc32(&a), crc32(&b));
+    }
+}

@@ -1,0 +1,51 @@
+//! # flashcache
+//!
+//! A complete reproduction of **"Improving NAND Flash Based Disk
+//! Caches"** (Taeho Kgil, David Roberts, Trevor Mudge — ISCA 2008) as a
+//! Rust library suite. This facade crate re-exports the whole stack:
+//!
+//! | layer | crate | what it provides |
+//! |---|---|---|
+//! | coding | [`ecc`] | GF(2^m), variable-strength BCH, CRC32, accelerator timing |
+//! | device | [`nand`] | dual-mode SLC/MLC NAND model with wear & bit errors |
+//! | reliability | [`reliability`] | lifetime models behind Figure 6(b) |
+//! | peers | [`storage`] | DDR2 DRAM and HDD timing/power models |
+//! | workloads | [`trace`] | Table 4 micro/macro trace generators |
+//! | **contribution** | [`core`] | the flash disk cache: split regions, GC, wear levelling, programmable controller |
+//! | evaluation | [`sim`] | trace simulator, server model, per-figure experiment drivers |
+//!
+//! The most common entry points are re-exported at the top level.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use flashcache::{FlashCache, FlashCacheConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut cache = FlashCache::new(FlashCacheConfig::default())?;
+//! assert!(cache.read(7).needs_disk_read); // cold miss fills the cache
+//! assert!(cache.read(7).hit);             // now served from flash
+//! println!("{}", cache.stats());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for a full tour: `quickstart`, `web_server_cache`,
+//! `oltp_wear_management`, and `controller_tuning`.
+
+#![warn(missing_docs)]
+
+pub use flash_ecc as ecc;
+pub use flash_reliability as reliability;
+pub use flashcache_core as core;
+pub use flashcache_sim as sim;
+pub use nand_flash as nand;
+pub use storage_model as storage;
+pub use disk_trace as trace;
+
+pub use disk_trace::{DiskRequest, OpKind, WorkloadSpec};
+pub use flashcache_core::{
+    AccessOutcome, CacheStats, ConfigError, ControllerPolicy, FlashCache, FlashCacheConfig,
+    PrimaryDiskCache, SplitPolicy,
+};
+pub use flashcache_sim::{Hierarchy, HierarchyConfig, ServerConfig};

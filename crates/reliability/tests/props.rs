@@ -1,0 +1,75 @@
+//! Property-based tests of the reliability math.
+
+use proptest::prelude::*;
+
+use flash_reliability::lifetime::{CellLifetimeModel, PageLifetimeModel};
+use flash_reliability::normal::{phi, phi_inv, poisson_upper_tail};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Φ and Φ⁻¹ are inverse bijections over the practical range.
+    /// (Beyond |z| ≈ 6.5 the upper tail 1-p loses float precision, so
+    /// the roundtrip is inherently limited there.)
+    #[test]
+    fn phi_roundtrip(z in -6.5f64..6.5) {
+        let p = phi(z);
+        prop_assume!(p > 1e-15 && p < 1.0 - 1e-15);
+        let z2 = phi_inv(p);
+        prop_assert!((z - z2).abs() < 1e-5, "z={} -> p={} -> z'={}", z, p, z2);
+    }
+
+    /// Φ is a monotone CDF.
+    #[test]
+    fn phi_monotone(a in -10.0f64..10.0, b in -10.0f64..10.0) {
+        if a < b {
+            prop_assert!(phi(a) <= phi(b));
+        }
+        prop_assert!((0.0..=1.0).contains(&phi(a)));
+    }
+
+    /// Poisson tails are proper probabilities, monotone in both
+    /// arguments.
+    #[test]
+    fn poisson_tail_properties(lambda in 0.0f64..500.0, k in 0usize..60) {
+        let t = poisson_upper_tail(lambda, k);
+        prop_assert!((0.0..=1.0).contains(&t));
+        prop_assert!(poisson_upper_tail(lambda, k + 1) <= t + 1e-12);
+        prop_assert!(poisson_upper_tail(lambda + 1.0, k) + 1e-12 >= t);
+    }
+
+    /// Cell failure probability is a monotone CDF in cycles, and the
+    /// quantile inverts it.
+    #[test]
+    fn cell_model_cdf(cycles in 1.0f64..1e9, p in 1e-6f64..0.999) {
+        let m = CellLifetimeModel::default();
+        prop_assert!(m.failure_prob(cycles) <= m.failure_prob(cycles * 2.0) + 1e-15);
+        let w = m.quantile(p);
+        prop_assert!((m.failure_prob(w) - p).abs() < 1e-6);
+    }
+
+    /// Stronger ECC never reduces the max tolerable cycles, and spatial
+    /// variation never increases them.
+    #[test]
+    fn page_lifetime_monotonicity(t in 0usize..8, stdev in 0.0f64..0.15) {
+        let base = PageLifetimeModel::default();
+        let varied = base.with_spatial_stdev_frac(stdev);
+        prop_assert!(base.max_tolerable_cycles(t + 1) >= base.max_tolerable_cycles(t));
+        prop_assert!(varied.max_tolerable_cycles(t) <= base.max_tolerable_cycles(t) * 1.0001);
+    }
+
+    /// Unrecoverability is monotone in wear for any strength/variation.
+    #[test]
+    fn unrecoverable_monotone(
+        t in 0usize..10,
+        stdev in 0.0f64..0.1,
+        log_w in 2.0f64..7.0,
+    ) {
+        let page = PageLifetimeModel::default().with_spatial_stdev_frac(stdev);
+        let w = 10f64.powf(log_w);
+        let p1 = page.unrecoverable_prob(t, w);
+        let p2 = page.unrecoverable_prob(t, w * 1.5);
+        prop_assert!(p2 >= p1 - 1e-9);
+        prop_assert!((0.0..=1.0).contains(&p1));
+    }
+}

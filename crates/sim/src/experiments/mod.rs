@@ -1,0 +1,15 @@
+//! Experiment drivers, one per table/figure of the paper's evaluation.
+//!
+//! Each module exposes typed parameter and result structs; the
+//! `flashcache-bench` crate hosts the binaries that print them in the
+//! paper's row/series format.
+
+pub mod curves;
+pub mod density_partition;
+pub mod driver;
+pub mod ecc_throughput;
+pub mod gc_overhead;
+pub mod lifetime;
+pub mod power_bandwidth;
+pub mod reconfig_breakdown;
+pub mod split_miss;

@@ -1,0 +1,471 @@
+//! The simulated storage hierarchy of Figure 2: a DRAM primary disk
+//! cache in front of an optional flash secondary disk cache in front of
+//! a hard disk drive.
+//!
+//! This is the paper's "light weight trace based Flash disk cache
+//! simulator" (§6.1): it replays a [`disk_trace::DiskRequest`] stream,
+//! accounts per-device latency, busy time and traffic, and produces the
+//! raw material for the power/throughput analyses of §7.
+
+use disk_trace::{DiskRequest, OpKind, PAGE_BYTES};
+use flashcache_core::{FlashCache, FlashCacheConfig, PrimaryDiskCache};
+use storage_model::{ActivityTracker, DramModel, DramPowerBreakdown, HddModel};
+
+use crate::metrics::LatencyHistogram;
+
+/// Configuration of a [`Hierarchy`].
+#[derive(Debug, Clone)]
+pub struct HierarchyConfig {
+    /// DRAM capacity holding the primary disk cache, bytes.
+    pub dram_bytes: u64,
+    /// Flash secondary cache configuration; `None` builds the DRAM-only
+    /// baseline of Figure 9's left bars.
+    pub flash: Option<FlashCacheConfig>,
+    /// DRAM timing/power model.
+    pub dram: DramModel,
+    /// Disk timing/power model.
+    pub hdd: HddModel,
+    /// Requests between periodic dirty write-back flushes of the PDC.
+    pub flush_interval: u64,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        HierarchyConfig {
+            dram_bytes: 256 << 20,
+            flash: Some(FlashCacheConfig::default()),
+            dram: DramModel::default(),
+            hdd: HddModel::travelstar(),
+            flush_interval: 1024,
+        }
+    }
+}
+
+/// Per-request result.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RequestOutcome {
+    /// Foreground latency of the request, µs.
+    pub latency_us: f64,
+    /// Pages served from DRAM.
+    pub dram_hits: u32,
+    /// Pages served from flash.
+    pub flash_hits: u32,
+    /// Pages fetched from disk.
+    pub disk_pages: u32,
+}
+
+/// Aggregated measurements of a simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct HierarchyReport {
+    /// Requests replayed.
+    pub requests: u64,
+    /// Pages touched.
+    pub pages: u64,
+    /// Sum of request latencies, µs.
+    pub total_latency_us: f64,
+    /// Pages served by each level.
+    pub dram_hit_pages: u64,
+    /// Pages served from flash.
+    pub flash_hit_pages: u64,
+    /// Pages that reached the disk (reads).
+    pub disk_read_pages: u64,
+    /// Pages written to disk (flushes).
+    pub disk_write_pages: u64,
+    /// DRAM activity.
+    pub dram: ActivityTracker,
+    /// Disk activity.
+    pub disk: ActivityTracker,
+    /// Per-request latency distribution.
+    pub latency: LatencyHistogram,
+}
+
+impl HierarchyReport {
+    /// Mean request latency, µs.
+    pub fn avg_latency_us(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.total_latency_us / self.requests as f64
+        }
+    }
+
+    /// Fraction of pages that had to come from disk.
+    pub fn disk_read_fraction(&self) -> f64 {
+        if self.pages == 0 {
+            0.0
+        } else {
+            self.disk_read_pages as f64 / self.pages as f64
+        }
+    }
+}
+
+/// The two- (or one-) level disk cache hierarchy simulator.
+///
+/// # Examples
+///
+/// ```
+/// use disk_trace::DiskRequest;
+/// use flashcache_sim::hierarchy::{Hierarchy, HierarchyConfig};
+///
+/// let mut h = Hierarchy::new(HierarchyConfig::default());
+/// let cold = h.submit(DiskRequest::read(10));
+/// let warm = h.submit(DiskRequest::read(10));
+/// assert!(warm.latency_us < cold.latency_us);
+/// ```
+#[derive(Debug)]
+pub struct Hierarchy {
+    config: HierarchyConfig,
+    pdc: PrimaryDiskCache,
+    flash: Option<FlashCache>,
+    report: HierarchyReport,
+    since_flush: u64,
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flash configuration fails validation (construct the
+    /// [`FlashCacheConfig`] with `validate()` first for graceful errors).
+    pub fn new(config: HierarchyConfig) -> Self {
+        let pdc_pages = (config.dram_bytes / PAGE_BYTES).max(1) as usize;
+        let flash = config
+            .flash
+            .clone()
+            .map(|c| FlashCache::new(c).expect("flash cache config must be valid"));
+        Hierarchy {
+            pdc: PrimaryDiskCache::new(pdc_pages),
+            flash,
+            report: HierarchyReport::default(),
+            since_flush: 0,
+            config,
+        }
+    }
+
+    /// The flash cache, when present.
+    pub fn flash(&self) -> Option<&FlashCache> {
+        self.flash.as_ref()
+    }
+
+    /// The accumulated report.
+    pub fn report(&self) -> &HierarchyReport {
+        &self.report
+    }
+
+    /// Clears all measurements (report, flash statistics) while keeping
+    /// cache contents and wear state — used to exclude warm-up from
+    /// steady-state measurements.
+    pub fn reset_measurements(&mut self) {
+        self.report = HierarchyReport::default();
+        if let Some(f) = &mut self.flash {
+            f.reset_stats();
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// Replays one request, returning its foreground outcome.
+    pub fn submit(&mut self, req: DiskRequest) -> RequestOutcome {
+        let mut out = RequestOutcome::default();
+        let mut disk_read_pages = 0u32;
+        for page in req.pages() {
+            match req.op {
+                OpKind::Read => {
+                    let (lat, hit_level) = self.read_page(page);
+                    out.latency_us += lat;
+                    match hit_level {
+                        HitLevel::Dram => out.dram_hits += 1,
+                        HitLevel::Flash => out.flash_hits += 1,
+                        HitLevel::Disk => disk_read_pages += 1,
+                    }
+                }
+                OpKind::Write => {
+                    out.latency_us += self.write_page(page);
+                }
+            }
+        }
+        // One disk access covers the request's missed pages.
+        if disk_read_pages > 0 {
+            let bytes = disk_read_pages as u64 * PAGE_BYTES;
+            let t = self.config.hdd.access_latency_us(bytes);
+            out.latency_us += t;
+            out.disk_pages = disk_read_pages;
+            self.report.disk.record(t / 1e6, bytes, false);
+            self.report.disk_read_pages += disk_read_pages as u64;
+        }
+        self.report.requests += 1;
+        self.report.pages += req.len as u64;
+        self.report.total_latency_us += out.latency_us;
+        self.report.latency.record(out.latency_us);
+        self.report.dram_hit_pages += out.dram_hits as u64;
+        self.report.flash_hit_pages += out.flash_hits as u64;
+        self.since_flush += 1;
+        if self.since_flush >= self.config.flush_interval {
+            self.since_flush = 0;
+            self.periodic_flush();
+        }
+        out
+    }
+
+    /// Replays an entire iterator of requests.
+    pub fn run<I: IntoIterator<Item = DiskRequest>>(&mut self, reqs: I) {
+        for r in reqs {
+            self.submit(r);
+        }
+    }
+
+    fn dram_access(&mut self, write: bool) -> f64 {
+        let t = self.config.dram.access_latency_us(PAGE_BYTES);
+        self.report.dram.record(t / 1e6, PAGE_BYTES, write);
+        t
+    }
+
+    fn read_page(&mut self, page: u64) -> (f64, HitLevel) {
+        let mut latency = self.dram_access(false);
+        if self.pdc.access(page) {
+            return (latency, HitLevel::Dram);
+        }
+        if let Some(flash) = &mut self.flash {
+            let out = flash.read(page);
+            latency += out.flash_latency_us;
+            self.flush_to_disk(out.flushed_dirty);
+            if out.hit {
+                self.install_in_pdc(page, false);
+                return (latency, HitLevel::Flash);
+            }
+            self.install_in_pdc(page, false);
+            return (latency, HitLevel::Disk);
+        }
+        self.install_in_pdc(page, false);
+        (latency, HitLevel::Disk)
+    }
+
+    fn write_page(&mut self, page: u64) -> f64 {
+        let latency = self.dram_access(true);
+        self.install_in_pdc(page, true);
+        latency
+    }
+
+    /// Inserts into the PDC, routing any dirty eviction down a level.
+    fn install_in_pdc(&mut self, page: u64, dirty: bool) {
+        if let Some(ev) = self.pdc.insert(page, dirty) {
+            if ev.dirty {
+                self.write_back(ev.page);
+            }
+        }
+    }
+
+    /// Writes one dirty page to the next level (flash write cache, or
+    /// disk when there is no flash).
+    fn write_back(&mut self, page: u64) {
+        if let Some(flash) = &mut self.flash {
+            let out = flash.write(page);
+            let flushed = out.flushed_dirty + u32::from(out.bypassed);
+            self.flush_to_disk(flushed);
+        } else {
+            self.flush_to_disk(1);
+        }
+    }
+
+    /// Accounts `pages` background disk writes (write-back traffic is
+    /// scheduled in batches, so seeks amortize across a batch).
+    fn flush_to_disk(&mut self, pages: u32) {
+        if pages == 0 {
+            return;
+        }
+        const WRITE_BATCH: f64 = 32.0;
+        let bytes = pages as u64 * PAGE_BYTES;
+        let t = pages as f64
+            * (self.config.hdd.avg_access_latency_us / WRITE_BATCH
+                + PAGE_BYTES as f64 / self.config.hdd.transfer_bytes_per_s * 1e6);
+        self.report.disk.record(t / 1e6, bytes, true);
+        self.report.disk_write_pages += pages as u64;
+    }
+
+    /// Periodic write-back: PDC dirty pages drain to the flash write
+    /// cache (or disk), mirroring §5.1's periodic scheduling.
+    fn periodic_flush(&mut self) {
+        let dirty = self.pdc.flush_dirty();
+        for page in dirty {
+            self.write_back(page);
+        }
+    }
+
+    /// Forces all dirty state (PDC and flash) down to disk.
+    pub fn drain(&mut self) {
+        self.periodic_flush();
+        if let Some(flash) = &mut self.flash {
+            let flushed = flash.flush_writes();
+            let flushed = u32::try_from(flushed).unwrap_or(u32::MAX);
+            self.flush_to_disk(flushed);
+        }
+    }
+
+    /// DRAM power breakdown over `elapsed_s` of wall time.
+    pub fn dram_power(&self, elapsed_s: f64) -> DramPowerBreakdown {
+        self.config.dram.power_breakdown(
+            self.config.dram_bytes,
+            self.report.dram.read_bytes,
+            self.report.dram.write_bytes,
+            elapsed_s,
+        )
+    }
+
+    /// Disk average power over `elapsed_s` of wall time.
+    pub fn disk_power_w(&self, elapsed_s: f64) -> f64 {
+        self.config
+            .hdd
+            .average_power_w(self.report.disk.busy_s, elapsed_s)
+    }
+
+    /// Flash average power over `elapsed_s` of wall time (op energy plus
+    /// the idle floor).
+    pub fn flash_power_w(&self, elapsed_s: f64) -> f64 {
+        match &self.flash {
+            None => 0.0,
+            Some(f) => {
+                let stats = f.device().stats();
+                let capacity = f
+                    .device()
+                    .geometry()
+                    .capacity_bytes(nand_flash::CellMode::Mlc);
+                stats.energy_mj / 1000.0 / elapsed_s
+                    + f.device().config().power.idle_w(capacity)
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HitLevel {
+    Dram,
+    Flash,
+    Disk,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashcache_core::FlashCacheConfig;
+    use nand_flash::{FlashConfig, FlashGeometry};
+
+    fn small_flash() -> FlashCacheConfig {
+        FlashCacheConfig {
+            flash: FlashConfig {
+                geometry: FlashGeometry {
+                    blocks: 16,
+                    pages_per_block: 8,
+                    ..FlashGeometry::default()
+                },
+                ..FlashConfig::default()
+            },
+            ..FlashCacheConfig::default()
+        }
+    }
+
+    fn small_hierarchy(flash: bool) -> Hierarchy {
+        Hierarchy::new(HierarchyConfig {
+            dram_bytes: 64 * 2048, // 64-page PDC
+            flash: flash.then(small_flash),
+            flush_interval: 64,
+            ..HierarchyConfig::default()
+        })
+    }
+
+    #[test]
+    fn dram_hits_are_fast() {
+        let mut h = small_hierarchy(true);
+        let cold = h.submit(DiskRequest::read(1));
+        assert_eq!(cold.disk_pages, 1);
+        let warm = h.submit(DiskRequest::read(1));
+        assert_eq!(warm.dram_hits, 1);
+        assert!(warm.latency_us < 1.0, "DRAM hit is sub-µs: {}", warm.latency_us);
+        assert!(cold.latency_us > 4000.0, "cold read pays the disk");
+    }
+
+    #[test]
+    fn flash_serves_dram_evictions() {
+        let mut h = small_hierarchy(true);
+        // Fill beyond the 64-page PDC but within the flash read region;
+        // early pages fall out of DRAM into flash.
+        for p in 0..150u64 {
+            h.submit(DiskRequest::read(p));
+        }
+        // Re-read an early page: PDC evicted it, flash still has it.
+        let out = h.submit(DiskRequest::read(0));
+        assert_eq!(out.flash_hits + out.dram_hits, 1);
+        assert!(out.latency_us < 1000.0, "no disk access: {}", out.latency_us);
+    }
+
+    #[test]
+    fn dram_only_baseline_goes_to_disk() {
+        let mut h = small_hierarchy(false);
+        for p in 0..400u64 {
+            h.submit(DiskRequest::read(p));
+        }
+        let out = h.submit(DiskRequest::read(0));
+        assert_eq!(out.disk_pages, 1);
+        assert!(h.report().disk_read_pages >= 400);
+    }
+
+    #[test]
+    fn writes_are_absorbed_and_flushed_on_drain() {
+        let mut h = small_hierarchy(true);
+        for p in 0..32u64 {
+            h.submit(DiskRequest::write(p));
+        }
+        // Writes complete at DRAM speed.
+        assert!(h.report().avg_latency_us() < 1.0);
+        h.drain();
+        assert!(
+            h.report().disk_write_pages > 0,
+            "drain must push dirty data to disk"
+        );
+    }
+
+    #[test]
+    fn multi_page_requests_batch_disk_access() {
+        let mut h = small_hierarchy(true);
+        let out = h.submit(DiskRequest::new(0, 8, OpKind::Read));
+        assert_eq!(out.disk_pages, 8);
+        // One seek for the whole request, not eight.
+        let eight_seeks = 8.0 * h.config().hdd.avg_access_latency_us;
+        assert!(out.latency_us < eight_seeks);
+    }
+
+    #[test]
+    fn report_accumulates_consistently() {
+        let mut h = small_hierarchy(true);
+        for p in 0..100u64 {
+            h.submit(DiskRequest::read(p % 37));
+        }
+        let r = h.report();
+        assert_eq!(r.requests, 100);
+        assert_eq!(r.pages, 100);
+        assert_eq!(
+            r.dram_hit_pages + r.flash_hit_pages + r.disk_read_pages,
+            100
+        );
+        assert!(r.avg_latency_us() > 0.0);
+        assert!(r.disk_read_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn power_queries_are_sane() {
+        let mut h = small_hierarchy(true);
+        for p in 0..200u64 {
+            h.submit(DiskRequest::read(p));
+        }
+        let dram = h.dram_power(1.0);
+        assert!(dram.idle_w > 0.0);
+        let disk = h.disk_power_w(1.0);
+        assert!(disk >= h.config().hdd.idle_w);
+        assert!(h.flash_power_w(1.0) > 0.0);
+        // DRAM-only hierarchy reports zero flash power.
+        assert_eq!(small_hierarchy(false).flash_power_w(1.0), 0.0);
+    }
+}

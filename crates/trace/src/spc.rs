@@ -1,0 +1,299 @@
+//! Reader/writer for the SPC trace format used by the UMass Trace
+//! Repository — the source of the paper's WebSearch and Financial
+//! traces (§6.2).
+//!
+//! Each line is `ASU,LBA,Size,Opcode,Timestamp[,...]`:
+//! application-specific unit, logical block address in 512-byte
+//! sectors, size in bytes, `r`/`R` or `w`/`W`, and a timestamp in
+//! seconds. This module converts records to and from the crate's
+//! 2KB-page [`DiskRequest`]s, so the real traces can be replayed through
+//! every experiment in place of the synthetic stand-ins.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use crate::request::{DiskRequest, OpKind, PAGE_BYTES};
+
+/// Sector size the SPC format addresses.
+pub const SECTOR_BYTES: u64 = 512;
+
+/// One parsed SPC record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpcRecord {
+    /// Application-specific unit (disk/LUN id).
+    pub asu: u32,
+    /// Logical block address, in 512-byte sectors.
+    pub lba: u64,
+    /// Transfer size in bytes.
+    pub bytes: u32,
+    /// Read or write.
+    pub op: OpKind,
+    /// Timestamp, seconds.
+    pub timestamp: f64,
+}
+
+/// Parse failure for one SPC line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseSpcError {
+    /// 1-based line number when known, 0 otherwise.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseSpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "SPC line {}: {}", self.line, self.reason)
+        } else {
+            write!(f, "SPC record: {}", self.reason)
+        }
+    }
+}
+
+impl Error for ParseSpcError {}
+
+impl SpcRecord {
+    /// Parses one line of SPC text. Extra trailing fields are ignored,
+    /// as in the UMass files.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseSpcError`] on missing fields, non-numeric values,
+    /// an unknown opcode, or a zero-byte transfer.
+    pub fn parse(line: &str) -> Result<SpcRecord, ParseSpcError> {
+        let err = |reason: String| ParseSpcError { line: 0, reason };
+        let mut fields = line.trim().split(',');
+        let mut next = |name: &str| {
+            fields
+                .next()
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .ok_or_else(|| err(format!("missing field `{name}`")))
+        };
+        let asu = next("asu")?
+            .parse::<u32>()
+            .map_err(|e| err(format!("bad asu: {e}")))?;
+        let lba = next("lba")?
+            .parse::<u64>()
+            .map_err(|e| err(format!("bad lba: {e}")))?;
+        let bytes = next("size")?
+            .parse::<u32>()
+            .map_err(|e| err(format!("bad size: {e}")))?;
+        if bytes == 0 {
+            return Err(err("zero-byte transfer".to_string()));
+        }
+        let op = match next("opcode")? {
+            "r" | "R" => OpKind::Read,
+            "w" | "W" => OpKind::Write,
+            other => return Err(err(format!("unknown opcode `{other}`"))),
+        };
+        let timestamp = next("timestamp")?
+            .parse::<f64>()
+            .map_err(|e| err(format!("bad timestamp: {e}")))?;
+        Ok(SpcRecord {
+            asu,
+            lba,
+            bytes,
+            op,
+            timestamp,
+        })
+    }
+
+    /// Converts to a page-granular [`DiskRequest`], covering every 2KB
+    /// page the byte range touches. ASU boundaries are folded into the
+    /// page space by a large per-ASU offset so distinct units never
+    /// alias.
+    pub fn to_request(&self) -> DiskRequest {
+        // 1TB of page space per ASU keeps units disjoint.
+        const ASU_STRIDE_PAGES: u64 = (1u64 << 40) / PAGE_BYTES;
+        let start_byte = self.lba * SECTOR_BYTES;
+        let end_byte = start_byte + self.bytes as u64;
+        let first_page = start_byte / PAGE_BYTES;
+        let last_page = (end_byte - 1) / PAGE_BYTES;
+        let len = (last_page - first_page + 1).min(u32::MAX as u64) as u32;
+        DiskRequest::new(
+            self.asu as u64 * ASU_STRIDE_PAGES + first_page,
+            len,
+            self.op,
+        )
+    }
+
+    /// Formats the record as one SPC line.
+    pub fn to_line(&self) -> String {
+        format!(
+            "{},{},{},{},{}",
+            self.asu,
+            self.lba,
+            self.bytes,
+            match self.op {
+                OpKind::Read => "r",
+                OpKind::Write => "w",
+            },
+            self.timestamp
+        )
+    }
+}
+
+/// Streaming reader of SPC traces: an iterator of
+/// `Result<SpcRecord, ParseSpcError>` with line numbers attached to
+/// errors. Blank lines and `#` comments are skipped.
+#[derive(Debug)]
+pub struct SpcReader<R> {
+    reader: R,
+    line_no: usize,
+    buf: String,
+}
+
+impl<R: BufRead> SpcReader<R> {
+    /// Wraps a buffered reader.
+    pub fn new(reader: R) -> Self {
+        SpcReader {
+            reader,
+            line_no: 0,
+            buf: String::new(),
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for SpcReader<R> {
+    type Item = Result<SpcRecord, ParseSpcError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            self.buf.clear();
+            match self.reader.read_line(&mut self.buf) {
+                Ok(0) => return None,
+                Ok(_) => {}
+                Err(e) => {
+                    self.line_no += 1;
+                    return Some(Err(ParseSpcError {
+                        line: self.line_no,
+                        reason: format!("I/O error: {e}"),
+                    }));
+                }
+            }
+            self.line_no += 1;
+            let trimmed = self.buf.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            return Some(SpcRecord::parse(trimmed).map_err(|mut e| {
+                e.line = self.line_no;
+                e
+            }));
+        }
+    }
+}
+
+/// Writes requests back out as SPC lines (2KB pages → 512-byte sectors,
+/// ASU 0), e.g. to export a synthetic workload for another simulator.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_spc<W: Write, I: IntoIterator<Item = DiskRequest>>(
+    mut writer: W,
+    requests: I,
+) -> std::io::Result<usize> {
+    let mut count = 0;
+    let mut t = 0.0f64;
+    for req in requests {
+        let record = SpcRecord {
+            asu: 0,
+            lba: req.page * (PAGE_BYTES / SECTOR_BYTES),
+            bytes: (req.len as u64 * PAGE_BYTES) as u32,
+            op: req.op,
+            timestamp: t,
+        };
+        writeln!(writer, "{}", record.to_line())?;
+        t += 1e-4;
+        count += 1;
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_canonical_lines() {
+        let r = SpcRecord::parse("0,47884,8192,R,0.011413").unwrap();
+        assert_eq!(r.asu, 0);
+        assert_eq!(r.lba, 47884);
+        assert_eq!(r.bytes, 8192);
+        assert_eq!(r.op, OpKind::Read);
+        assert!((r.timestamp - 0.011413).abs() < 1e-12);
+        // Lowercase write, extra fields tolerated.
+        let w = SpcRecord::parse("2,100,512,w,1.5,extra,fields").unwrap();
+        assert_eq!(w.op, OpKind::Write);
+        assert_eq!(w.asu, 2);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "",
+            "1,2,3",
+            "x,2,512,r,0.0",
+            "1,y,512,r,0.0",
+            "1,2,z,r,0.0",
+            "1,2,512,q,0.0",
+            "1,2,512,r,when",
+            "1,2,0,r,0.0",
+        ] {
+            assert!(SpcRecord::parse(bad).is_err(), "{bad:?} must fail");
+        }
+    }
+
+    #[test]
+    fn converts_sectors_to_pages() {
+        // 8KB at sector 4 (byte 2048): bytes 2048..10240 = pages 1..=4.
+        let r = SpcRecord::parse("0,4,8192,R,0").unwrap();
+        let req = r.to_request();
+        assert_eq!(req.page, 1);
+        assert_eq!(req.len, 4);
+        // A one-sector read touches exactly one page.
+        let small = SpcRecord::parse("0,0,512,R,0").unwrap().to_request();
+        assert_eq!((small.page, small.len), (0, 1));
+        // Unaligned range crossing one page boundary.
+        let cross = SpcRecord::parse("0,3,1024,R,0").unwrap().to_request();
+        assert_eq!((cross.page, cross.len), (0, 2));
+    }
+
+    #[test]
+    fn distinct_asus_never_alias() {
+        let a = SpcRecord::parse("0,0,2048,R,0").unwrap().to_request();
+        let b = SpcRecord::parse("1,0,2048,R,0").unwrap().to_request();
+        assert_ne!(a.page, b.page);
+    }
+
+    #[test]
+    fn reader_skips_comments_and_numbers_errors() {
+        let text = "# UMass-style header\n\n0,0,2048,R,0.0\nbad line\n0,8,4096,W,0.1\n";
+        let items: Vec<_> = SpcReader::new(text.as_bytes()).collect();
+        assert_eq!(items.len(), 3);
+        assert!(items[0].is_ok());
+        let err = items[1].as_ref().unwrap_err();
+        assert_eq!(err.line, 4);
+        assert!(items[2].is_ok());
+        assert_eq!(items[2].as_ref().unwrap().op, OpKind::Write);
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let reqs = vec![
+            DiskRequest::read(10),
+            DiskRequest::new(100, 4, OpKind::Write),
+        ];
+        let mut out = Vec::new();
+        let n = write_spc(&mut out, reqs.clone()).unwrap();
+        assert_eq!(n, 2);
+        let parsed: Vec<DiskRequest> = SpcReader::new(out.as_slice())
+            .map(|r| r.unwrap().to_request())
+            .collect();
+        assert_eq!(parsed, reqs);
+    }
+}

@@ -1,0 +1,98 @@
+//! End-to-end smoke runs of every experiment driver at miniature scale:
+//! each figure's code path executes and its headline relationship holds.
+//! (Full-scale shape checks live in the drivers' own unit tests and in
+//! EXPERIMENTS.md.)
+
+use flashcache::sim::experiments::curves::{decode_latency_curve, lifetime_curve};
+use flashcache::sim::experiments::density_partition::{
+    density_partition_curve, DensityPartitionParams, MLC_BYTES_PER_MM2,
+};
+use flashcache::sim::experiments::ecc_throughput::{ecc_throughput_curve, EccThroughputParams};
+use flashcache::sim::experiments::gc_overhead::gc_overhead_curve;
+use flashcache::sim::experiments::lifetime::{lifetime_comparison, LifetimeParams};
+use flashcache::sim::experiments::power_bandwidth::{power_bandwidth, Fig9Params};
+use flashcache::sim::experiments::reconfig_breakdown::{reconfig_breakdown, ReconfigParams};
+use flashcache::sim::experiments::split_miss::{split_miss_curve, SplitMissParams};
+use flashcache::WorkloadSpec;
+
+#[test]
+fn fig1b_smoke() {
+    let pts = gc_overhead_curve(4 << 20, &[0.4, 0.9], 15_000, 1);
+    assert_eq!(pts.len(), 2);
+    assert!(pts[1].gc_overhead > pts[0].gc_overhead);
+}
+
+#[test]
+fn fig4_smoke() {
+    let params = SplitMissParams {
+        workload: WorkloadSpec::dbt2().scaled(128),
+        flash_sizes_bytes: vec![4 << 20],
+        warmup_accesses: 30_000,
+        measured_accesses: 30_000,
+        seed: 2,
+    };
+    let pts = split_miss_curve(&params);
+    assert_eq!(pts.len(), 1);
+    assert!(pts[0].unified_miss_rate > 0.0 && pts[0].unified_miss_rate < 1.0);
+    assert!(pts[0].split_gc_overhead <= pts[0].unified_gc_overhead + 0.05);
+}
+
+#[test]
+fn fig6_smoke() {
+    let lat = decode_latency_curve(2..=11);
+    assert!(lat.last().unwrap().total_us > lat[0].total_us);
+    let life = lifetime_curve(10);
+    assert!(life[10].cycles_by_stdev[0] > life[0].cycles_by_stdev[0]);
+}
+
+#[test]
+fn fig7_smoke() {
+    let w = WorkloadSpec::financial2().scaled(8);
+    let area = w.footprint_bytes() as f64 / MLC_BYTES_PER_MM2; // full WSS
+    let pts = density_partition_curve(&w, &[area], &DensityPartitionParams::default(), 3);
+    assert!(pts[0].latency_us < 200.0);
+}
+
+#[test]
+fn fig9_smoke() {
+    let (base, flash) = power_bandwidth(&Fig9Params::dbt2().scaled(256));
+    assert!(flash.report.power_inputs.disk_busy_s <= base.report.power_inputs.disk_busy_s);
+    assert!(flash.mem_idle_w < base.mem_idle_w);
+}
+
+#[test]
+fn fig10_smoke() {
+    let params = EccThroughputParams {
+        strengths: vec![1, 40],
+        requests: 15_000,
+        ..EccThroughputParams::paper(WorkloadSpec::specweb99()).scaled(256)
+    };
+    let pts = ecc_throughput_curve(&params);
+    assert!(pts[1].relative_bandwidth <= 1.0 + 1e-9);
+}
+
+#[test]
+fn fig11_smoke() {
+    let params = ReconfigParams {
+        scale: 256,
+        acceleration: 5e4,
+        accesses: 300_000,
+        min_events: 50,
+        seed: 4,
+    };
+    let rows = reconfig_breakdown(&[WorkloadSpec::alpha2()], &params);
+    assert_eq!(rows.len(), 1);
+    assert!(rows[0].ecc_events + rows[0].density_events > 0);
+}
+
+#[test]
+fn fig12_smoke() {
+    let params = LifetimeParams {
+        scale: 4_096,
+        acceleration: 1e6,
+        budget: 4_000_000,
+        seed: 5,
+    };
+    let rows = lifetime_comparison(&[WorkloadSpec::exp2()], &params);
+    assert!(rows[0].programmable_accesses > rows[0].bch1_accesses);
+}
