@@ -36,7 +36,8 @@ fn bench_decode(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
             b.iter(|| {
                 let mut work = corrupted.clone();
-                code.decode(&mut work, std::hint::black_box(&parity)).unwrap()
+                code.decode(&mut work, std::hint::black_box(&parity))
+                    .unwrap()
             })
         });
     }
@@ -45,7 +46,9 @@ fn bench_decode(c: &mut Criterion) {
 
 fn bench_crc(c: &mut Criterion) {
     let data = page_data();
-    c.bench_function("crc32_2kb", |b| b.iter(|| crc32(std::hint::black_box(&data))));
+    c.bench_function("crc32_2kb", |b| {
+        b.iter(|| crc32(std::hint::black_box(&data)))
+    });
 }
 
 fn bench_verified_roundtrip(c: &mut Criterion) {

@@ -56,5 +56,10 @@ fn bench_write_churn(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_read_hit, bench_read_capacity_miss, bench_write_churn);
+criterion_group!(
+    benches,
+    bench_read_hit,
+    bench_read_capacity_miss,
+    bench_write_churn
+);
 criterion_main!(benches);

@@ -7,14 +7,35 @@ use std::process::Command;
 
 fn main() {
     let exhibits = [
-        "table1", "table2", "table3", "fig1b", "fig4", "fig6a", "fig6b", "fig7", "fig9",
-        "fig10", "fig11", "fig12", "ablate_split", "ablate_wear", "ablate_policy",
+        "table1",
+        "table2",
+        "table3",
+        "fig1b",
+        "fig4",
+        "fig6a",
+        "fig6b",
+        "fig7",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "ablate_split",
+        "ablate_wear",
+        "ablate_policy",
     ];
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
     for name in exhibits {
         println!("\n################ {name} ################");
         let status = Command::new(&cargo)
-            .args(["run", "--release", "-q", "-p", "flashcache-bench", "--bin", name])
+            .args([
+                "run",
+                "--release",
+                "-q",
+                "-p",
+                "flashcache-bench",
+                "--bin",
+                name,
+            ])
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
         assert!(status.success(), "{name} exited with {status}");

@@ -15,12 +15,24 @@ fn main() {
     let workload = WorkloadSpec::dbt2().scaled(args.scale);
     let flash_bytes = (512u64 << 20) / args.scale;
     let accesses = 4_000_000 / args.scale.max(1);
-    println!("workload: {} | flash {}", workload.name, fmt_mb(flash_bytes));
+    println!(
+        "workload: {} | flash {}",
+        workload.name,
+        fmt_mb(flash_bytes)
+    );
     println!(
         "{:>16}{:>16}{:>14}{:>12}{:>12}",
         "write fraction", "read miss", "overall miss", "flushed", "gc runs"
     );
-    let mut fractions = vec![None, Some(0.02), Some(0.05), Some(0.10), Some(0.20), Some(0.35), Some(0.50)];
+    let mut fractions = vec![
+        None,
+        Some(0.02),
+        Some(0.05),
+        Some(0.10),
+        Some(0.20),
+        Some(0.35),
+        Some(0.50),
+    ];
     for f in fractions.drain(..) {
         let mut config = cache_config_for_bytes(flash_bytes);
         config.split = match f {

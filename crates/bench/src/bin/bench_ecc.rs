@@ -1,0 +1,189 @@
+//! `bench_ecc`: before/after timings for the ECC kernels, emitted as
+//! machine-readable JSON.
+//!
+//! For each code strength it times the retained bit-serial/reference
+//! kernels against the table-driven replacements on the 2KB flash-page
+//! geometry (GF(2^15)), asserting bit-identical results while it
+//! measures, then times the figure-12 lifetime sweep serial vs fanned
+//! across `--threads` workers. Results land in `BENCH_ecc.json` in the
+//! current directory (the workspace root under `cargo run`).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use flash_ecc::BchCode;
+use flashcache_bench::{parallel::par_map, RunArgs};
+use flashcache_core::ControllerPolicy;
+use flashcache_sim::experiments::lifetime::{fig12_workloads, lifetime_accesses, LifetimeParams};
+
+const STRENGTHS: [usize; 4] = [1, 4, 8, 12];
+const PAGE_BYTES: usize = 2048;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn random_page(seed: u64) -> Vec<u8> {
+    let mut state = seed;
+    (0..PAGE_BYTES)
+        .map(|_| splitmix(&mut state) as u8)
+        .collect()
+}
+
+/// Distinct bit positions within the data payload, deterministically.
+fn error_positions(seed: u64, count: usize) -> Vec<usize> {
+    let mut state = seed;
+    let mut picked = Vec::new();
+    while picked.len() < count {
+        let p = (splitmix(&mut state) % (PAGE_BYTES as u64 * 8)) as usize;
+        if !picked.contains(&p) {
+            picked.push(p);
+        }
+    }
+    picked
+}
+
+/// Mean ns per call over a ~200ms measurement window.
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    for _ in 0..3 {
+        f();
+    }
+    let budget = Duration::from_millis(200);
+    let start = Instant::now();
+    let mut iters = 0u64;
+    loop {
+        f();
+        iters += 1;
+        if start.elapsed() >= budget {
+            break;
+        }
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn json_num(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+fn main() {
+    let args = RunArgs::parse(8192);
+    println!(
+        "bench_ecc: 2KB page over GF(2^15), t in {STRENGTHS:?}, threads={}",
+        args.threads
+    );
+
+    let mut encode_rows = Vec::new();
+    let mut decode_rows = Vec::new();
+    for (k, &t) in STRENGTHS.iter().enumerate() {
+        let code = BchCode::for_flash_page(t);
+        let data = random_page(args.seed ^ (k as u64) << 16);
+
+        // Encode: bit-serial oracle vs table-driven, proven identical.
+        let parity = code.encode(&data);
+        assert_eq!(
+            parity,
+            code.encode_bitserial(&data),
+            "t={t}: table-driven encode diverged from the bit-serial oracle"
+        );
+        let bitserial_ns = time_ns(|| {
+            black_box(code.encode_bitserial(black_box(&data)));
+        });
+        let table_ns = time_ns(|| {
+            black_box(code.encode(black_box(&data)));
+        });
+        println!(
+            "encode  t={t:>2}: bitserial {bitserial_ns:>12.1} ns  table {table_ns:>10.1} ns  ({:.1}x)",
+            bitserial_ns / table_ns
+        );
+        encode_rows.push(format!(
+            "{{\"t\":{t},\"bitserial_ns\":{},\"table_ns\":{},\"speedup\":{:.2}}}",
+            json_num(bitserial_ns),
+            json_num(table_ns),
+            bitserial_ns / table_ns
+        ));
+
+        // Decode pipeline on a page corrupted with t bit errors:
+        // syndromes -> Berlekamp-Massey -> Chien, reference vs fast.
+        let mut corrupted = data.clone();
+        for p in error_positions(args.seed ^ 0xE44, t) {
+            corrupted[p / 8] ^= 0x80 >> (p % 8);
+        }
+        let syn_fast = code.syndromes(&corrupted, &parity);
+        let syn_ref = code.syndromes_reference(&corrupted, &parity);
+        assert_eq!(syn_fast, syn_ref, "t={t}: fast syndromes diverged");
+        let sigma = code.berlekamp_massey(&syn_fast);
+        assert_eq!(
+            code.chien_search(&sigma),
+            code.chien_search_reference(&sigma),
+            "t={t}: batched Chien search diverged"
+        );
+        let reference_ns = time_ns(|| {
+            let s = code.syndromes_reference(black_box(&corrupted), black_box(&parity));
+            let sigma = code.berlekamp_massey(&s);
+            black_box(code.chien_search_reference(&sigma));
+        });
+        let fast_ns = time_ns(|| {
+            let s = code.syndromes(black_box(&corrupted), black_box(&parity));
+            let sigma = code.berlekamp_massey(&s);
+            black_box(code.chien_search(&sigma));
+        });
+        println!(
+            "decode  t={t:>2}: reference {reference_ns:>12.1} ns  fast  {fast_ns:>10.1} ns  ({:.1}x)",
+            reference_ns / fast_ns
+        );
+        decode_rows.push(format!(
+            "{{\"t\":{t},\"errors\":{t},\"reference_ns\":{},\"fast_ns\":{},\"speedup\":{:.2}}}",
+            json_num(reference_ns),
+            json_num(fast_ns),
+            reference_ns / fast_ns
+        ));
+    }
+
+    // Figure-12 sweep wall time, serial vs fanned out. The default
+    // `--scale 8192` keeps this in the low seconds; pass `--scale 256
+    // --paper`-style values for a fuller sweep.
+    let params = LifetimeParams {
+        scale: args.scale,
+        seed: args.seed,
+        ..LifetimeParams::default()
+    };
+    let runs: Vec<_> = fig12_workloads()
+        .iter()
+        .flat_map(|w| {
+            let scaled = w.clone().scaled(params.scale);
+            [
+                (scaled.clone(), ControllerPolicy::Programmable),
+                (scaled, ControllerPolicy::FixedEcc { strength: 1 }),
+            ]
+        })
+        .collect();
+    let run_sweep = |threads: usize| {
+        let start = Instant::now();
+        let out = par_map(runs.clone(), threads, |(w, c)| {
+            lifetime_accesses(&w, c, &params)
+        });
+        (start.elapsed().as_secs_f64(), out)
+    };
+    let (serial_s, serial_out) = run_sweep(1);
+    let (parallel_s, parallel_out) = run_sweep(args.threads);
+    assert_eq!(serial_out, parallel_out, "parallel sweep changed results");
+    println!(
+        "fig12 sweep (scale {}): serial {serial_s:.2}s  {} threads {parallel_s:.2}s",
+        params.scale, args.threads
+    );
+
+    let json = format!(
+        "{{\n  \"page_bytes\": {PAGE_BYTES},\n  \"field\": \"GF(2^15)\",\n  \"time_unit\": \"ns_per_page\",\n  \"encode\": [\n    {}\n  ],\n  \"decode\": [\n    {}\n  ],\n  \"fig12_sweep\": {{\"scale\": {}, \"threads\": {}, \"serial_s\": {serial_s:.3}, \"parallel_s\": {parallel_s:.3}}}\n}}\n",
+        encode_rows.join(",\n    "),
+        decode_rows.join(",\n    "),
+        params.scale,
+        args.threads
+    );
+    let path = "BENCH_ecc.json";
+    std::fs::write(path, json).expect("write BENCH_ecc.json");
+    println!("[saved {path}]");
+}

@@ -15,10 +15,7 @@ fn main() {
         let mut params = EccThroughputParams::paper(workload).scaled(args.scale);
         params.seed = args.seed;
         println!("-- {}", params.workload.name);
-        let mut exhibit = Exhibit::new(
-            name,
-            &["strength", "network_mbps", "relative_bandwidth"],
-        );
+        let mut exhibit = Exhibit::new(name, &["strength", "network_mbps", "relative_bandwidth"]);
         for p in ecc_throughput_curve(&params) {
             exhibit.row([
                 format!("{}", p.strength),

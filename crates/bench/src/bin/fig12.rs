@@ -1,9 +1,10 @@
 //! Figure 12: normalized lifetime — programmable flash memory controller
 //! vs a fixed BCH-1 controller, per workload.
 
-use flashcache_bench::{Exhibit, RunArgs};
+use flashcache_bench::{parallel::par_map, Exhibit, RunArgs};
+use flashcache_core::ControllerPolicy;
 use flashcache_sim::experiments::lifetime::{
-    fig12_workloads, lifetime_comparison, LifetimeParams,
+    fig12_workloads, lifetime_accesses, LifetimeParams, LifetimeRow,
 };
 
 fn main() {
@@ -17,7 +18,38 @@ fn main() {
         "Figure 12",
         "accesses to total flash failure: programmable vs BCH-1",
     );
-    let rows = lifetime_comparison(&fig12_workloads(), &params);
+    // Fan each (workload, controller) run — two per workload — across
+    // worker threads; every run is an independent simulation. Results
+    // come back in input order, so reassembling rows pairwise yields
+    // exactly what serial `lifetime_comparison` would produce.
+    let workloads = fig12_workloads();
+    let runs: Vec<_> = workloads
+        .iter()
+        .flat_map(|w| {
+            let scaled = w.clone().scaled(params.scale);
+            [
+                (scaled.clone(), ControllerPolicy::Programmable),
+                (scaled, ControllerPolicy::FixedEcc { strength: 1 }),
+            ]
+        })
+        .collect();
+    let results = par_map(runs, args.threads, |(workload, controller)| {
+        lifetime_accesses(&workload, controller, &params)
+    });
+    let rows: Vec<LifetimeRow> = workloads
+        .iter()
+        .zip(results.chunks_exact(2))
+        .map(|(w, pair)| {
+            let (programmable, trunc_a) = pair[0];
+            let (bch1, trunc_b) = pair[1];
+            LifetimeRow {
+                workload: w.name.clone(),
+                programmable_accesses: programmable,
+                bch1_accesses: bch1,
+                truncated: trunc_a || trunc_b,
+            }
+        })
+        .collect();
     let max_life = rows
         .iter()
         .map(|r| r.programmable_accesses)
@@ -37,11 +69,7 @@ fn main() {
     let mut gains = Vec::new();
     for r in &rows {
         exhibit.row([
-            format!(
-                "{}{}",
-                r.workload,
-                if r.truncated { "*" } else { "" }
-            ),
+            format!("{}{}", r.workload, if r.truncated { "*" } else { "" }),
             format!("{}", r.programmable_accesses),
             format!("{}", r.bch1_accesses),
             format!("{:.4}", r.programmable_accesses as f64 / max_life),

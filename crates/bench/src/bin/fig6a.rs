@@ -1,8 +1,8 @@
 //! Figure 6(a): BCH decode latency versus number of correctable errors
 //! on the 100MHz accelerator model.
 
-use flashcache_bench::{Exhibit, RunArgs};
-use flashcache_sim::experiments::curves::decode_latency_curve;
+use flashcache_bench::{parallel::par_map, Exhibit, RunArgs};
+use flashcache_sim::experiments::curves::decode_latency_point;
 
 fn main() {
     let args = RunArgs::parse(1);
@@ -11,7 +11,8 @@ fn main() {
         "fig6a_decode_latency",
         &["t", "syndrome_us", "chien_us", "total_us"],
     );
-    for p in decode_latency_curve(2..=11) {
+    let points = par_map((2..=11).collect(), args.threads, decode_latency_point);
+    for p in points {
         exhibit.row([
             format!("{}", p.t),
             format!("{:.1}", p.syndrome_us),

@@ -1,8 +1,8 @@
 //! Figure 6(b): maximum tolerable write/erase cycles versus ECC code
 //! strength, for spatial oxide-thickness variation of 0/5/10/20%.
 
-use flashcache_bench::{Exhibit, RunArgs};
-use flashcache_sim::experiments::curves::lifetime_curve;
+use flashcache_bench::{parallel::par_map, Exhibit, RunArgs};
+use flashcache_sim::experiments::curves::lifetime_point;
 
 fn main() {
     let args = RunArgs::parse(1);
@@ -14,7 +14,8 @@ fn main() {
         "fig6b_lifetime_vs_strength",
         &["t", "stdev_0", "stdev_5pct", "stdev_10pct", "stdev_20pct"],
     );
-    for p in lifetime_curve(10) {
+    let points = par_map((0..=10).collect(), args.threads, lifetime_point);
+    for p in points {
         exhibit.row([
             format!("{}", p.t),
             format!("{:.3e}", p.cycles_by_stdev[0]),

@@ -32,10 +32,7 @@ fn main() {
         let areas: Vec<f64> = (1..=steps)
             .map(|i| wss_mm2 * i as f64 / steps as f64)
             .collect();
-        let mut exhibit = Exhibit::new(
-            which,
-            &["area_mm2", "latency_us", "optimal_slc_pct"],
-        );
+        let mut exhibit = Exhibit::new(which, &["area_mm2", "latency_us", "optimal_slc_pct"]);
         for p in density_partition_curve(&scaled, &areas, &params, args.seed) {
             exhibit.row([
                 format!("{:.1}", p.die_area_mm2),

@@ -17,10 +17,22 @@ fn main() {
         }
         println!();
     };
-    row("NAND SLC (um^2/bit)", &|i| format!("{:.4}", ITRS_2007[i].nand_slc_um2_per_bit));
-    row("NAND MLC (um^2/bit)", &|i| format!("{:.4}", ITRS_2007[i].nand_mlc_um2_per_bit));
-    row("DRAM cell (um^2/bit)", &|i| format!("{:.4}", ITRS_2007[i].dram_um2_per_bit));
-    row("W/E cycles SLC", &|i| format!("{:.0e}", ITRS_2007[i].slc_we_cycles));
-    row("W/E cycles MLC", &|i| format!("{:.0e}", ITRS_2007[i].mlc_we_cycles));
-    row("retention (years)", &|i| format!("{:.0}", ITRS_2007[i].retention_years));
+    row("NAND SLC (um^2/bit)", &|i| {
+        format!("{:.4}", ITRS_2007[i].nand_slc_um2_per_bit)
+    });
+    row("NAND MLC (um^2/bit)", &|i| {
+        format!("{:.4}", ITRS_2007[i].nand_mlc_um2_per_bit)
+    });
+    row("DRAM cell (um^2/bit)", &|i| {
+        format!("{:.4}", ITRS_2007[i].dram_um2_per_bit)
+    });
+    row("W/E cycles SLC", &|i| {
+        format!("{:.0e}", ITRS_2007[i].slc_we_cycles)
+    });
+    row("W/E cycles MLC", &|i| {
+        format!("{:.0e}", ITRS_2007[i].mlc_we_cycles)
+    });
+    row("retention (years)", &|i| {
+        format!("{:.0}", ITRS_2007[i].retention_years)
+    });
 }

@@ -14,8 +14,14 @@ fn main() {
     let t = FlashTiming::default();
     let ecc = EccLatencyModel::default();
     let hdd = HddModel::travelstar();
-    println!("processor:        {} cores, in-order (modelled via bottleneck analysis)", server.cores);
-    println!("DRAM:             128MB..512MB, tRC = {:.0}ns", dram.access_latency_ns);
+    println!(
+        "processor:        {} cores, in-order (modelled via bottleneck analysis)",
+        server.cores
+    );
+    println!(
+        "DRAM:             128MB..512MB, tRC = {:.0}ns",
+        dram.access_latency_ns
+    );
     println!(
         "NAND flash:       256MB..2GB; read {:.0}us(SLC)/{:.0}us(MLC); write {:.0}us/{:.0}us; erase {:.1}ms/{:.1}ms",
         t.read_us(CellMode::Slc), t.read_us(CellMode::Mlc),

@@ -10,6 +10,7 @@
 
 #![warn(missing_docs)]
 
+pub mod parallel;
 pub mod svg;
 
 /// Parsed common arguments.
@@ -21,15 +22,20 @@ pub struct RunArgs {
     pub seed: u64,
     /// Directory to save machine-readable `.dat` files into (`--out`).
     pub out_dir: Option<std::path::PathBuf>,
+    /// Worker threads for sweep fan-out (`--threads N`, default = the
+    /// machine's available parallelism).
+    pub threads: usize,
 }
 
 impl RunArgs {
-    /// Parses `--scale N`, `--paper` (scale 1) and `--seed S` from
-    /// `std::env::args`, with `default_scale` when none is given.
+    /// Parses `--scale N`, `--paper` (scale 1), `--seed S` and
+    /// `--threads N` from `std::env::args`, with `default_scale` when
+    /// none is given.
     pub fn parse(default_scale: u64) -> RunArgs {
         let mut scale = default_scale;
         let mut seed = 0x1507_2008u64;
         let mut out_dir = None;
+        let mut threads = parallel::default_threads();
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i < args.len() {
@@ -56,6 +62,14 @@ impl RunArgs {
                             .unwrap_or_else(|| die("--out needs a directory")),
                     ));
                 }
+                "--threads" => {
+                    i += 1;
+                    threads = args
+                        .get(i)
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n: &usize| n >= 1)
+                        .unwrap_or_else(|| die("--threads needs a positive integer"));
+                }
                 "--bench" | "--quiet" => {} // passed through by `cargo bench`
                 other => {
                     eprintln!("ignoring unknown argument: {other}");
@@ -70,6 +84,7 @@ impl RunArgs {
             scale,
             seed,
             out_dir,
+            threads,
         }
     }
 
@@ -92,7 +107,11 @@ impl RunArgs {
         println!(
             "scale: 1/{} of paper size{} | seed: {:#x}",
             self.scale,
-            if self.scale == 1 { " (paper scale)" } else { "" },
+            if self.scale == 1 {
+                " (paper scale)"
+            } else {
+                ""
+            },
             self.seed
         );
         println!();

@@ -155,7 +155,10 @@ impl Chart {
                 path.join(" ")
             );
             for (x, y) in &pts {
-                let _ = write!(svg, r#"<circle cx="{x:.1}" cy="{y:.1}" r="2.6" fill="{color}"/>"#);
+                let _ = write!(
+                    svg,
+                    r#"<circle cx="{x:.1}" cy="{y:.1}" r="2.6" fill="{color}"/>"#
+                );
             }
             // Legend entry.
             let ly = MARGIN_T + 16.0 + i as f64 * 18.0;
@@ -224,7 +227,10 @@ pub fn chart_from_dat(name: &str, text: &str, log_y: bool) -> Option<Chart> {
     }
     // Numeric columns: every row parses.
     let numeric: Vec<usize> = (0..columns.len())
-        .filter(|&c| rows.iter().all(|r| r.get(c).is_some_and(|v| v.parse::<f64>().is_ok())))
+        .filter(|&c| {
+            rows.iter()
+                .all(|r| r.get(c).is_some_and(|v| v.parse::<f64>().is_ok()))
+        })
         .collect();
     if numeric.len() < 2 {
         return None;
@@ -268,7 +274,9 @@ fn format_tick(v: f64) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]

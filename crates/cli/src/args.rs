@@ -29,8 +29,19 @@ impl std::error::Error for ArgError {}
 /// Option keys that take a value; everything else double-dashed is a
 /// boolean flag.
 const VALUE_KEYS: &[&str] = &[
-    "workload", "spc", "dram-mb", "flash-mb", "requests", "seed", "scale", "out", "sizes-mb",
-    "controller", "acceleration", "budget", "write-fraction",
+    "workload",
+    "spc",
+    "dram-mb",
+    "flash-mb",
+    "requests",
+    "seed",
+    "scale",
+    "out",
+    "sizes-mb",
+    "controller",
+    "acceleration",
+    "budget",
+    "write-fraction",
 ];
 
 impl Args {
@@ -62,10 +73,7 @@ impl Args {
         }
         out.command = positional.first().cloned().unwrap_or_default();
         if positional.len() > 1 {
-            return Err(ArgError(format!(
-                "unexpected argument `{}`",
-                positional[1]
-            )));
+            return Err(ArgError(format!("unexpected argument `{}`", positional[1])));
         }
         Ok(out)
     }

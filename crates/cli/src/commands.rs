@@ -82,8 +82,12 @@ fn flash_config(flash_mb: u64, unified: bool) -> FlashCacheConfig {
 
 /// `flashcache simulate`.
 pub fn simulate(args: &super::Args) -> Result<(), String> {
-    let seed: u64 = args.num("seed", 0x1507_2008u64).map_err(|e| e.to_string())?;
-    let requests: u64 = args.num("requests", 100_000u64).map_err(|e| e.to_string())?;
+    let seed: u64 = args
+        .num("seed", 0x1507_2008u64)
+        .map_err(|e| e.to_string())?;
+    let requests: u64 = args
+        .num("requests", 100_000u64)
+        .map_err(|e| e.to_string())?;
     let dram_mb: u64 = args.num("dram-mb", 16u64).map_err(|e| e.to_string())?;
     let flash_mb: u64 = args.num("flash-mb", 64u64).map_err(|e| e.to_string())?;
     let mut hierarchy = Hierarchy::new(HierarchyConfig {
@@ -158,8 +162,12 @@ pub fn simulate(args: &super::Args) -> Result<(), String> {
 /// `flashcache sweep`.
 pub fn sweep(args: &super::Args) -> Result<(), String> {
     let workload = load_workload(args)?;
-    let seed: u64 = args.num("seed", 0x1507_2008u64).map_err(|e| e.to_string())?;
-    let requests: u64 = args.num("requests", 100_000u64).map_err(|e| e.to_string())?;
+    let seed: u64 = args
+        .num("seed", 0x1507_2008u64)
+        .map_err(|e| e.to_string())?;
+    let requests: u64 = args
+        .num("requests", 100_000u64)
+        .map_err(|e| e.to_string())?;
     let sizes = args
         .num_list("sizes-mb", &[8, 16, 32, 64])
         .map_err(|e| e.to_string())?;
@@ -176,8 +184,8 @@ pub fn sweep(args: &super::Args) -> Result<(), String> {
     for &mb in &sizes {
         let mut row = Vec::new();
         for unified in [true, false] {
-            let mut cache = FlashCache::new(flash_config(mb, unified))
-                .map_err(|e| format!("{mb}MB: {e}"))?;
+            let mut cache =
+                FlashCache::new(flash_config(mb, unified)).map_err(|e| format!("{mb}MB: {e}"))?;
             let mut generator = workload.generator(seed);
             let mut done = 0u64;
             while done < requests {
@@ -211,9 +219,13 @@ pub fn sweep(args: &super::Args) -> Result<(), String> {
 /// `flashcache lifetime`.
 pub fn lifetime(args: &super::Args) -> Result<(), String> {
     let workload = load_workload(args)?;
-    let seed: u64 = args.num("seed", 0x1507_2008u64).map_err(|e| e.to_string())?;
+    let seed: u64 = args
+        .num("seed", 0x1507_2008u64)
+        .map_err(|e| e.to_string())?;
     let acceleration: f64 = args.num("acceleration", 2e5).map_err(|e| e.to_string())?;
-    let budget: u64 = args.num("budget", 30_000_000u64).map_err(|e| e.to_string())?;
+    let budget: u64 = args
+        .num("budget", 30_000_000u64)
+        .map_err(|e| e.to_string())?;
     let policies: Vec<(&str, ControllerPolicy)> = match args.get("controller") {
         None => vec![
             ("bch1", ControllerPolicy::FixedEcc { strength: 1 }),
@@ -236,7 +248,10 @@ pub fn lifetime(args: &super::Args) -> Result<(), String> {
         "workload {} | flash = half working set | acceleration {acceleration:.0}x | seed {seed}\n",
         workload.name
     );
-    println!("{:<16}{:>16}{:>12}{:>12}", "controller", "accesses", "erases", "retired");
+    println!(
+        "{:<16}{:>16}{:>12}{:>12}",
+        "controller", "accesses", "erases", "retired"
+    );
     let mut baseline = None;
     for (name, policy) in policies {
         let flash_bytes =
@@ -277,7 +292,11 @@ pub fn lifetime(args: &super::Args) -> Result<(), String> {
             s.erases,
             s.retired_blocks,
             gain,
-            if cache.is_dead() { "" } else { "  [budget hit]" }
+            if cache.is_dead() {
+                ""
+            } else {
+                "  [budget hit]"
+            }
         );
         baseline.get_or_insert(accesses);
     }
@@ -292,8 +311,12 @@ pub fn export(args: &super::Args) -> Result<(), String> {
             .parse()
             .map_err(|_| format!("--write-fraction: cannot parse `{wf}`"))?;
     }
-    let seed: u64 = args.num("seed", 0x1507_2008u64).map_err(|e| e.to_string())?;
-    let requests: u64 = args.num("requests", 100_000u64).map_err(|e| e.to_string())?;
+    let seed: u64 = args
+        .num("seed", 0x1507_2008u64)
+        .map_err(|e| e.to_string())?;
+    let requests: u64 = args
+        .num("requests", 100_000u64)
+        .map_err(|e| e.to_string())?;
     let mut generator = workload.generator(seed);
     let reqs: Vec<DiskRequest> = (0..requests).map(|_| generator.next_request()).collect();
     let written = match args.get("out") {

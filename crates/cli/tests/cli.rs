@@ -49,18 +49,37 @@ fn simulate_synthetic_workload() {
 #[test]
 fn simulate_dram_only_baseline() {
     let (ok, stdout, _) = run(&[
-        "simulate", "--workload", "alpha2", "--scale", "1024", "--requests", "2000",
-        "--dram-mb", "1", "--flash-mb", "0",
+        "simulate",
+        "--workload",
+        "alpha2",
+        "--scale",
+        "1024",
+        "--requests",
+        "2000",
+        "--dram-mb",
+        "1",
+        "--flash-mb",
+        "0",
     ]);
     assert!(ok);
-    assert!(!stdout.contains("flash cache:"), "no flash section expected");
+    assert!(
+        !stdout.contains("flash cache:"),
+        "no flash section expected"
+    );
 }
 
 #[test]
 fn sweep_prints_each_size() {
     let (ok, stdout, stderr) = run(&[
-        "sweep", "--workload", "dbt2", "--scale", "1024", "--requests", "8000",
-        "--sizes-mb", "2,4",
+        "sweep",
+        "--workload",
+        "dbt2",
+        "--scale",
+        "1024",
+        "--requests",
+        "8000",
+        "--sizes-mb",
+        "2,4",
     ]);
     assert!(ok, "stderr: {stderr}");
     assert!(stdout.contains("2MB"), "{stdout}");
@@ -71,13 +90,23 @@ fn sweep_prints_each_size() {
 #[test]
 fn lifetime_compares_policies() {
     let (ok, stdout, stderr) = run(&[
-        "lifetime", "--workload", "alpha2", "--scale", "4096",
-        "--acceleration", "1e6", "--budget", "3000000",
+        "lifetime",
+        "--workload",
+        "alpha2",
+        "--scale",
+        "4096",
+        "--acceleration",
+        "1e6",
+        "--budget",
+        "3000000",
     ]);
     assert!(ok, "stderr: {stderr}");
     assert!(stdout.contains("bch1"));
     assert!(stdout.contains("programmable"));
-    assert!(stdout.contains("x)"), "improvement factors printed: {stdout}");
+    assert!(
+        stdout.contains("x)"),
+        "improvement factors printed: {stdout}"
+    );
 }
 
 #[test]
@@ -87,15 +116,29 @@ fn export_then_simulate_roundtrip() {
     let path = dir.join("trace.spc");
     let path_str = path.to_str().unwrap();
     let (ok, _, stderr) = run(&[
-        "export", "--workload", "financial2", "--scale", "1024",
-        "--requests", "3000", "--out", path_str,
+        "export",
+        "--workload",
+        "financial2",
+        "--scale",
+        "1024",
+        "--requests",
+        "3000",
+        "--out",
+        path_str,
     ]);
     assert!(ok, "stderr: {stderr}");
     assert!(stderr.contains("wrote 3000 records"));
     // The exported trace replays through simulate --spc.
     let (ok2, stdout, stderr2) = run(&[
-        "simulate", "--spc", path_str, "--requests", "3000",
-        "--dram-mb", "1", "--flash-mb", "4",
+        "simulate",
+        "--spc",
+        path_str,
+        "--requests",
+        "3000",
+        "--dram-mb",
+        "1",
+        "--flash-mb",
+        "4",
     ]);
     assert!(ok2, "stderr: {stderr2}");
     assert!(stdout.contains("replayed 3000 SPC records"));

@@ -280,7 +280,8 @@ impl FlashCache {
                 s.invalid_pages,
                 s.erase_count,
                 s.retired,
-                self.fbst.wear_out(b, self.config.wear_k1, self.config.wear_k2)
+                self.fbst
+                    .wear_out(b, self.config.wear_k1, self.config.wear_k2)
             );
         }
         out
@@ -500,7 +501,13 @@ impl FlashCache {
 
     /// Programs `addr` with the slot's configured mode/strength and
     /// installs the FCHT mapping. Returns the program + encode latency.
-    pub(crate) fn program_slot(&mut self, addr: PageAddr, disk_page: u64, dirty: bool, access: u8) -> f64 {
+    pub(crate) fn program_slot(
+        &mut self,
+        addr: PageAddr,
+        disk_page: u64,
+        dirty: bool,
+        access: u8,
+    ) -> f64 {
         let even = PageAddr::new(addr.block, addr.slot & !1);
         let mode = if addr.is_upper_half() {
             CellMode::Mlc
@@ -626,10 +633,9 @@ impl FlashCache {
         let phys_mode = self.fpst.get(even).mode;
         let (ecc_possible, slc_possible) = match self.config.controller {
             ControllerPolicy::FixedEcc { .. } => (false, false),
-            ControllerPolicy::Programmable => (
-                cfg_t < self.config.max_ecc,
-                phys_mode == CellMode::Mlc,
-            ),
+            ControllerPolicy::Programmable => {
+                (cfg_t < self.config.max_ecc, phys_mode == CellMode::Mlc)
+            }
             ControllerPolicy::EccOnly => (cfg_t < self.config.max_ecc, false),
             ControllerPolicy::DensityOnly => (false, phys_mode == CellMode::Mlc),
         };
@@ -639,8 +645,7 @@ impl FlashCache {
             (false, true) => false,
             (true, true) => {
                 let st = self.fpst.get(addr);
-                let freq =
-                    (st.access_count as f64 / self.config.hot_threshold as f64).min(1.0);
+                let freq = (st.access_count as f64 / self.config.hot_threshold as f64).min(1.0);
                 let d_code = self.config.ecc_latency.decode_us(cfg_t as usize + 1)
                     - self.config.ecc_latency.decode_us(cfg_t as usize);
                 let d_tcs = freq * d_code;
@@ -658,9 +663,7 @@ impl FlashCache {
             }
         };
         if choose_ecc {
-            let new_t = (errors as u8 + 1)
-                .max(cfg_t + 1)
-                .min(self.config.max_ecc);
+            let new_t = (errors as u8 + 1).max(cfg_t + 1).min(self.config.max_ecc);
             let delta = (new_t - cfg_t) as u32;
             self.fpst.get_mut(addr).ecc_strength = new_t;
             self.fbst.get_mut(addr.block).total_ecc += delta;
@@ -690,5 +693,4 @@ impl FlashCache {
             self.collect_garbage(RegionKind::Read);
         }
     }
-
 }

@@ -50,8 +50,7 @@ impl Default for SplitPolicy {
 }
 
 /// Flash memory controller reconfiguration policy (§4, §5.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ControllerPolicy {
     /// The paper's programmable controller: variable ECC strength *and*
     /// MLC→SLC density switching, chosen by the Δtcs/Δtd heuristics.
@@ -69,7 +68,6 @@ pub enum ControllerPolicy {
     /// strength.
     DensityOnly,
 }
-
 
 /// Full configuration of a [`crate::cache::FlashCache`].
 #[derive(Debug, Clone, PartialEq)]
@@ -228,7 +226,9 @@ mod tests {
     #[test]
     fn validation_catches_bad_fields() {
         let mut c = FlashCacheConfig {
-            split: SplitPolicy::Split { write_fraction: 0.0 },
+            split: SplitPolicy::Split {
+                write_fraction: 0.0,
+            },
             ..FlashCacheConfig::default()
         };
         assert!(c.validate().is_err());

@@ -287,7 +287,10 @@ fn zipf_traffic_promotes_only_the_hot_head() {
     );
     // Hot page reads now run at SLC latency (25µs + decode < MLC 50µs + decode).
     let hot = c.read(0).flash_latency_us;
-    assert!(hot < 50.0 + c.config().ecc_latency.decode_us(1), "hot={hot}");
+    assert!(
+        hot < 50.0 + c.config().ecc_latency.decode_us(1),
+        "hot={hot}"
+    );
 }
 
 #[test]
@@ -334,7 +337,11 @@ fn stats_latency_accounting_is_internally_consistent() {
     let mut foreground = 0.0;
     let mut background = 0.0;
     for i in 0..2_000u64 {
-        let out = if i % 4 == 0 { c.write(i % 300) } else { c.read(i % 300) };
+        let out = if i % 4 == 0 {
+            c.write(i % 300)
+        } else {
+            c.read(i % 300)
+        };
         foreground += out.flash_latency_us;
         background += out.background_us;
     }
@@ -344,7 +351,10 @@ fn stats_latency_accounting_is_internally_consistent() {
     // Device busy time accounts for everything the cache did, including GC.
     let device_busy = c.device().stats().busy_us;
     assert!(device_busy > 0.0);
-    assert!(s.ecc_us <= s.foreground_us, "ECC time is part of foreground");
+    assert!(
+        s.ecc_us <= s.foreground_us,
+        "ECC time is part of foreground"
+    );
 }
 
 #[test]

@@ -32,12 +32,12 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cache;
-pub mod descriptor;
 #[cfg(test)]
 mod cache_tests;
+pub mod config;
+pub mod descriptor;
 #[cfg(test)]
 mod edge_tests;
-pub mod config;
 pub mod lru;
 mod maint;
 pub mod overheads;

@@ -184,10 +184,7 @@ mod tests {
         assert_eq!(t.lru(), Some(1));
         assert!(t.touch(1)); // now most recent
         assert_eq!(t.lru(), Some(2));
-        assert_eq!(
-            t.iter_lru_first().collect::<Vec<_>>(),
-            vec![2, 3, 1]
-        );
+        assert_eq!(t.iter_lru_first().collect::<Vec<_>>(), vec![2, 3, 1]);
     }
 
     #[test]

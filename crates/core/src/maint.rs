@@ -30,9 +30,8 @@ impl FlashCache {
     }
 
     fn block_is_reserved(&self, b: BlockId) -> bool {
-        let check = |r: &crate::cache::Region| {
-            r.open.map(|o| o.id) == Some(b) || r.spare == Some(b)
-        };
+        let check =
+            |r: &crate::cache::Region| r.open.map(|o| o.id) == Some(b) || r.spare == Some(b);
         check(&self.read_region) || check(&self.write_region)
     }
 
@@ -284,9 +283,9 @@ impl FlashCache {
     /// page was dropped instead (uncorrectable or no destination).
     fn move_page(&mut self, src: PageAddr, kind: RegionKind, gc_us: &mut f64) -> bool {
         let st = *self.fpst.get(src);
-        let live_t = self.live_strength
-            [src.block.0 as usize * self.device.geometry().slots_per_block() as usize
-                + src.slot as usize];
+        let live_t = self.live_strength[src.block.0 as usize
+            * self.device.geometry().slots_per_block() as usize
+            + src.slot as usize];
         let out = self
             .device
             .read_page(src)
@@ -426,8 +425,8 @@ impl FlashCache {
                 continue;
             }
             let st = *self.fpst.get(s_addr);
-            let live_t = self.live_strength
-                [s_addr.block.0 as usize * spb as usize + s_addr.slot as usize];
+            let live_t =
+                self.live_strength[s_addr.block.0 as usize * spb as usize + s_addr.slot as usize];
             let out = self.device.read_page(s_addr).expect("valid page");
             self.stats.flash_reads += 1;
             *gc_us += out.latency_us + self.config.ecc_latency.decode_us(live_t as usize);
@@ -437,8 +436,7 @@ impl FlashCache {
                 continue;
             }
             // Find the next compatible slot in dst.
-            let want_slc =
-                st.access_count >= self.config.hot_threshold && self.policy_allows_slc();
+            let want_slc = st.access_count >= self.config.hot_threshold && self.policy_allows_slc();
             let mut placed = None;
             while dst_slot < spb {
                 let d_addr = PageAddr::new(dst, dst_slot);

@@ -149,7 +149,13 @@ mod tests {
         p.insert(2, false);
         p.access(1); // 2 becomes LRU
         let ev = p.insert(3, false).unwrap();
-        assert_eq!(ev, PdcEviction { page: 2, dirty: false });
+        assert_eq!(
+            ev,
+            PdcEviction {
+                page: 2,
+                dirty: false
+            }
+        );
     }
 
     #[test]

@@ -412,7 +412,10 @@ mod tests {
                 RegionKind::Write
             }
         });
-        let reads = fbst.iter().filter(|(_, s)| s.region == RegionKind::Read).count();
+        let reads = fbst
+            .iter()
+            .filter(|(_, s)| s.region == RegionKind::Read)
+            .count();
         assert_eq!(reads, 9);
     }
 

@@ -129,8 +129,26 @@ pub struct BchCode {
     /// Generator polynomial over GF(2).
     generator: BitPoly,
     /// Generator with the leading `x^r` term cleared, pre-split into words
-    /// for the encoding LFSR.
+    /// for the bit-serial encoding LFSR (kept as the differential-test
+    /// oracle for the table-driven encoder).
     feedback: Vec<u64>,
+    /// Number of 64-bit words in the left-aligned encoder register.
+    enc_words: usize,
+    /// Byte-at-a-time remainder-update table: 256 rows of `enc_words`
+    /// words each. Empty when `parity_bits < 8` (bit-serial fallback).
+    enc_table: Vec<u64>,
+    /// Per odd syndrome `i = 2k+1`: exponent of the leading codeword
+    /// position, `((data_bits + parity_bits − 1)·i) mod n`.
+    syn_e0: Vec<u32>,
+    /// Per odd syndrome: exponent of the leading parity position,
+    /// `((parity_bits − 1)·i) mod n`.
+    syn_parity_e0: Vec<u32>,
+    /// Per odd syndrome: exponent consumed by one 64-bit word,
+    /// `(64·i) mod n`.
+    syn_word_step: Vec<u32>,
+    /// Per odd syndrome, per bit offset `b` in a word: `(b·i) mod n`,
+    /// laid out as `t` rows of 64.
+    syn_offsets: Vec<u32>,
 }
 
 impl BchCode {
@@ -168,6 +186,32 @@ impl BchCode {
                 feedback[e / 64] |= 1 << (e % 64);
             }
         }
+        let enc_words = parity_bits.div_ceil(64);
+        let enc_table = if parity_bits >= 8 {
+            build_enc_table(&generator, parity_bits, enc_words)
+        } else {
+            // The byte-at-a-time step needs at least 8 remainder bits;
+            // tiny codes fall back to the bit-serial LFSR.
+            Vec::new()
+        };
+        // Syndrome kernel tables: exponents of alpha per codeword
+        // position, maintained in [0, n) so the doubled antilog table
+        // absorbs all index arithmetic without modular reduction.
+        let n = field.group_order() as u64;
+        let total_bits = (data_bits + parity_bits) as u64;
+        let mut syn_e0 = Vec::with_capacity(t);
+        let mut syn_parity_e0 = Vec::with_capacity(t);
+        let mut syn_word_step = Vec::with_capacity(t);
+        let mut syn_offsets = Vec::with_capacity(t * 64);
+        for k in 0..t {
+            let i = (2 * k + 1) as u64;
+            syn_e0.push((((total_bits - 1) * i) % n) as u32);
+            syn_parity_e0.push((((parity_bits as u64 - 1) * i) % n) as u32);
+            syn_word_step.push(((64 * i) % n) as u32);
+            for b in 0..64u64 {
+                syn_offsets.push(((b * i) % n) as u32);
+            }
+        }
         Ok(BchCode {
             field,
             t,
@@ -176,6 +220,12 @@ impl BchCode {
             parity_bits,
             generator,
             feedback,
+            enc_words,
+            enc_table,
+            syn_e0,
+            syn_parity_e0,
+            syn_word_step,
+            syn_offsets,
         })
     }
 
@@ -228,9 +278,6 @@ impl BchCode {
 
     /// The generator polynomial over GF(2).
     pub fn generator(&self) -> &BitPoly {
-        self.generator
-            .degree()
-            .expect("generator is nonzero");
         &self.generator
     }
 
@@ -240,6 +287,82 @@ impl BchCode {
     ///
     /// Panics if `data.len()` differs from [`Self::data_bytes`].
     pub fn encode(&self, data: &[u8]) -> Vec<u8> {
+        let mut out = vec![0u8; self.parity_bytes()];
+        self.encode_into(data, &mut out);
+        out
+    }
+
+    /// Encodes `data` into a caller-provided parity buffer, avoiding the
+    /// per-call allocation of [`Self::encode`].
+    ///
+    /// Uses a byte-at-a-time table-driven LFSR (CRC-style): the remainder
+    /// register is kept left-aligned in 64-bit words and advanced one input
+    /// byte per step through a 256-entry remainder-update table built at
+    /// construction time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from [`Self::data_bytes`] or
+    /// `parity_out.len()` differs from [`Self::parity_bytes`].
+    pub fn encode_into(&self, data: &[u8], parity_out: &mut [u8]) {
+        assert_eq!(
+            data.len(),
+            self.data_bytes,
+            "encode: data must be exactly {} bytes",
+            self.data_bytes
+        );
+        assert_eq!(
+            parity_out.len(),
+            self.parity_bytes(),
+            "encode: parity buffer must be exactly {} bytes",
+            self.parity_bytes()
+        );
+        if self.enc_table.is_empty() {
+            parity_out.copy_from_slice(&self.encode_bitserial(data));
+            return;
+        }
+        // Monomorphized register widths cover every practical code
+        // (flash-page codes at t <= 12 need at most 3 words).
+        match self.enc_words {
+            1 => self.serialize_parity(&table_encode_fixed::<1>(&self.enc_table, data), parity_out),
+            2 => self.serialize_parity(&table_encode_fixed::<2>(&self.enc_table, data), parity_out),
+            3 => self.serialize_parity(&table_encode_fixed::<3>(&self.enc_table, data), parity_out),
+            4 => self.serialize_parity(&table_encode_fixed::<4>(&self.enc_table, data), parity_out),
+            w => {
+                let mut reg = vec![0u64; w];
+                for &byte in data {
+                    let idx = (byte ^ (reg[w - 1] >> 56) as u8) as usize * w;
+                    for k in (1..w).rev() {
+                        reg[k] = (reg[k] << 8) | (reg[k - 1] >> 56);
+                    }
+                    reg[0] <<= 8;
+                    for (rk, tk) in reg.iter_mut().zip(&self.enc_table[idx..idx + w]) {
+                        *rk ^= tk;
+                    }
+                }
+                self.serialize_parity(&reg, parity_out);
+            }
+        }
+    }
+
+    /// Writes the left-aligned remainder register out as the MSB-first
+    /// parity byte stream (byte 0 = highest-power coefficients). Register
+    /// bits below `enc_words·64 − parity_bits` are always zero, so any
+    /// padding bits in the last byte come out zero.
+    fn serialize_parity(&self, reg: &[u64], out: &mut [u8]) {
+        let w = reg.len();
+        for (k, byte) in out.iter_mut().enumerate() {
+            *byte = (reg[w - 1 - k / 8] >> (56 - 8 * (k % 8))) as u8;
+        }
+    }
+
+    /// Reference bit-serial encoder: one LFSR step per data bit.
+    ///
+    /// Retained as the differential-test oracle for the table-driven
+    /// [`Self::encode_into`] (and as the fallback for codes with fewer
+    /// than 8 parity bits, where the byte-wise step does not apply).
+    #[doc(hidden)]
+    pub fn encode_bitserial(&self, data: &[u8]) -> Vec<u8> {
         assert_eq!(
             data.len(),
             self.data_bytes,
@@ -347,7 +470,84 @@ impl BchCode {
     }
 
     /// Computes syndromes S_1..S_2t of the received word.
-    fn syndromes(&self, data: &[u8], parity: &[u8]) -> Vec<u32> {
+    ///
+    /// Word-at-a-time kernel: the received bits are consumed as big-endian
+    /// 64-bit words (zero words skipped entirely); each odd syndrome keeps
+    /// a running exponent for the word's leading position, stepped by the
+    /// precomputed `(64·i) mod n` per word, and each set bit costs one
+    /// add plus one antilog lookup through the doubled exp table — no
+    /// multiplications or modular reductions in the inner loop. Even
+    /// syndromes come from squaring (S_2i = S_i² for binary codes).
+    #[doc(hidden)]
+    pub fn syndromes(&self, data: &[u8], parity: &[u8]) -> Vec<u32> {
+        let f = &self.field;
+        let n = f.group_order();
+        let t = self.t;
+        let mut syn = vec![0u32; 2 * t];
+        // Running per-odd-syndrome exponents of the current word's bit 0
+        // (MSB). Kept in [0, n).
+        let mut e: Vec<u32> = self.syn_e0.clone();
+        let mut absorb_word = |e: &mut [u32], wval: u64, advance: bool| {
+            if wval != 0 {
+                let mut bits = wval;
+                while bits != 0 {
+                    let b = bits.leading_zeros() as usize;
+                    bits &= !(0x8000_0000_0000_0000u64 >> b);
+                    for k in 0..t {
+                        let off = self.syn_offsets[k * 64 + b];
+                        syn[2 * k] ^= f.exp_raw((e[k] + n - off) as usize);
+                    }
+                }
+            }
+            if advance {
+                for (ek, &step) in e.iter_mut().zip(&self.syn_word_step) {
+                    let mut v = *ek + n - step;
+                    if v >= n {
+                        v -= n;
+                    }
+                    *ek = v;
+                }
+            }
+        };
+        let mut chunks = data.chunks_exact(8);
+        for chunk in &mut chunks {
+            let wval = u64::from_be_bytes(chunk.try_into().expect("chunk is 8 bytes"));
+            absorb_word(&mut e, wval, true);
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            // Zero padding in the low bytes contributes nothing.
+            let mut buf = [0u8; 8];
+            buf[..tail.len()].copy_from_slice(tail);
+            absorb_word(&mut e, u64::from_be_bytes(buf), false);
+        }
+        // Parity is a separate MSB-first stream whose leading position has
+        // power r-1. Padding bits in the last byte are masked off, exactly
+        // as the bit-serial reference ignores positions >= r.
+        let r = self.parity_bits;
+        e.copy_from_slice(&self.syn_parity_e0);
+        let pchunks = parity.chunks(8);
+        let last_chunk = parity.len().div_ceil(8).saturating_sub(1);
+        for (ci, chunk) in pchunks.enumerate() {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            if ci == last_chunk && !r.is_multiple_of(8) {
+                buf[chunk.len() - 1] &= 0xFFu8 << (8 - r % 8);
+            }
+            absorb_word(&mut e, u64::from_be_bytes(buf), true);
+        }
+        for i in 1..=t {
+            syn[2 * i - 1] = f.mul(syn[i - 1], syn[i - 1]);
+        }
+        syn
+    }
+
+    /// Reference syndrome computation: per-bit modular exponent products.
+    ///
+    /// Retained as the differential-test oracle for the word-at-a-time
+    /// [`Self::syndromes`] kernel.
+    #[doc(hidden)]
+    pub fn syndromes_reference(&self, data: &[u8], parity: &[u8]) -> Vec<u32> {
         let f = &self.field;
         let n = f.group_order() as i64;
         let r = self.parity_bits as i64;
@@ -388,11 +588,14 @@ impl BchCode {
     /// Berlekamp–Massey: returns the error-locator polynomial
     /// `sigma(x) = 1 + sigma_1 x + ... + sigma_L x^L` (index = degree),
     /// trimmed so `sigma.len() - 1` is its degree.
-    fn berlekamp_massey(&self, syndromes: &[u32]) -> Vec<u32> {
+    #[doc(hidden)]
+    pub fn berlekamp_massey(&self, syndromes: &[u32]) -> Vec<u32> {
         let f = &self.field;
         let two_t = syndromes.len();
         let mut sigma = vec![0u32; two_t + 2];
         let mut prev = vec![0u32; two_t + 2];
+        // Scratch for the length-change branch; allocated once, reused.
+        let mut scratch = vec![0u32; two_t + 2];
         sigma[0] = 1;
         prev[0] = 1;
         let mut l = 0usize; // current LFSR length
@@ -407,7 +610,7 @@ impl BchCode {
             if d == 0 {
                 shift += 1;
             } else if 2 * l <= n_iter {
-                let saved = sigma.clone();
+                scratch.copy_from_slice(&sigma);
                 let coef = f.div(d, b);
                 for (i, &p) in prev.iter().enumerate() {
                     if p != 0 && i + shift < sigma.len() {
@@ -415,12 +618,16 @@ impl BchCode {
                     }
                 }
                 l = n_iter + 1 - l;
-                prev = saved;
+                // Old sigma (in scratch) becomes the new prev; the stale
+                // prev buffer becomes next iteration's scratch.
+                std::mem::swap(&mut prev, &mut scratch);
                 b = d;
                 shift = 1;
             } else {
+                // sigma and prev are distinct buffers, so prev can be read
+                // directly while sigma is updated.
                 let coef = f.div(d, b);
-                for (i, &p) in prev.clone().iter().enumerate() {
+                for (i, &p) in prev.iter().enumerate() {
                     if p != 0 && i + shift < sigma.len() {
                         sigma[i + shift] ^= f.mul(coef, p);
                     }
@@ -443,15 +650,112 @@ impl BchCode {
     /// `x` in the codeword polynomial) where errors occurred. Only
     /// positions inside the shortened length are returned; a root outside
     /// it is simply absent, which the caller detects as a count mismatch.
-    fn chien_search(&self, sigma: &[u32]) -> Vec<usize> {
+    ///
+    /// Batched log-domain kernel: each nonzero term of sigma is tracked as
+    /// an exponent (one add + compare + antilog lookup per position
+    /// instead of a field multiply), zero terms are dropped up front,
+    /// positions are evaluated four at a stride via precomputed
+    /// `alpha^(-j·4)` jump exponents, and the scan exits early once
+    /// deg(sigma) roots are found — a degree-L polynomial has at most L
+    /// roots, so no later position can be a root.
+    #[doc(hidden)]
+    pub fn chien_search(&self, sigma: &[u32]) -> Vec<usize> {
+        let f = &self.field;
+        let n = f.group_order();
+        let used_bits = self.data_bits + self.parity_bits;
+        let deg = sigma.len() - 1;
+        let mut roots = Vec::with_capacity(deg);
+        if deg == 0 {
+            // sigma is a nonzero constant: no roots anywhere.
+            return roots;
+        }
+        const STRIDE: usize = 4;
+        // Per nonzero term j >= 1: current exponent acc = log(sigma_j) +
+        // p·step (mod n), per-position step (n − j) mod n, per-block jump
+        // step·STRIDE mod n, and within-block adjustments step·o mod n.
+        // All stay in [0, n), so acc + adj indexes the doubled exp table
+        // directly.
+        struct Term {
+            acc: u32,
+            step: u32,
+            jump: u32,
+            adj: [u32; STRIDE],
+        }
+        let mut terms: Vec<Term> = Vec::with_capacity(deg);
+        for (j, &c) in sigma.iter().enumerate().skip(1) {
+            if c == 0 {
+                continue;
+            }
+            let step = (n - (j as u32 % n)) % n;
+            let mut adj = [0u32; STRIDE];
+            for (o, a) in adj.iter_mut().enumerate() {
+                *a = ((step as u64 * o as u64) % n as u64) as u32;
+            }
+            terms.push(Term {
+                acc: f.log(c),
+                step,
+                jump: ((step as u64 * STRIDE as u64) % n as u64) as u32,
+                adj,
+            });
+        }
+        let c0 = sigma[0];
+        let mut p = 0usize;
+        'scan: while p < used_bits {
+            if p + STRIDE <= used_bits {
+                let mut sums = [c0; STRIDE];
+                for term in &mut terms {
+                    for (s, &a) in sums.iter_mut().zip(&term.adj) {
+                        *s ^= f.exp_raw((term.acc + a) as usize);
+                    }
+                    let mut acc = term.acc + term.jump;
+                    if acc >= n {
+                        acc -= n;
+                    }
+                    term.acc = acc;
+                }
+                for (o, &s) in sums.iter().enumerate() {
+                    if s == 0 {
+                        roots.push(p + o);
+                        if roots.len() == deg {
+                            break 'scan;
+                        }
+                    }
+                }
+                p += STRIDE;
+            } else {
+                let mut sum = c0;
+                for term in &mut terms {
+                    sum ^= f.exp_raw(term.acc as usize);
+                    let mut acc = term.acc + term.step;
+                    if acc >= n {
+                        acc -= n;
+                    }
+                    term.acc = acc;
+                }
+                if sum == 0 {
+                    roots.push(p);
+                    if roots.len() == deg {
+                        break 'scan;
+                    }
+                }
+                p += 1;
+            }
+        }
+        roots
+    }
+
+    /// Reference Chien search: one field multiply per term per position.
+    ///
+    /// Retained as the differential-test oracle for the batched
+    /// [`Self::chien_search`] kernel.
+    #[doc(hidden)]
+    pub fn chien_search_reference(&self, sigma: &[u32]) -> Vec<usize> {
         let f = &self.field;
         let used_bits = self.data_bits + self.parity_bits;
         let mut roots = Vec::new();
         // terms[j] = sigma_j * alpha^(-j*p), updated incrementally over p.
         let mut terms: Vec<u32> = sigma.to_vec();
-        let steps: Vec<u32> = (0..sigma.len())
-            .map(|j| f.alpha_pow(-(j as i64)))
-            .collect();
+        let steps: Vec<u32> = (0..sigma.len()).map(|j| f.alpha_pow(-(j as i64))).collect();
         for p in 0..used_bits {
             if p > 0 {
                 for j in 1..terms.len() {
@@ -465,6 +769,65 @@ impl BchCode {
         }
         roots
     }
+}
+
+/// Builds the 256-entry byte-at-a-time remainder-update table for the
+/// encoding LFSR: `table[b]` is the remainder contribution of byte value
+/// `b` entering the top of a left-aligned `words`-word register, computed
+/// by eight exact bit-serial steps. Linearity of the LFSR over GF(2) makes
+/// one table XOR per input byte equivalent to eight serial steps.
+fn build_enc_table(generator: &BitPoly, r: usize, words: usize) -> Vec<u64> {
+    // Left-aligned feedback: coefficient x^e of (g − x^r) lands at
+    // register bit (words·64 − r) + e.
+    let shift = words * 64 - r;
+    let mut fb = vec![0u64; words];
+    for e in generator.iter_exponents() {
+        if e < r {
+            let b = shift + e;
+            fb[b / 64] |= 1 << (b % 64);
+        }
+    }
+    let mut table = vec![0u64; 256 * words];
+    let mut reg = vec![0u64; words];
+    for b in 0..256u64 {
+        reg.fill(0);
+        reg[words - 1] = b << 56;
+        for _ in 0..8 {
+            let msb = reg[words - 1] >> 63 == 1;
+            for k in (1..words).rev() {
+                reg[k] = (reg[k] << 1) | (reg[k - 1] >> 63);
+            }
+            reg[0] <<= 1;
+            if msb {
+                for (rk, fk) in reg.iter_mut().zip(&fb) {
+                    *rk ^= fk;
+                }
+            }
+        }
+        table[b as usize * words..][..words].copy_from_slice(&reg);
+    }
+    table
+}
+
+/// Monomorphized byte-at-a-time LFSR over a `W`-word left-aligned
+/// register: per input byte, one table row XOR replaces eight bit-serial
+/// steps. Returns the final remainder register.
+fn table_encode_fixed<const W: usize>(table: &[u64], data: &[u8]) -> [u64; W] {
+    let mut reg = [0u64; W];
+    for &byte in data {
+        let idx = (byte ^ (reg[W - 1] >> 56) as u8) as usize * W;
+        let row: &[u64] = &table[idx..idx + W];
+        let mut next = [0u64; W];
+        for k in (1..W).rev() {
+            next[k] = (reg[k] << 8) | (reg[k - 1] >> 56);
+        }
+        next[0] = reg[0] << 8;
+        for k in 0..W {
+            next[k] ^= row[k];
+        }
+        reg = next;
+    }
+    reg
 }
 
 /// Computes the generator polynomial of a `t`-error-correcting binary BCH
@@ -640,7 +1003,10 @@ mod tests {
         let mut ok = vec![0u8; 32];
         assert!(matches!(
             code.decode(&mut ok, &[0u8; 1]),
-            Err(DecodeError::LengthMismatch { which: "parity", .. })
+            Err(DecodeError::LengthMismatch {
+                which: "parity",
+                ..
+            })
         ));
     }
 

@@ -100,16 +100,28 @@ impl BitPoly {
     }
 
     /// Iterator over the exponents whose coefficient is 1, ascending.
+    ///
+    /// Walks set bits with `trailing_zeros` rather than probing all 64
+    /// positions per word, so cost scales with the polynomial's weight.
     pub fn iter_exponents(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(w, &word)| {
-            (0..64).filter_map(move |b| {
-                if (word >> b) & 1 == 1 {
+            std::iter::from_fn({
+                let mut bits = word;
+                move || {
+                    if bits == 0 {
+                        return None;
+                    }
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
                     Some(w * 64 + b)
-                } else {
-                    None
                 }
             })
         })
+    }
+
+    /// The backing words, bit `i` of word `i / 64` = coefficient of `x^i`.
+    pub fn words(&self) -> &[u64] {
+        &self.words
     }
 }
 

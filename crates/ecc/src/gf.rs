@@ -14,7 +14,9 @@
 /// Entry `PRIMITIVE_POLYS[m]` is a degree-`m` polynomial over GF(2),
 /// primitive for GF(2^m). Index 0 and 1 are unused placeholders.
 const PRIMITIVE_POLYS: [u32; 17] = [
-    0, 0, 0b111, // m=2: x^2+x+1
+    0,
+    0,
+    0b111,       // m=2: x^2+x+1
     0b1011,      // m=3: x^3+x+1
     0b1_0011,    // m=4: x^4+x+1
     0b10_0101,   // m=5: x^5+x^2+1
@@ -131,6 +133,17 @@ impl GfField {
         self.exp[r as usize]
     }
 
+    /// Direct antilog lookup: `alpha^idx` for `idx` in `0..2·(2^m − 1)`.
+    ///
+    /// Hot-path helper for the syndrome and Chien kernels, which keep
+    /// exponents in `[0, 2n)` so a single table read replaces a modular
+    /// reduction. The doubled `exp` table makes any such index valid.
+    #[inline]
+    pub(crate) fn exp_raw(&self, idx: usize) -> u32 {
+        debug_assert!(idx < self.exp.len(), "exp_raw index {idx} out of range");
+        self.exp[idx]
+    }
+
     /// Discrete logarithm of a nonzero element.
     ///
     /// # Panics
@@ -164,8 +177,7 @@ impl GfField {
         if a == 0 {
             0
         } else {
-            self.exp
-                [(self.log[a as usize] + self.group_order - self.log[b as usize]) as usize]
+            self.exp[(self.log[a as usize] + self.group_order - self.log[b as usize]) as usize]
         }
     }
 

@@ -134,12 +134,31 @@ impl PageCodec {
     ///
     /// Panics if `data` is not exactly [`PAGE_DATA_BYTES`] long.
     pub fn encode(&self, data: &[u8]) -> Vec<u8> {
-        assert_eq!(data.len(), PAGE_DATA_BYTES, "page payload must be 2048 bytes");
         let mut spare = vec![0u8; PAGE_SPARE_BYTES];
-        spare[..CRC_BYTES].copy_from_slice(&crc32(data).to_be_bytes());
-        let parity = self.bch.encode(data);
-        spare[CRC_BYTES..CRC_BYTES + parity.len()].copy_from_slice(&parity);
+        self.encode_into(data, &mut spare);
         spare
+    }
+
+    /// Encodes a page into a caller-provided spare buffer, avoiding the
+    /// per-page allocations of [`Self::encode`]. Bytes past the CRC and
+    /// parity are zeroed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not [`PAGE_DATA_BYTES`] long or `spare` is not
+    /// [`PAGE_SPARE_BYTES`] long.
+    pub fn encode_into(&self, data: &[u8], spare: &mut [u8]) {
+        assert_eq!(
+            data.len(),
+            PAGE_DATA_BYTES,
+            "page payload must be 2048 bytes"
+        );
+        assert_eq!(spare.len(), PAGE_SPARE_BYTES, "spare area must be 64 bytes");
+        spare[..CRC_BYTES].copy_from_slice(&crc32(data).to_be_bytes());
+        let parity_end = CRC_BYTES + self.bch.parity_bytes();
+        self.bch
+            .encode_into(data, &mut spare[CRC_BYTES..parity_end]);
+        spare[parity_end..].fill(0);
     }
 
     /// Decodes a page in place against its spare area.

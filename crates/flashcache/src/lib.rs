@@ -35,13 +35,13 @@
 
 #![warn(missing_docs)]
 
+pub use disk_trace as trace;
 pub use flash_ecc as ecc;
 pub use flash_reliability as reliability;
 pub use flashcache_core as core;
 pub use flashcache_sim as sim;
 pub use nand_flash as nand;
 pub use storage_model as storage;
-pub use disk_trace as trace;
 
 pub use disk_trace::{DiskRequest, OpKind, WorkloadSpec};
 pub use flashcache_core::{

@@ -52,14 +52,20 @@ impl fmt::Display for FlashOpError {
             FlashOpError::OutOfRange(a) => write!(f, "address {a} out of range"),
             FlashOpError::BlockOutOfRange(b) => write!(f, "{b} out of range"),
             FlashOpError::NotErased(a) => {
-                write!(f, "program to {a} requires an erased slot (out-of-place writes only)")
+                write!(
+                    f,
+                    "program to {a} requires an erased slot (out-of-place writes only)"
+                )
             }
             FlashOpError::NotProgrammed(a) => write!(f, "read of {a}: slot not programmed"),
             FlashOpError::SlcSibling(a) => {
                 write!(f, "slot {a} unusable: physical page is in SLC mode")
             }
             FlashOpError::ModeConflict { addr, existing } => {
-                write!(f, "programming {addr}: physical page already in {existing} mode")
+                write!(
+                    f,
+                    "programming {addr}: physical page already in {existing} mode"
+                )
             }
             FlashOpError::UpperHalfSlc(a) => {
                 write!(f, "slot {a}: SLC mode must target the even (lower) slot")
@@ -284,8 +290,7 @@ impl FlashDevice {
     }
 
     fn slot_index(&self, addr: PageAddr) -> usize {
-        addr.block.0 as usize * self.config.geometry.slots_per_block() as usize
-            + addr.slot as usize
+        addr.block.0 as usize * self.config.geometry.slots_per_block() as usize + addr.slot as usize
     }
 
     fn check_addr(&self, addr: PageAddr) -> Result<(), FlashOpError> {

@@ -126,8 +126,7 @@ impl FlashGeometry {
     pub fn for_mlc_capacity(capacity_bytes: u64) -> Self {
         assert!(capacity_bytes > 0, "capacity must be nonzero");
         let base = FlashGeometry::default();
-        let bytes_per_block =
-            base.pages_per_block as u64 * 2 * base.page_data_bytes as u64;
+        let bytes_per_block = base.pages_per_block as u64 * 2 * base.page_data_bytes as u64;
         let blocks = capacity_bytes.div_ceil(bytes_per_block);
         FlashGeometry {
             blocks: u32::try_from(blocks).expect("capacity too large"),
@@ -152,9 +151,7 @@ impl FlashGeometry {
 
     /// Device capacity in bytes when every page runs in `mode`.
     pub fn capacity_bytes(&self, mode: CellMode) -> u64 {
-        self.total_physical_pages()
-            * mode.pages_per_physical() as u64
-            * self.page_data_bytes as u64
+        self.total_physical_pages() * mode.pages_per_physical() as u64 * self.page_data_bytes as u64
     }
 
     /// Bit cells per physical page (data + spare).
@@ -187,7 +184,7 @@ mod tests {
         let g = FlashGeometry::default();
         assert_eq!(g.slots_per_block(), 128); // 128 MLC pages per block
         assert_eq!(g.pages_per_block, 64); // 64 SLC pages per block
-        // 128KB block in SLC mode.
+                                           // 128KB block in SLC mode.
         assert_eq!(
             g.pages_per_block as u64 * g.page_data_bytes as u64,
             128 * 1024
@@ -197,7 +194,10 @@ mod tests {
     #[test]
     fn capacity_depends_on_mode() {
         let g = FlashGeometry::default();
-        assert_eq!(g.capacity_bytes(CellMode::Mlc), 2 * g.capacity_bytes(CellMode::Slc));
+        assert_eq!(
+            g.capacity_bytes(CellMode::Mlc),
+            2 * g.capacity_bytes(CellMode::Slc)
+        );
     }
 
     #[test]

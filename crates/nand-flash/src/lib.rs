@@ -46,6 +46,6 @@ pub use device::{
     EraseOutcome, FlashConfig, FlashDevice, FlashOpError, FlashStats, ProgramOutcome, ReadOutcome,
 };
 pub use geometry::{BlockId, CellMode, FlashGeometry, PageAddr};
-pub use verified::{VerifiedError, VerifiedFlash, VerifiedRead};
 pub use timing::{FlashPower, FlashTiming};
+pub use verified::{VerifiedError, VerifiedFlash, VerifiedRead};
 pub use wear::{PageWearState, WearConfig, WearModel};

@@ -16,8 +16,7 @@ use std::error::Error;
 use std::fmt;
 
 use flash_ecc::page::{
-    PageCodec, PageCodecBank, PageDecodeError, PageDecodeOutcome, PAGE_DATA_BYTES,
-    PAGE_SPARE_BYTES,
+    PageCodec, PageCodecBank, PageDecodeError, PageDecodeOutcome, PAGE_DATA_BYTES, PAGE_SPARE_BYTES,
 };
 
 use crate::device::{EraseOutcome, FlashConfig, FlashDevice, FlashOpError, ProgramOutcome};
@@ -103,6 +102,9 @@ pub struct VerifiedFlash {
     codecs: PageCodecBank,
     /// Per-slot (strength, spare bytes) for programmed pages.
     spares: HashMap<u64, (u8, Vec<u8>)>,
+    /// Reusable spare-area scratch for the read path, so each read does
+    /// not clone the stored spare into a fresh allocation.
+    spare_buf: Vec<u8>,
 }
 
 impl VerifiedFlash {
@@ -113,6 +115,7 @@ impl VerifiedFlash {
             device: FlashDevice::new(config),
             codecs: PageCodecBank::new(),
             spares: HashMap::new(),
+            spare_buf: vec![0u8; PAGE_SPARE_BYTES],
         }
     }
 
@@ -151,9 +154,17 @@ impl VerifiedFlash {
     ) -> Result<ProgramOutcome, VerifiedError> {
         assert_eq!(data.len(), PAGE_DATA_BYTES, "payload must be one 2KB page");
         let codec = self.codec(strength)?;
-        let spare = codec.encode(data);
         let outcome = self.device.program_page(addr, mode, Some(data))?;
-        self.spares.insert(self.gidx(addr), (strength, spare));
+        // Encode straight into the slot's spare record, reusing its
+        // allocation when the slot is reprogrammed.
+        let gidx = self.gidx(addr);
+        let entry = self
+            .spares
+            .entry(gidx)
+            .or_insert_with(|| (strength, vec![0u8; PAGE_SPARE_BYTES]));
+        entry.0 = strength;
+        entry.1.resize(PAGE_SPARE_BYTES, 0);
+        codec.encode_into(data, &mut entry.1);
         Ok(outcome)
     }
 
@@ -168,26 +179,31 @@ impl VerifiedFlash {
     /// device error for unprogrammed/out-of-range addresses.
     pub fn read(&mut self, addr: PageAddr) -> Result<VerifiedRead, VerifiedError> {
         let out = self.device.read_page(addr)?;
+        // The payload is moved out of the read outcome (it becomes the
+        // returned buffer), not cloned a second time.
         let mut data = out
             .data
-            .clone()
             .expect("store_payloads is forced on; programmed pages have data");
+        let gidx = self.gidx(addr);
         let (strength, stored_spare) = self
             .spares
-            .get(&self.gidx(addr))
-            .cloned()
+            .get(&gidx)
             .expect("programmed pages have recorded parity");
-        let mut spare = stored_spare;
-        spare.resize(PAGE_SPARE_BYTES, 0);
+        let strength = *strength;
+        // Copy the stored spare into the reusable scratch (zero-padded to
+        // the full spare area) instead of cloning it.
+        self.spare_buf.clear();
+        self.spare_buf.extend_from_slice(stored_spare);
+        self.spare_buf.resize(PAGE_SPARE_BYTES, 0);
         // Materialize the error count as consistent bit positions.
         corrupt_bits(
             &mut data,
-            &mut spare,
+            &mut self.spare_buf,
             out.raw_bit_errors,
             page_corruption_seed(self.device.config().seed, addr),
         );
         let codec = self.codec(strength)?;
-        match codec.decode(&mut data, &spare) {
+        match codec.decode(&mut data, &self.spare_buf) {
             Ok(PageDecodeOutcome::Clean) => Ok(VerifiedRead {
                 data,
                 corrected: 0,
@@ -245,20 +261,41 @@ fn page_corruption_seed(device_seed: u64, addr: PageAddr) -> u64 {
 
 /// Flips `count` distinct bits across data and spare, positions drawn
 /// from a deterministic SplitMix64 stream.
+///
+/// Duplicate positions are tracked in a stack-allocated bitset (heap only
+/// for geometries larger than a page plus spare), so the hot read path
+/// does no hashing and no per-call allocation. The position stream and
+/// skip-duplicates rule are unchanged, preserving every historical
+/// corruption pattern (same-seed determinism and the prefix-subset
+/// property of growing counts).
 fn corrupt_bits(data: &mut [u8], spare: &mut [u8], count: u32, seed: u64) {
     let total_bits = (data.len() + spare.len()) * 8;
-    let mut seen = std::collections::HashSet::new();
+    const STACK_WORDS: usize = (PAGE_DATA_BYTES + PAGE_SPARE_BYTES) * 8 / 64;
+    let words = total_bits.div_ceil(64);
+    let mut stack = [0u64; STACK_WORDS];
+    let mut heap;
+    let seen: &mut [u64] = if words <= STACK_WORDS {
+        &mut stack[..words]
+    } else {
+        heap = vec![0u64; words];
+        &mut heap
+    };
+    let target = (count as usize).min(total_bits);
+    let mut flipped = 0usize;
     let mut state = seed;
-    while seen.len() < (count as usize).min(total_bits) {
+    while flipped < target {
         state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = state;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^= z >> 31;
         let bit = (z as usize) % total_bits;
-        if !seen.insert(bit) {
+        let (w, mask) = (bit / 64, 1u64 << (bit % 64));
+        if seen[w] & mask != 0 {
             continue;
         }
+        seen[w] |= mask;
+        flipped += 1;
         if bit < data.len() * 8 {
             data[bit / 8] ^= 1 << (7 - bit % 8);
         } else {

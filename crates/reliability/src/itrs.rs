@@ -112,10 +112,7 @@ mod tests {
         for w in ITRS_2007.windows(2) {
             assert!(w[0].year < w[1].year);
         }
-        assert_eq!(
-            ITRS_2007.map(|e| e.year),
-            ROADMAP_YEARS
-        );
+        assert_eq!(ITRS_2007.map(|e| e.year), ROADMAP_YEARS);
     }
 
     #[test]

@@ -175,10 +175,7 @@ mod tests {
         ];
         for (z, p) in cases {
             let got = phi(z);
-            assert!(
-                (got - p).abs() < 2e-9,
-                "phi({z}) = {got}, expected {p}"
-            );
+            assert!((got - p).abs() < 2e-9, "phi({z}) = {got}, expected {p}");
         }
     }
 
@@ -210,7 +207,7 @@ mod tests {
             assert!((erfc(x) + erfc(-x) - 2.0).abs() < 1e-10, "x={x}");
         }
         // erfc(1) = 0.15729920705028513...
-        assert!((erfc(1.0) - 0.157299207050285) .abs() < 1e-9);
+        assert!((erfc(1.0) - 0.157299207050285).abs() < 1e-9);
     }
 
     #[test]

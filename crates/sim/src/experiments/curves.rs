@@ -17,21 +17,23 @@ pub struct DecodeLatencyPoint {
     pub total_us: f64,
 }
 
+/// One point of Figure 6(a): decode latency at strength `t` on the
+/// paper's 100MHz accelerator model. Independent per `t`, so sweep
+/// points can be computed in parallel.
+pub fn decode_latency_point(t: usize) -> DecodeLatencyPoint {
+    let d = EccLatencyModel::default().decode(t);
+    DecodeLatencyPoint {
+        t,
+        syndrome_us: d.syndrome_us,
+        chien_us: d.chien_us,
+        total_us: d.total_us(),
+    }
+}
+
 /// Figure 6(a): decode latency for `t` in `range` on the paper's 100MHz
 /// accelerator model.
 pub fn decode_latency_curve(range: std::ops::RangeInclusive<usize>) -> Vec<DecodeLatencyPoint> {
-    let model = EccLatencyModel::default();
-    range
-        .map(|t| {
-            let d = model.decode(t);
-            DecodeLatencyPoint {
-                t,
-                syndrome_us: d.syndrome_us,
-                chien_us: d.chien_us,
-                total_us: d.total_us(),
-            }
-        })
-        .collect()
+    range.map(decode_latency_point).collect()
 }
 
 /// One row of Figure 6(b): max tolerable W/E cycles per spatial-stdev
@@ -47,25 +49,24 @@ pub struct LifetimePoint {
 /// The spatial-variation series of Figure 6(b).
 pub const FIG6B_STDEVS: [f64; 4] = [0.0, 0.05, 0.10, 0.20];
 
+/// One point of Figure 6(b): max tolerable cycles at strength `t` for
+/// every spatial-variation series. Independent per `t`, so sweep points
+/// can be computed in parallel.
+pub fn lifetime_point(t: usize) -> LifetimePoint {
+    let cell = CellLifetimeModel::figure_calibrated();
+    let mut cycles_by_stdev = [0.0; 4];
+    for (c, &s) in cycles_by_stdev.iter_mut().zip(FIG6B_STDEVS.iter()) {
+        *c = PageLifetimeModel::new(cell)
+            .with_spatial_stdev_frac(s)
+            .max_tolerable_cycles(t);
+    }
+    LifetimePoint { t, cycles_by_stdev }
+}
+
 /// Figure 6(b): maximum tolerable write/erase cycles versus ECC code
 /// strength for each spatial-variation series.
 pub fn lifetime_curve(max_t: usize) -> Vec<LifetimePoint> {
-    let cell = CellLifetimeModel::figure_calibrated();
-    let models: Vec<PageLifetimeModel> = FIG6B_STDEVS
-        .iter()
-        .map(|&s| PageLifetimeModel::new(cell).with_spatial_stdev_frac(s))
-        .collect();
-    (0..=max_t)
-        .map(|t| LifetimePoint {
-            t,
-            cycles_by_stdev: [
-                models[0].max_tolerable_cycles(t),
-                models[1].max_tolerable_cycles(t),
-                models[2].max_tolerable_cycles(t),
-                models[3].max_tolerable_cycles(t),
-            ],
-        })
-        .collect()
+    (0..=max_t).map(lifetime_point).collect()
 }
 
 #[cfg(test)]

@@ -126,8 +126,7 @@ mod tests {
     fn latency_falls_with_area() {
         let w = WorkloadSpec::financial2();
         let areas = [mb(64.0), mb(128.0), mb(256.0), mb(450.0)];
-        let points =
-            density_partition_curve(&w, &areas, &DensityPartitionParams::default(), 1);
+        let points = density_partition_curve(&w, &areas, &DensityPartitionParams::default(), 1);
         for pair in points.windows(2) {
             assert!(
                 pair[1].latency_us < pair[0].latency_us,

@@ -58,10 +58,7 @@ mod tests {
     #[test]
     fn config_capacity_matches_request() {
         let cfg = cache_config_for_bytes(16 << 20);
-        let cap = cfg
-            .flash
-            .geometry
-            .capacity_bytes(nand_flash::CellMode::Mlc);
+        let cap = cfg.flash.geometry.capacity_bytes(nand_flash::CellMode::Mlc);
         assert!(cap >= 16 << 20);
         assert!(cap < (16 << 20) + 512 * 1024);
     }

@@ -39,11 +39,8 @@ pub fn gc_overhead_curve(
             assert!((0.0..1.0).contains(&occ) && occ > 0.0, "occupancy in (0,1)");
             let mut config = cache_config_for_bytes(flash_bytes);
             config.split = SplitPolicy::Unified;
-            let capacity_pages = config
-                .flash
-                .geometry
-                .capacity_bytes(CellMode::Mlc)
-                / disk_trace::PAGE_BYTES;
+            let capacity_pages =
+                config.flash.geometry.capacity_bytes(CellMode::Mlc) / disk_trace::PAGE_BYTES;
             let footprint = ((capacity_pages as f64 * occ) as u64).max(16);
             let workload = WorkloadSpec {
                 name: format!("gc-occ-{occ:.2}"),

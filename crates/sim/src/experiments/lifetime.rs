@@ -99,7 +99,10 @@ pub fn lifetime_accesses(
 }
 
 /// Runs the comparison for each workload.
-pub fn lifetime_comparison(workloads: &[WorkloadSpec], params: &LifetimeParams) -> Vec<LifetimeRow> {
+pub fn lifetime_comparison(
+    workloads: &[WorkloadSpec],
+    params: &LifetimeParams,
+) -> Vec<LifetimeRow> {
     workloads
         .iter()
         .map(|w| {

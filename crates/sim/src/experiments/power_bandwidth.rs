@@ -211,9 +211,7 @@ mod tests {
     fn specweb_shows_the_same_shape() {
         let params = Fig9Params::specweb99().scaled(64);
         let (base, flash) = power_bandwidth(&params);
-        assert!(
-            flash.report.power_inputs.disk_busy_s < base.report.power_inputs.disk_busy_s
-        );
+        assert!(flash.report.power_inputs.disk_busy_s < base.report.power_inputs.disk_busy_s);
         assert!(flash.mem_idle_w < base.mem_idle_w);
         assert!(flash.normalized_bandwidth > 0.9);
     }

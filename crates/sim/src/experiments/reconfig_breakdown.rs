@@ -142,10 +142,7 @@ mod tests {
             min_events: 150,
             seed: 3,
         };
-        let rows = reconfig_breakdown(
-            &[WorkloadSpec::uniform(), WorkloadSpec::exp2()],
-            &params,
-        );
+        let rows = reconfig_breakdown(&[WorkloadSpec::uniform(), WorkloadSpec::exp2()], &params);
         let uniform = &rows[0];
         let exp = &rows[1];
         assert!(

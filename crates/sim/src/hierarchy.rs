@@ -229,19 +229,22 @@ impl Hierarchy {
         if self.pdc.access(page) {
             return (latency, HitLevel::Dram);
         }
-        if let Some(flash) = &mut self.flash {
+        // A PDC miss always installs the page clean; only the hit level
+        // depends on where the data came from.
+        let level = if let Some(flash) = &mut self.flash {
             let out = flash.read(page);
             latency += out.flash_latency_us;
             self.flush_to_disk(out.flushed_dirty);
             if out.hit {
-                self.install_in_pdc(page, false);
-                return (latency, HitLevel::Flash);
+                HitLevel::Flash
+            } else {
+                HitLevel::Disk
             }
-            self.install_in_pdc(page, false);
-            return (latency, HitLevel::Disk);
-        }
+        } else {
+            HitLevel::Disk
+        };
         self.install_in_pdc(page, false);
-        (latency, HitLevel::Disk)
+        (latency, level)
     }
 
     fn write_page(&mut self, page: u64) -> f64 {
@@ -333,8 +336,7 @@ impl Hierarchy {
                     .device()
                     .geometry()
                     .capacity_bytes(nand_flash::CellMode::Mlc);
-                stats.energy_mj / 1000.0 / elapsed_s
-                    + f.device().config().power.idle_w(capacity)
+                stats.energy_mj / 1000.0 / elapsed_s + f.device().config().power.idle_w(capacity)
             }
         }
     }
@@ -383,7 +385,11 @@ mod tests {
         assert_eq!(cold.disk_pages, 1);
         let warm = h.submit(DiskRequest::read(1));
         assert_eq!(warm.dram_hits, 1);
-        assert!(warm.latency_us < 1.0, "DRAM hit is sub-µs: {}", warm.latency_us);
+        assert!(
+            warm.latency_us < 1.0,
+            "DRAM hit is sub-µs: {}",
+            warm.latency_us
+        );
         assert!(cold.latency_us > 4000.0, "cold read pays the disk");
     }
 
@@ -398,7 +404,11 @@ mod tests {
         // Re-read an early page: PDC evicted it, flash still has it.
         let out = h.submit(DiskRequest::read(0));
         assert_eq!(out.flash_hits + out.dram_hits, 1);
-        assert!(out.latency_us < 1000.0, "no disk access: {}", out.latency_us);
+        assert!(
+            out.latency_us < 1000.0,
+            "no disk access: {}",
+            out.latency_us
+        );
     }
 
     #[test]

@@ -58,8 +58,7 @@ impl DramModel {
     /// Latency to service a random access of `bytes` from DRAM, in
     /// microseconds: one row cycle plus streaming at peak bandwidth.
     pub fn access_latency_us(&self, bytes: u64) -> f64 {
-        self.access_latency_ns / 1000.0
-            + bytes as f64 / self.peak_bandwidth_bytes_per_s * 1e6
+        self.access_latency_ns / 1000.0 + bytes as f64 / self.peak_bandwidth_bytes_per_s * 1e6
     }
 
     /// Number of 1Gb reference devices needed for `capacity_bytes`.
@@ -93,8 +92,7 @@ impl DramModel {
         // device-row's worth of width; scale by a fixed rank width of 8
         // devices (64-bit channel of x8 parts).
         let rank_devices = 8.0f64.min(devices.max(1.0));
-        let read_frac =
-            (read_bytes as f64 / self.peak_bandwidth_bytes_per_s / elapsed_s).min(1.0);
+        let read_frac = (read_bytes as f64 / self.peak_bandwidth_bytes_per_s / elapsed_s).min(1.0);
         let write_frac =
             (write_bytes as f64 / self.peak_bandwidth_bytes_per_s / elapsed_s).min(1.0);
         DramPowerBreakdown {

@@ -75,9 +75,7 @@ impl PopularitySampler {
             },
             Popularity::Zipf { alpha } => {
                 assert!(alpha >= 0.0, "alpha must be non-negative");
-                let cdf = build_cdf(footprint as usize, |i| {
-                    ((i + 1) as f64).powf(-alpha)
-                });
+                let cdf = build_cdf(footprint as usize, |i| ((i + 1) as f64).powf(-alpha));
                 PopularitySampler {
                     law,
                     footprint,

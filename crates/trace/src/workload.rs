@@ -332,7 +332,10 @@ mod tests {
 
     #[test]
     fn micro_footprints_are_512mb() {
-        for w in WorkloadSpec::all().into_iter().filter(|w| w.kind == WorkloadKind::Micro) {
+        for w in WorkloadSpec::all()
+            .into_iter()
+            .filter(|w| w.kind == WorkloadKind::Micro)
+        {
             assert_eq!(w.footprint_bytes(), 512 * MIB, "{}", w.name);
         }
     }

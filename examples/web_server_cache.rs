@@ -19,7 +19,11 @@ fn main() {
     let warmup = 60_000;
     let requests = 40_000;
 
-    println!("workload: {} ({}MB working set)\n", workload.name, workload.footprint_bytes() >> 20);
+    println!(
+        "workload: {} ({}MB working set)\n",
+        workload.name,
+        workload.footprint_bytes() >> 20
+    );
 
     let baseline = run_server_warm(
         HierarchyConfig {
@@ -53,17 +57,29 @@ fn main() {
         server,
     );
 
-    for (label, r) in [("DRAM-only (16MB)", &baseline), ("DRAM 4MB + flash 64MB", &with_flash)] {
+    for (label, r) in [
+        ("DRAM-only (16MB)", &baseline),
+        ("DRAM 4MB + flash 64MB", &with_flash),
+    ] {
         println!("{label}:");
-        println!("  network bandwidth : {:>8.2} MB/s ({:?}-bound)", r.network_mbps, r.bottleneck);
-        println!("  disk busy         : {:>8.2} s", r.power_inputs.disk_busy_s);
+        println!(
+            "  network bandwidth : {:>8.2} MB/s ({:?}-bound)",
+            r.network_mbps, r.bottleneck
+        );
+        println!(
+            "  disk busy         : {:>8.2} s",
+            r.power_inputs.disk_busy_s
+        );
         println!(
             "  memory+disk power : {:>8.2} W (mem idle {:.3} W, flash {:.3} W)",
             r.memory_and_disk_power_w(),
             r.dram_power.idle_w,
             r.flash_power_w
         );
-        println!("  disk read share   : {:>7.1} %\n", r.disk_read_fraction * 100.0);
+        println!(
+            "  disk read share   : {:>7.1} %\n",
+            r.disk_read_fraction * 100.0
+        );
     }
     println!(
         "bandwidth gain: {:.2}x | disk work saved: {:.1}%",

@@ -1,0 +1,284 @@
+//! Offline drop-in subset of the `criterion` 0.5 API.
+//!
+//! This workspace builds in hermetic environments with no crates.io
+//! access, so the external `criterion` dev-dependency is replaced by
+//! this vendored micro-benchmark harness implementing the surface the
+//! workspace's benches use: [`Criterion`], [`criterion_group!`],
+//! [`criterion_main!`], [`BenchmarkId`], benchmark groups with
+//! `sample_size`, and [`Bencher::iter`].
+//!
+//! Measurement model: each benchmark is warmed up, the iteration count
+//! is calibrated to a target sample duration, then `sample_size`
+//! samples are taken and the median per-iteration time is reported as
+//! `time: [... ns ...]` — the same line shape real criterion prints, so
+//! humans and scripts that grep for `time:` keep working.
+//!
+//! Environment knobs (both respected by CI smoke runs):
+//! * `CRITERION_QUICK=1` or a `--quick` argument — one short sample per
+//!   benchmark, for smoke-testing that benches still run.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement settings shared by a group of benchmarks.
+#[derive(Debug, Clone)]
+struct Settings {
+    sample_size: usize,
+    target_sample: Duration,
+    warm_up: Duration,
+}
+
+impl Settings {
+    fn effective(&self) -> Settings {
+        if quick_mode() {
+            Settings {
+                sample_size: 1,
+                target_sample: Duration::from_millis(2),
+                warm_up: Duration::from_millis(1),
+            }
+        } else {
+            self.clone()
+        }
+    }
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 10,
+            target_sample: Duration::from_millis(25),
+            warm_up: Duration::from_millis(50),
+        }
+    }
+}
+
+fn quick_mode() -> bool {
+    std::env::var_os("CRITERION_QUICK").is_some_and(|v| v != "0")
+        || std::env::args().any(|a| a == "--quick")
+}
+
+/// The benchmark manager handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, &Settings::default(), &mut f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            settings: Settings::default(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement time budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.target_sample = d / self.settings.sample_size.max(1) as u32;
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let name = format!("{}/{}", self.name, id.label());
+        run_bench(&name, &self.settings, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.label());
+        run_bench(&name, &self.settings, &mut |b: &mut Bencher| {
+            b_with(b, input, &mut f)
+        });
+        self
+    }
+
+    /// Finishes the group (reporting is per-benchmark, so this is a
+    /// no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn b_with<I: ?Sized, F: FnMut(&mut Bencher, &I)>(b: &mut Bencher, input: &I, f: &mut F) {
+    f(b, input)
+}
+
+/// Identifier for one benchmark in a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+/// Passed to the benchmark closure; runs the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    settings: Settings,
+    /// Median ns/iteration recorded by the last `iter` call.
+    reported_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Measures `routine`, storing the median per-iteration time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.settings.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        // Calibrate iterations per sample from the warm-up rate.
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let iters_per_sample =
+            ((self.settings.target_sample.as_secs_f64() / per_iter.max(1e-9)).ceil() as u64).max(1);
+        let mut samples_ns = Vec::with_capacity(self.settings.sample_size);
+        for _ in 0..self.settings.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            samples_ns.push(t.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        self.reported_ns = Some(samples_ns[samples_ns.len() / 2]);
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, settings: &Settings, f: &mut F) {
+    let mut bencher = Bencher {
+        settings: settings.effective(),
+        reported_ns: None,
+    };
+    f(&mut bencher);
+    match bencher.reported_ns {
+        Some(ns) => println!(
+            "{name:<50} time: [{} {} {}]",
+            fmt_ns(ns),
+            fmt_ns(ns),
+            fmt_ns(ns)
+        ),
+        None => println!("{name:<50} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn id_labels() {
+        assert_eq!(BenchmarkId::from_parameter(12).label(), "12");
+        assert_eq!(BenchmarkId::new("enc", 3).label(), "enc/3");
+    }
+}

@@ -1,0 +1,251 @@
+//! Offline drop-in subset of the `proptest` 1.x API.
+//!
+//! This workspace builds in hermetic environments with no crates.io
+//! access, so the external `proptest` dev-dependency is replaced by this
+//! vendored mini-implementation covering exactly what the workspace's
+//! property tests use:
+//!
+//! * the [`proptest!`] macro (with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(N))]`);
+//! * [`strategy::Strategy`] implemented for integer/float ranges,
+//!   tuples, [`strategy::Just`], `prop_map`, and weighted unions via
+//!   [`prop_oneof!`];
+//! * [`collection::vec`] and [`collection::btree_set`];
+//! * [`arbitrary::any`] for the primitive types the tests draw;
+//! * the `prop_assert*` family and [`prop_assume!`].
+//!
+//! Unlike real proptest there is no shrinking and no persisted failure
+//! file: a failing case panics with the generated inputs' debug
+//! representation left to the assertion message. Generation is
+//! deterministic: the same test body sees the same case sequence on
+//! every run.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Prelude: glob-import to get the macros, [`strategy::Strategy`],
+/// [`strategy::Just`], [`arbitrary::any`], the config type, and the
+/// `prop` module alias.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Module alias mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn sum_commutes(a in 0u32..100, b in 0u32..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let mut __runner = $crate::test_runner::TestRunner::new(
+                __config,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__runner.cases() {
+                let mut __rng = __runner.rng_for_case(__case);
+                let ($($arg,)+) = (
+                    $($crate::strategy::Strategy::generate(&($strat), &mut __rng),)+
+                );
+                // The body runs in a Result-returning closure so that
+                // `?`, `prop_assert*` (early Err return), and
+                // `prop_assume!` (early Ok return) all work, as in real
+                // proptest.
+                let mut __case_body = || -> ::core::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::core::result::Result::Ok(())
+                };
+                match __case_body() {
+                    ::core::result::Result::Ok(()) => {}
+                    ::core::result::Result::Err(__e) if __e.is_reject() => {
+                        // prop_assume! precondition unmet: skip the case.
+                    }
+                    ::core::result::Result::Err(__e) => panic!(
+                        "proptest case {}/{} failed: {}",
+                        __case + 1,
+                        __runner.cases(),
+                        __e
+                    ),
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test (early-returns a
+/// [`test_runner::TestCaseError`] rather than panicking directly).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), __l, __r
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(*__l == *__r, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a), stringify!($b), __l
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(*__l != *__r, $($fmt)+);
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Weighted choice between strategies producing the same value type.
+///
+/// `prop_oneof![a, b]` picks uniformly; `prop_oneof![3 => a, 1 => b]`
+/// picks `a` three times as often.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples(a in 0u32..50, (b, c) in (0u8..10, 0.0f64..1.0)) {
+            prop_assert!(a < 50);
+            prop_assert!(b < 10);
+            prop_assert!((0.0..1.0).contains(&c));
+        }
+
+        #[test]
+        fn collections(v in prop::collection::vec(any::<u8>(), 2..10),
+                       s in prop::collection::btree_set(0usize..100, 0..10)) {
+            prop_assert!((2..10).contains(&v.len()));
+            prop_assert!(s.len() < 10);
+        }
+
+        #[test]
+        fn oneof_and_map(x in prop_oneof![
+            2 => (0u64..10).prop_map(|v| v * 2),
+            1 => Just(99u64),
+        ]) {
+            prop_assert!(x == 99 || (x < 20 && x % 2 == 0));
+        }
+
+        #[test]
+        fn assume_skips(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::{ProptestConfig, TestRunner};
+        let mut r1 = TestRunner::new(ProptestConfig::with_cases(5), "det");
+        let mut r2 = TestRunner::new(ProptestConfig::with_cases(5), "det");
+        for case in 0..5 {
+            let a = (0u64..1000).generate(&mut r1.rng_for_case(case));
+            let b = (0u64..1000).generate(&mut r2.rng_for_case(case));
+            assert_eq!(a, b);
+        }
+    }
+}

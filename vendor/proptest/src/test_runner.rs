@@ -1,0 +1,100 @@
+//! Test-runner configuration and per-case RNG management.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Why a single property-test case did not pass.
+///
+/// Returned (usually via `?` or the `prop_assert*` macros) from the
+/// body that [`proptest!`](crate::proptest) wraps in a
+/// `Result<(), TestCaseError>`-returning closure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case's inputs failed a `prop_assume!` precondition; the case
+    /// is skipped, not failed.
+    Reject(String),
+    /// The property does not hold for this case's inputs.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given reason.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejection (skipped case) with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+
+    /// Whether this is a rejection rather than a failure.
+    pub fn is_reject(&self) -> bool {
+        matches!(self, TestCaseError::Reject(_))
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+/// Result type of a wrapped property-test case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Configuration for a [`proptest!`](crate::proptest) block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Drives the cases of one property test.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    seed: u64,
+}
+
+impl TestRunner {
+    /// Creates a runner for the named property. The name is folded into
+    /// the RNG seed so different properties see different inputs while
+    /// every run of the same property is identical.
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        let mut seed = 0xC0DE_F1A5_4CAC_4E5Eu64;
+        for b in name.bytes() {
+            seed = (seed ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner { config, seed }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// A fresh deterministic RNG for case number `case`.
+    pub fn rng_for_case(&mut self, case: u32) -> TestRng {
+        StdRng::seed_from_u64(self.seed ^ ((case as u64) << 32 | case as u64))
+    }
+}
