@@ -40,4 +40,5 @@ fn main() {
             if truncated { " (budget hit)" } else { "" }
         );
     }
+    args.finish();
 }

@@ -57,4 +57,5 @@ fn main() {
             s.gc_runs
         );
     }
+    args.finish();
 }

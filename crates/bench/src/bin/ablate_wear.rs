@@ -42,4 +42,5 @@ fn main() {
             s.read_miss_rate() * 100.0
         );
     }
+    args.finish();
 }

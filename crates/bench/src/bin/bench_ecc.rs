@@ -186,4 +186,5 @@ fn main() {
     let path = "BENCH_ecc.json";
     std::fs::write(path, json).expect("write BENCH_ecc.json");
     println!("[saved {path}]");
+    args.finish();
 }

@@ -39,4 +39,5 @@ fn main() {
         ]);
     }
     args.emit(&exhibit);
+    args.finish();
 }

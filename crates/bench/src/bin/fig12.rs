@@ -91,4 +91,5 @@ fn main() {
     if rows.iter().any(|r| r.truncated) {
         println!("(* = access budget hit before total failure)");
     }
+    args.finish();
 }

@@ -26,4 +26,5 @@ fn main() {
         ]);
     }
     args.emit(&exhibit);
+    args.finish();
 }

@@ -41,4 +41,5 @@ fn main() {
         ]);
     }
     args.emit(&exhibit);
+    args.finish();
 }

@@ -21,4 +21,5 @@ fn main() {
         ]);
     }
     args.emit(&exhibit);
+    args.finish();
 }

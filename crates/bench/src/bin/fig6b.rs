@@ -25,4 +25,5 @@ fn main() {
         ]);
     }
     args.emit(&exhibit);
+    args.finish();
 }

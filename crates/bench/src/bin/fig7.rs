@@ -42,4 +42,5 @@ fn main() {
         }
         args.emit(&exhibit);
     }
+    args.finish();
 }

@@ -55,4 +55,5 @@ fn main() {
             flash.report.power_inputs.disk_busy_s,
         );
     }
+    args.finish();
 }

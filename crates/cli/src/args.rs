@@ -42,6 +42,8 @@ const VALUE_KEYS: &[&str] = &[
     "acceleration",
     "budget",
     "write-fraction",
+    "json-metrics",
+    "trace-events",
 ];
 
 impl Args {

@@ -2,11 +2,14 @@
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
+use std::sync::Arc;
 
 use flashcache::nand::FlashConfig;
 use flashcache::nand::FlashGeometry;
+use flashcache::obs;
 use flashcache::sim::hierarchy::{Hierarchy, HierarchyConfig};
 use flashcache::trace::spc::{write_spc, SpcReader};
+use flashcache::ObsSink;
 use flashcache::{
     ControllerPolicy, DiskRequest, FlashCache, FlashCacheConfig, SplitPolicy, WorkloadSpec,
 };
@@ -49,6 +52,11 @@ LIFETIME:
 EXPORT:
   --out FILE          destination path (default: stdout)
   --write-fraction F  override the workload's write fraction
+
+OBSERVABILITY (simulate, sweep, lifetime):
+  --json-metrics FILE write a deterministic JSON telemetry snapshot
+                      (metrics + trace events) to FILE on completion
+  --trace-events N    retain the newest N trace events (default 256)
 ";
 
 fn workload_by_name(name: &str) -> Result<WorkloadSpec, String> {
@@ -80,8 +88,33 @@ fn flash_config(flash_mb: u64, unified: bool) -> FlashCacheConfig {
     }
 }
 
+/// When `--json-metrics` was given, installs the process-global
+/// [`ObsSink`] (so every cache built afterwards attaches to it) and
+/// returns the destination path plus the sink.
+///
+/// Must run *before* any [`FlashCache`] or [`Hierarchy`] is built.
+fn install_obs(args: &super::Args) -> Result<Option<(String, Arc<ObsSink>)>, String> {
+    let Some(path) = args.get("json-metrics") else {
+        return Ok(None);
+    };
+    let capacity: usize = args
+        .num("trace-events", 256usize)
+        .map_err(|e| e.to_string())?;
+    let sink = Arc::new(ObsSink::with_capacity(capacity));
+    obs::install_global_sink(Arc::clone(&sink));
+    Ok(Some((path.to_string(), sink)))
+}
+
+/// Writes a snapshot JSON document to `path`.
+fn write_obs(path: &str, json: &str) -> Result<(), String> {
+    std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+    eprintln!("wrote metrics snapshot to {path}");
+    Ok(())
+}
+
 /// `flashcache simulate`.
 pub fn simulate(args: &super::Args) -> Result<(), String> {
+    let obs_out = install_obs(args)?;
     let seed: u64 = args
         .num("seed", 0x1507_2008u64)
         .map_err(|e| e.to_string())?;
@@ -155,12 +188,16 @@ pub fn simulate(args: &super::Args) -> Result<(), String> {
             flash.erase_spread(),
         );
     }
+    if let Some((path, _sink)) = &obs_out {
+        write_obs(path, &hierarchy.obs_snapshot().to_json())?;
+    }
     let _ = replayed;
     Ok(())
 }
 
 /// `flashcache sweep`.
 pub fn sweep(args: &super::Args) -> Result<(), String> {
+    let obs_out = install_obs(args)?;
     let workload = load_workload(args)?;
     let seed: u64 = args
         .num("seed", 0x1507_2008u64)
@@ -213,11 +250,15 @@ pub fn sweep(args: &super::Args) -> Result<(), String> {
             row[1].1 * 100.0
         );
     }
+    if let Some((path, sink)) = &obs_out {
+        write_obs(path, &sink.snapshot().to_json())?;
+    }
     Ok(())
 }
 
 /// `flashcache lifetime`.
 pub fn lifetime(args: &super::Args) -> Result<(), String> {
+    let obs_out = install_obs(args)?;
     let workload = load_workload(args)?;
     let seed: u64 = args
         .num("seed", 0x1507_2008u64)
@@ -299,6 +340,9 @@ pub fn lifetime(args: &super::Args) -> Result<(), String> {
             }
         );
         baseline.get_or_insert(accesses);
+    }
+    if let Some((path, sink)) = &obs_out {
+        write_obs(path, &sink.snapshot().to_json())?;
     }
     Ok(())
 }

@@ -9,7 +9,9 @@
 //! drives both the trace simulator and the full-system model.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
+use flash_obs::{Event, ObsSink, Registry, ServiceTier};
 use nand_flash::{BlockId, CellMode, FlashDevice, PageAddr};
 
 use crate::config::{ConfigError, ControllerPolicy, FlashCacheConfig, SplitPolicy};
@@ -21,9 +23,12 @@ use crate::tables::{Fbst, Fcht, Fgst, Fpst, RegionKind};
 pub struct AccessOutcome {
     /// The request hit in flash.
     pub hit: bool,
+    /// The tier that serviced the access: [`ServiceTier::Flash`] on a
+    /// hit, [`ServiceTier::Disk`] when the caller must go to disk.
+    pub tier: ServiceTier,
     /// Critical-path latency contributed by flash + ECC, µs. On a miss
     /// this is near zero; the caller adds its disk model's penalty.
-    pub flash_latency_us: f64,
+    pub latency_us: f64,
     /// Off-critical-path flash work this access triggered (fills,
     /// migrations), µs. GC/eviction work is tracked separately in
     /// [`CacheStats::gc_time_us`].
@@ -95,6 +100,10 @@ pub struct FlashCache {
     pub(crate) op_flushed: u32,
     pub(crate) op_background_us: f64,
     pub(crate) stats: CacheStats,
+    /// Attached observability sink (trace events + metric flushing).
+    pub(crate) sink: Option<Arc<ObsSink>>,
+    /// Guards the Drop-time metric flush against double counting.
+    pub(crate) obs_flushed: bool,
 }
 
 impl FlashCache {
@@ -166,8 +175,99 @@ impl FlashCache {
             op_flushed: 0,
             op_background_us: 0.0,
             stats: CacheStats::default(),
+            sink: flash_obs::global_sink(),
+            obs_flushed: false,
             config,
         })
+    }
+
+    /// Attaches an observability sink, replacing the process-global one
+    /// picked up at construction (if any). Trace events flow to the sink
+    /// as they happen; metrics are flushed on [`FlashCache::flush_obs`]
+    /// or drop.
+    pub fn attach_sink(&mut self, sink: Arc<ObsSink>) {
+        self.sink = Some(sink);
+        self.obs_flushed = false;
+    }
+
+    /// The attached sink, if any.
+    pub fn sink(&self) -> Option<&Arc<ObsSink>> {
+        self.sink.as_ref()
+    }
+
+    /// Records a trace event into the attached sink (no-op otherwise).
+    #[inline]
+    pub(crate) fn emit(&self, ev: Event) {
+        if let Some(s) = &self.sink {
+            s.emit(ev);
+        }
+    }
+
+    /// Exports the cache's counters and gauges as a metrics registry
+    /// under the `flash.*` (cache) and `nand.*` (device) prefixes.
+    ///
+    /// Time/energy accumulators are exported as integer-µs/µJ counters
+    /// so that registries from successive caches merge additively.
+    pub fn export_metrics(&self) -> Registry {
+        let mut reg = Registry::new();
+        let s = &self.stats;
+        let c: &[(&str, u64)] = &[
+            ("flash.reads", s.reads),
+            ("flash.read_hits", s.read_hits),
+            ("flash.read_misses", s.reads - s.read_hits),
+            ("flash.writes", s.writes),
+            ("flash.write_hits", s.write_hits),
+            ("flash.flash_reads", s.flash_reads),
+            ("flash.flash_programs", s.flash_programs),
+            ("flash.erases", s.erases),
+            ("flash.gc_runs", s.gc_runs),
+            ("flash.gc_moved_pages", s.gc_moved_pages),
+            ("flash.evictions", s.evictions),
+            ("flash.flushed_dirty_pages", s.flushed_dirty_pages),
+            ("flash.wear_migrations", s.wear_migrations),
+            ("flash.reconfig_ecc", s.reconfig_ecc),
+            ("flash.reconfig_density", s.reconfig_density),
+            ("flash.hot_promotions", s.hot_promotions),
+            ("flash.uncorrectable_reads", s.uncorrectable_reads),
+            ("flash.retired_blocks", s.retired_blocks),
+            ("flash.gc_time_us", s.gc_time_us.round() as u64),
+            ("flash.foreground_us", s.foreground_us.round() as u64),
+            ("flash.background_us", s.background_us.round() as u64),
+            ("flash.ecc_us", s.ecc_us.round() as u64),
+        ];
+        for (name, v) in c {
+            reg.counter_add(name, *v);
+        }
+        let d = self.device.stats();
+        let n: &[(&str, u64)] = &[
+            ("nand.reads", d.reads),
+            ("nand.programs", d.programs),
+            ("nand.erases", d.erases),
+            ("nand.bit_errors", d.bit_errors),
+            ("nand.busy_us", d.busy_us.round() as u64),
+            ("nand.energy_uj", (d.energy_mj * 1000.0).round() as u64),
+        ];
+        for (name, v) in n {
+            reg.counter_add(name, *v);
+        }
+        reg.gauge_set("flash.cached_pages", self.cached_pages() as f64);
+        reg.gauge_set("flash.usable_slots", self.usable_slots as f64);
+        reg.gauge_set("flash.slc_fraction", self.slc_fraction());
+        reg.gauge_set("flash.miss_rate", self.fgst.miss_rate);
+        reg
+    }
+
+    /// Flushes the exported metrics into the attached sink's registry.
+    /// Called automatically on drop; idempotent until new accesses occur
+    /// (the guard re-arms only via [`FlashCache::attach_sink`]).
+    pub fn flush_obs(&mut self) {
+        if self.obs_flushed {
+            return;
+        }
+        if let Some(s) = &self.sink {
+            s.merge_registry(&self.export_metrics());
+            self.obs_flushed = true;
+        }
     }
 
     /// The active configuration.
@@ -255,36 +355,12 @@ impl FlashCache {
 
     /// Diagnostic dump of allocator/region state (unstable format).
     #[doc(hidden)]
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `FlashCache::snapshot()` for a typed `CacheSnapshot` (its `Display` renders the same information)"
+    )]
     pub fn debug_state(&self) -> String {
-        use std::fmt::Write as _;
-        let mut out = String::new();
-        for (name, r) in [("read", &self.read_region), ("write", &self.write_region)] {
-            let _ = writeln!(
-                out,
-                "{name}: free={:?} open={:?} spare={:?} valid={} invalid={}",
-                r.free.iter().map(|b| b.0).collect::<Vec<_>>(),
-                r.open.map(|o| (o.id.0, o.next_slot)),
-                r.spare.map(|b| b.0),
-                r.valid_pages,
-                r.invalid_pages
-            );
-        }
-        for b in self.device.geometry().iter_blocks() {
-            let s = self.fbst.get(b);
-            let _ = writeln!(
-                out,
-                "b{}: {:?} valid={} invalid={} erase={} retired={} wear={:.1}",
-                b.0,
-                s.region,
-                s.valid_pages,
-                s.invalid_pages,
-                s.erase_count,
-                s.retired,
-                self.fbst
-                    .wear_out(b, self.config.wear_k1, self.config.wear_k2)
-            );
-        }
-        out
+        self.snapshot().to_string()
     }
 
     /// Erase-count spread `(min, max, mean)` over non-retired blocks —
@@ -353,7 +429,7 @@ impl FlashCache {
     fn finish(&mut self, mut outcome: AccessOutcome) -> AccessOutcome {
         outcome.flushed_dirty = self.op_flushed;
         outcome.background_us = self.op_background_us;
-        self.stats.foreground_us += outcome.flash_latency_us;
+        self.stats.foreground_us += outcome.latency_us;
         self.stats.background_us += outcome.background_us;
         outcome
     }
@@ -376,6 +452,12 @@ impl FlashCache {
             if out.raw_bit_errors > live_t as u32 {
                 // Cached copy lost: detected by CRC after failed BCH.
                 self.stats.uncorrectable_reads += 1;
+                self.emit(Event::UncorrectableRead {
+                    tick: self.tick,
+                    block: addr.block.0,
+                    slot: addr.slot,
+                    bit_errors: out.raw_bit_errors,
+                });
                 self.respond_to_errors(addr, out.raw_bit_errors);
                 self.drop_valid_page(addr, false);
                 // Refill from disk below (fall through to the miss path).
@@ -403,7 +485,8 @@ impl FlashCache {
                 self.fgst.record(true, latency);
                 return self.finish(AccessOutcome {
                     hit: true,
-                    flash_latency_us: latency,
+                    tier: ServiceTier::Flash,
+                    latency_us: latency,
                     ..AccessOutcome::default()
                 });
             }
@@ -412,7 +495,8 @@ impl FlashCache {
             let filled = self.fill_from_disk(disk_page, RegionKind::Read);
             return self.finish(AccessOutcome {
                 hit: false,
-                flash_latency_us: latency,
+                tier: ServiceTier::Disk,
+                latency_us: latency,
                 needs_disk_read: true,
                 uncorrectable: true,
                 bypassed: !filled,
@@ -460,6 +544,11 @@ impl FlashCache {
         self.maybe_background_read_gc();
         self.finish(AccessOutcome {
             hit,
+            tier: if programmed {
+                ServiceTier::Flash
+            } else {
+                ServiceTier::Disk
+            },
             bypassed: !programmed,
             ..AccessOutcome::default()
         })
@@ -622,6 +711,11 @@ impl FlashCache {
         self.op_background_us += lat;
         self.stats.hot_promotions += 1;
         self.stats.reconfig_density += 1;
+        self.emit(Event::HotPromotion {
+            tick: self.tick,
+            block: dst.block.0,
+            slot: dst.slot,
+        });
     }
 
     /// §5.2.1: reacts to a page whose observed errors reached its
@@ -668,12 +762,24 @@ impl FlashCache {
             self.fpst.get_mut(addr).ecc_strength = new_t;
             self.fbst.get_mut(addr.block).total_ecc += delta;
             self.stats.reconfig_ecc += 1;
+            self.emit(Event::EccStrengthBump {
+                tick: self.tick,
+                block: addr.block.0,
+                slot: addr.slot,
+                old_strength: cfg_t,
+                new_strength: new_t,
+            });
         } else {
             // Demote the physical page to SLC at its next program.
             self.fpst.get_mut(even).mode = CellMode::Slc;
             self.fpst.get_mut(even.sibling()).mode = CellMode::Slc;
             self.fbst.get_mut(addr.block).slc_pages += 1;
             self.stats.reconfig_density += 1;
+            self.emit(Event::DensityMlcToSlc {
+                tick: self.tick,
+                block: addr.block.0,
+                slot: even.slot,
+            });
         }
     }
 
@@ -692,5 +798,14 @@ impl FlashCache {
         if valid_frac < self.config.read_gc_watermark {
             self.collect_garbage(RegionKind::Read);
         }
+    }
+}
+
+impl Drop for FlashCache {
+    /// Flushes exported metrics into the attached sink, so lifetime and
+    /// sweep runs that construct many caches accumulate totals without
+    /// explicit bookkeeping.
+    fn drop(&mut self) {
+        self.flush_obs();
     }
 }

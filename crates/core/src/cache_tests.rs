@@ -38,7 +38,7 @@ fn read_miss_then_hit() {
     assert!(second.hit);
     assert!(!second.needs_disk_read);
     // MLC read (50µs) plus ECC decode at t=1.
-    assert!(second.flash_latency_us > 50.0);
+    assert!(second.latency_us > 50.0);
     assert_eq!(c.stats().reads, 2);
     assert_eq!(c.stats().read_hits, 1);
     c.check_invariants().unwrap();
@@ -445,7 +445,7 @@ fn slc_default_mode_halves_capacity_but_works() {
     for p in 0..300u64 {
         mlc.read(p);
     }
-    let slc_hit = c.read(299).flash_latency_us;
-    let mlc_hit = mlc.read(299).flash_latency_us;
+    let slc_hit = c.read(299).latency_us;
+    let mlc_hit = mlc.read(299).latency_us;
     assert!(slc_hit < mlc_hit);
 }

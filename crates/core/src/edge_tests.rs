@@ -286,7 +286,7 @@ fn zipf_traffic_promotes_only_the_hot_head() {
         "promotion must be selective, got {frac:.2}"
     );
     // Hot page reads now run at SLC latency (25µs + decode < MLC 50µs + decode).
-    let hot = c.read(0).flash_latency_us;
+    let hot = c.read(0).latency_us;
     assert!(
         hot < 50.0 + c.config().ecc_latency.decode_us(1),
         "hot={hot}"
@@ -342,7 +342,7 @@ fn stats_latency_accounting_is_internally_consistent() {
         } else {
             c.read(i % 300)
         };
-        foreground += out.flash_latency_us;
+        foreground += out.latency_us;
         background += out.background_us;
     }
     let s = c.stats();

@@ -42,13 +42,16 @@ pub mod lru;
 mod maint;
 pub mod overheads;
 pub mod pdc;
+pub mod snapshot;
 pub mod stats;
 pub mod tables;
 
 pub use cache::{AccessOutcome, FlashCache};
 pub use config::{ConfigError, ControllerPolicy, FlashCacheConfig, SplitPolicy};
 pub use descriptor::{DescriptorOp, FlashDescriptor};
+pub use flash_obs::ServiceTier;
 pub use overheads::TableOverheads;
 pub use pdc::PrimaryDiskCache;
+pub use snapshot::{BlockSummary, CacheSnapshot, RegionSnapshot, WearSummary};
 pub use stats::CacheStats;
 pub use tables::RegionKind;

@@ -7,6 +7,7 @@
 //! accounted as *background* time in [`CacheStats::gc_time_us`], matching
 //! the paper's "all GCs are performed in the background".
 
+use flash_obs::Event;
 use nand_flash::{BlockId, CellMode, PageAddr};
 
 use crate::cache::{FlashCache, OpenBlock};
@@ -245,6 +246,11 @@ impl FlashCache {
         let moved = self.relocate_valid_pages(victim, kind, &mut gc_us);
         self.stats.gc_runs += 1;
         self.stats.gc_moved_pages += moved as u64;
+        self.emit(Event::GcCompaction {
+            tick: self.tick(),
+            block: victim.0,
+            moved_pages: moved,
+        });
         let retired = self.erase_block_internal(victim, &mut gc_us);
         self.stats.gc_time_us += gc_us;
         if !retired {
@@ -295,6 +301,12 @@ impl FlashCache {
         if out.raw_bit_errors > live_t as u32 {
             // Content lost during relocation.
             self.stats.uncorrectable_reads += 1;
+            self.emit(Event::UncorrectableRead {
+                tick: self.tick(),
+                block: src.block.0,
+                slot: src.slot,
+                bit_errors: out.raw_bit_errors,
+            });
             self.drop_valid_page(src, false);
             return false;
         }
@@ -410,6 +422,11 @@ impl FlashCache {
             self.region_mut(kind).free.push_back(newest);
         }
         self.stats.wear_migrations += 1;
+        self.emit(Event::WearMigration {
+            tick: self.tick(),
+            worn_block: old.0,
+            newest_block: newest.0,
+        });
         true
     }
 
@@ -432,6 +449,12 @@ impl FlashCache {
             *gc_us += out.latency_us + self.config.ecc_latency.decode_us(live_t as usize);
             if out.raw_bit_errors > live_t as u32 {
                 self.stats.uncorrectable_reads += 1;
+                self.emit(Event::UncorrectableRead {
+                    tick: self.tick(),
+                    block: s_addr.block.0,
+                    slot: s_addr.slot,
+                    bit_errors: out.raw_bit_errors,
+                });
                 self.drop_valid_page(s_addr, false);
                 continue;
             }
@@ -531,6 +554,11 @@ impl FlashCache {
         }
         let out = self.device.erase_block(b).expect("block id in range");
         self.stats.erases += 1;
+        self.emit(Event::BlockErased {
+            tick: self.tick(),
+            block: b.0,
+            erase_count: out.erase_count,
+        });
         *gc_us += out.latency_us;
         // Retirement probe (§5.2): a page past the strongest reachable
         // configuration kills the whole block.
@@ -549,6 +577,10 @@ impl FlashCache {
         if dead {
             self.fbst.get_mut(b).retired = true;
             self.stats.retired_blocks += 1;
+            self.emit(Event::BlockRetired {
+                tick: self.tick(),
+                block: b.0,
+            });
             self.usable_slots = self
                 .usable_slots
                 .saturating_sub(self.device.geometry().slots_per_block() as u64);

@@ -13,6 +13,7 @@
 //! | workloads | [`trace`] | Table 4 micro/macro trace generators |
 //! | **contribution** | [`core`] | the flash disk cache: split regions, GC, wear levelling, programmable controller |
 //! | evaluation | [`sim`] | trace simulator, server model, per-figure experiment drivers |
+//! | telemetry | [`obs`] | metrics registry, structured trace events, deterministic JSON snapshots |
 //!
 //! The most common entry points are re-exported at the top level.
 //!
@@ -37,6 +38,7 @@
 
 pub use disk_trace as trace;
 pub use flash_ecc as ecc;
+pub use flash_obs as obs;
 pub use flash_reliability as reliability;
 pub use flashcache_core as core;
 pub use flashcache_sim as sim;
@@ -44,8 +46,9 @@ pub use nand_flash as nand;
 pub use storage_model as storage;
 
 pub use disk_trace::{DiskRequest, OpKind, WorkloadSpec};
+pub use flash_obs::{ObsSink, ServiceTier};
 pub use flashcache_core::{
-    AccessOutcome, CacheStats, ConfigError, ControllerPolicy, FlashCache, FlashCacheConfig,
-    PrimaryDiskCache, SplitPolicy,
+    AccessOutcome, CacheSnapshot, CacheStats, ConfigError, ControllerPolicy, FlashCache,
+    FlashCacheConfig, PrimaryDiskCache, SplitPolicy,
 };
 pub use flashcache_sim::{Hierarchy, HierarchyConfig, ServerConfig};

@@ -132,6 +132,8 @@ pub struct FlashStats {
     pub programs: u64,
     /// Block erases serviced.
     pub erases: u64,
+    /// Raw bit errors observed across all page reads.
+    pub bit_errors: u64,
     /// Total µs spent in operations.
     pub busy_us: f64,
     /// Total energy in millijoules.
@@ -410,6 +412,7 @@ impl FlashDevice {
         let latency_us = self.config.timing.read_us(mode);
         let energy_mj = self.config.power.op_energy_mj(latency_us);
         self.stats.reads += 1;
+        self.stats.bit_errors += raw_bit_errors as u64;
         self.stats.busy_us += latency_us;
         self.stats.energy_mj += energy_mj;
         let data = self

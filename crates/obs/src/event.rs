@@ -1,0 +1,412 @@
+//! Structured trace events and the bounded ring buffer that records
+//! them.
+//!
+//! Events describe the *rare, interesting* transitions of the flash
+//! cache stack — garbage collection, controller reconfiguration
+//! (§5.2's Δtcs vs Δtd decisions), wear migration, block retirement —
+//! not the per-access fast path. Every event is keyed to the emitting
+//! component's deterministic logical tick (never wall-clock time), so a
+//! trace is byte-stable across runs at a fixed seed.
+
+use std::collections::VecDeque;
+
+use crate::json::JsonValue;
+
+/// One structured trace event.
+///
+/// Block/slot identifiers are raw integers so this crate stays at the
+/// bottom of the dependency graph (no `nand-flash` types).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A GC pass compacted a victim block's valid pages (Figure 8).
+    GcCompaction {
+        /// Logical tick of the emitting cache.
+        tick: u64,
+        /// Victim block id.
+        block: u32,
+        /// Valid pages relocated out of the victim.
+        moved_pages: u32,
+    },
+    /// The controller raised a page's BCH strength (§5.2.1).
+    EccStrengthBump {
+        /// Logical tick of the emitting cache.
+        tick: u64,
+        /// Block id of the reconfigured page.
+        block: u32,
+        /// Slot within the block.
+        slot: u32,
+        /// Strength before the bump.
+        old_strength: u8,
+        /// Strength after the bump.
+        new_strength: u8,
+    },
+    /// The controller demoted a physical page from MLC to SLC density
+    /// in response to errors (§5.2.1).
+    DensityMlcToSlc {
+        /// Logical tick of the emitting cache.
+        tick: u64,
+        /// Block id of the reconfigured page.
+        block: u32,
+        /// Even (lower-half) slot of the physical page.
+        slot: u32,
+    },
+    /// A hot page was promoted into SLC mode (§5.2.2) — counted as a
+    /// density reconfiguration in the Figure 11 breakdown.
+    HotPromotion {
+        /// Logical tick of the emitting cache.
+        tick: u64,
+        /// Destination block of the promoted copy.
+        block: u32,
+        /// Destination slot of the promoted copy.
+        slot: u32,
+    },
+    /// Wear-level-aware replacement migrated the newest block's content
+    /// into a worn block (§3.6).
+    WearMigration {
+        /// Logical tick of the emitting cache.
+        tick: u64,
+        /// The worn (old, LRU) block that absorbed the content.
+        worn_block: u32,
+        /// The newest block whose content moved.
+        newest_block: u32,
+    },
+    /// A block was erased.
+    BlockErased {
+        /// Logical tick of the emitting cache.
+        tick: u64,
+        /// Erased block id.
+        block: u32,
+        /// The block's total erase count after this erase.
+        erase_count: u64,
+    },
+    /// A block was permanently retired: a physical page can no longer be
+    /// protected at any configuration the policy can reach (§5.2).
+    BlockRetired {
+        /// Logical tick of the emitting cache.
+        tick: u64,
+        /// Retired block id.
+        block: u32,
+    },
+    /// A read found more raw bit errors than the page's live ECC
+    /// strength could correct — the cached copy was lost.
+    UncorrectableRead {
+        /// Logical tick of the emitting cache.
+        tick: u64,
+        /// Block id of the lost page.
+        block: u32,
+        /// Slot within the block.
+        slot: u32,
+        /// Raw bit errors observed.
+        bit_errors: u32,
+    },
+}
+
+/// Discriminant of an [`Event`], used for per-kind counting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// [`Event::GcCompaction`].
+    GcCompaction,
+    /// [`Event::EccStrengthBump`].
+    EccStrengthBump,
+    /// [`Event::DensityMlcToSlc`].
+    DensityMlcToSlc,
+    /// [`Event::HotPromotion`].
+    HotPromotion,
+    /// [`Event::WearMigration`].
+    WearMigration,
+    /// [`Event::BlockErased`].
+    BlockErased,
+    /// [`Event::BlockRetired`].
+    BlockRetired,
+    /// [`Event::UncorrectableRead`].
+    UncorrectableRead,
+}
+
+impl EventKind {
+    /// Every kind, in stable serialization order.
+    pub const ALL: [EventKind; 8] = [
+        EventKind::GcCompaction,
+        EventKind::EccStrengthBump,
+        EventKind::DensityMlcToSlc,
+        EventKind::HotPromotion,
+        EventKind::WearMigration,
+        EventKind::BlockErased,
+        EventKind::BlockRetired,
+        EventKind::UncorrectableRead,
+    ];
+
+    /// The snake_case name used in JSON snapshots.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::GcCompaction => "gc_compaction",
+            EventKind::EccStrengthBump => "ecc_strength_bump",
+            EventKind::DensityMlcToSlc => "density_mlc_to_slc",
+            EventKind::HotPromotion => "hot_promotion",
+            EventKind::WearMigration => "wear_migration",
+            EventKind::BlockErased => "block_erased",
+            EventKind::BlockRetired => "block_retired",
+            EventKind::UncorrectableRead => "uncorrectable_read",
+        }
+    }
+
+    fn index(self) -> usize {
+        EventKind::ALL
+            .iter()
+            .position(|k| *k == self)
+            .expect("every kind is listed in ALL")
+    }
+}
+
+impl Event {
+    /// The event's kind.
+    pub fn kind(&self) -> EventKind {
+        match self {
+            Event::GcCompaction { .. } => EventKind::GcCompaction,
+            Event::EccStrengthBump { .. } => EventKind::EccStrengthBump,
+            Event::DensityMlcToSlc { .. } => EventKind::DensityMlcToSlc,
+            Event::HotPromotion { .. } => EventKind::HotPromotion,
+            Event::WearMigration { .. } => EventKind::WearMigration,
+            Event::BlockErased { .. } => EventKind::BlockErased,
+            Event::BlockRetired { .. } => EventKind::BlockRetired,
+            Event::UncorrectableRead { .. } => EventKind::UncorrectableRead,
+        }
+    }
+
+    /// The logical tick the event was emitted at.
+    pub fn tick(&self) -> u64 {
+        match *self {
+            Event::GcCompaction { tick, .. }
+            | Event::EccStrengthBump { tick, .. }
+            | Event::DensityMlcToSlc { tick, .. }
+            | Event::HotPromotion { tick, .. }
+            | Event::WearMigration { tick, .. }
+            | Event::BlockErased { tick, .. }
+            | Event::BlockRetired { tick, .. }
+            | Event::UncorrectableRead { tick, .. } => tick,
+        }
+    }
+
+    /// Serializes the event as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        let mut pairs = vec![
+            (
+                "kind".to_string(),
+                JsonValue::String(self.kind().name().to_string()),
+            ),
+            ("tick".to_string(), JsonValue::UInt(self.tick())),
+        ];
+        let mut field = |name: &str, v: u64| pairs.push((name.to_string(), JsonValue::UInt(v)));
+        match *self {
+            Event::GcCompaction {
+                block, moved_pages, ..
+            } => {
+                field("block", block as u64);
+                field("moved_pages", moved_pages as u64);
+            }
+            Event::EccStrengthBump {
+                block,
+                slot,
+                old_strength,
+                new_strength,
+                ..
+            } => {
+                field("block", block as u64);
+                field("slot", slot as u64);
+                field("old_strength", old_strength as u64);
+                field("new_strength", new_strength as u64);
+            }
+            Event::DensityMlcToSlc { block, slot, .. } => {
+                field("block", block as u64);
+                field("slot", slot as u64);
+            }
+            Event::HotPromotion { block, slot, .. } => {
+                field("block", block as u64);
+                field("slot", slot as u64);
+            }
+            Event::WearMigration {
+                worn_block,
+                newest_block,
+                ..
+            } => {
+                field("worn_block", worn_block as u64);
+                field("newest_block", newest_block as u64);
+            }
+            Event::BlockErased {
+                block, erase_count, ..
+            } => {
+                field("block", block as u64);
+                field("erase_count", erase_count);
+            }
+            Event::BlockRetired { block, .. } => {
+                field("block", block as u64);
+            }
+            Event::UncorrectableRead {
+                block,
+                slot,
+                bit_errors,
+                ..
+            } => {
+                field("block", block as u64);
+                field("slot", slot as u64);
+                field("bit_errors", bit_errors as u64);
+            }
+        }
+        JsonValue::Object(pairs)
+    }
+}
+
+/// A bounded ring buffer of trace events.
+///
+/// Per-kind totals are counted for *every* emitted event; the trace
+/// itself keeps only the most recent `capacity` events (oldest dropped
+/// first), so counts stay exact even when the trace wraps.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    capacity: usize,
+    buf: VecDeque<Event>,
+    counts: [u64; EventKind::ALL.len()],
+    dropped: u64,
+}
+
+impl EventRing {
+    /// A ring holding up to `capacity` events (0 disables the trace but
+    /// keeps per-kind counts).
+    pub fn new(capacity: usize) -> Self {
+        EventRing {
+            capacity,
+            buf: VecDeque::with_capacity(capacity.min(4096)),
+            counts: [0; EventKind::ALL.len()],
+            dropped: 0,
+        }
+    }
+
+    /// Records one event.
+    pub fn push(&mut self, ev: Event) {
+        self.counts[ev.kind().index()] += 1;
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total events emitted (including dropped ones).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Events that fell out of the bounded trace.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Exact count of one kind (unaffected by trace wrapping).
+    pub fn count(&self, kind: EventKind) -> u64 {
+        self.counts[kind.index()]
+    }
+
+    /// The retained trace, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.buf.iter()
+    }
+
+    /// Serializes counts plus the retained trace.
+    pub fn to_json(&self) -> JsonValue {
+        let counts = EventKind::ALL
+            .iter()
+            .map(|k| (k.name().to_string(), JsonValue::UInt(self.count(*k))))
+            .collect();
+        JsonValue::Object(vec![
+            (
+                "capacity".to_string(),
+                JsonValue::UInt(self.capacity as u64),
+            ),
+            ("total".to_string(), JsonValue::UInt(self.total())),
+            ("dropped".to_string(), JsonValue::UInt(self.dropped)),
+            ("counts".to_string(), JsonValue::Object(counts)),
+            (
+                "trace".to_string(),
+                JsonValue::Array(self.buf.iter().map(Event::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn erased(tick: u64) -> Event {
+        Event::BlockErased {
+            tick,
+            block: 1,
+            erase_count: tick,
+        }
+    }
+
+    #[test]
+    fn ring_bounds_trace_but_counts_everything() {
+        let mut r = EventRing::new(3);
+        for t in 0..10 {
+            r.push(erased(t));
+        }
+        r.push(Event::BlockRetired { tick: 10, block: 1 });
+        assert_eq!(r.total(), 11);
+        assert_eq!(r.count(EventKind::BlockErased), 10);
+        assert_eq!(r.count(EventKind::BlockRetired), 1);
+        assert_eq!(r.dropped(), 8);
+        let kept: Vec<u64> = r.iter().map(Event::tick).collect();
+        assert_eq!(kept, vec![8, 9, 10], "oldest events fall out first");
+    }
+
+    #[test]
+    fn zero_capacity_disables_trace_keeps_counts() {
+        let mut r = EventRing::new(0);
+        r.push(erased(1));
+        assert_eq!(r.total(), 1);
+        assert_eq!(r.iter().count(), 0);
+        assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    fn event_json_carries_kind_and_tick() {
+        let ev = Event::EccStrengthBump {
+            tick: 42,
+            block: 3,
+            slot: 7,
+            old_strength: 1,
+            new_strength: 4,
+        };
+        let j = ev.to_json();
+        assert_eq!(j.get("kind").unwrap().as_str(), Some("ecc_strength_bump"));
+        assert_eq!(j.get("tick").unwrap().as_u64(), Some(42));
+        assert_eq!(j.get("new_strength").unwrap().as_u64(), Some(4));
+    }
+
+    #[test]
+    fn every_kind_has_a_distinct_name() {
+        let mut names: Vec<&str> = EventKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), EventKind::ALL.len());
+    }
+
+    #[test]
+    fn ring_json_shape() {
+        let mut r = EventRing::new(2);
+        r.push(erased(1));
+        let j = r.to_json();
+        assert_eq!(j.get("total").unwrap().as_u64(), Some(1));
+        assert_eq!(j.path("counts.block_erased").unwrap().as_u64(), Some(1));
+        assert_eq!(j.get("trace").unwrap().as_array().unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,97 @@
+//! # flash-obs — workspace-wide observability layer
+//!
+//! A lightweight, dependency-free telemetry substrate for the flash
+//! disk cache stack:
+//!
+//! * [`registry`] — named monotonic counters, gauges and latency
+//!   histograms, exported at snapshot time from each component's cheap
+//!   plain-struct stats;
+//! * [`event`] — structured trace events ([`Event::GcCompaction`],
+//!   [`Event::EccStrengthBump`], [`Event::DensityMlcToSlc`],
+//!   [`Event::WearMigration`], [`Event::BlockRetired`],
+//!   [`Event::BlockErased`], …) in a bounded [`EventRing`];
+//! * [`hist`] — the log-scaled [`LatencyHistogram`] (promoted from
+//!   `flashcache-sim`);
+//! * [`json`] — a serde-free JSON encoder/parser with deterministic
+//!   output;
+//! * [`sink`] — the attachable [`ObsSink`] plus a process-global
+//!   default, à la `tracing`'s global subscriber;
+//! * [`snapshot`] — the versioned [`Snapshot`] document tying it all
+//!   together.
+//!
+//! ## Determinism rule
+//!
+//! Instrumentation never reads wall-clock time. Events are keyed to
+//! the emitting component's logical tick, metric names serialize in
+//! sorted order, and floats format via Rust's shortest-roundtrip
+//! `Display` — so two runs of the same seeded simulation produce
+//! byte-identical snapshots.
+//!
+//! ## Cost rule
+//!
+//! With no sink attached, instrumentation is a branch on an `Option`
+//! on the *rare* paths only (GC, reconfiguration, erase); per-access
+//! fast paths are untouched. Counter export happens only at snapshot
+//! or drop time.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod event;
+pub mod hist;
+pub mod json;
+pub mod registry;
+pub mod sink;
+pub mod snapshot;
+
+pub use event::{Event, EventKind, EventRing};
+pub use hist::LatencyHistogram;
+pub use json::{JsonError, JsonValue};
+pub use registry::{Metric, Registry};
+pub use sink::{global_sink, install_global_sink, ObsSink};
+pub use snapshot::Snapshot;
+
+/// The storage tier that serviced (or must service) a request.
+///
+/// Shared by `flashcache-core::AccessOutcome` and
+/// `flashcache-sim::RequestOutcome` so callers see one vocabulary for
+/// "where did this request land" across the whole stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ServiceTier {
+    /// Served from the DRAM primary disk cache.
+    Dram,
+    /// Served from the flash secondary disk cache.
+    Flash,
+    /// Had to reach the hard disk.
+    #[default]
+    Disk,
+}
+
+impl ServiceTier {
+    /// The snake_case name used in metrics and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServiceTier::Dram => "dram",
+            ServiceTier::Flash => "flash",
+            ServiceTier::Disk => "disk",
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_names_and_default() {
+        assert_eq!(ServiceTier::default(), ServiceTier::Disk);
+        assert_eq!(ServiceTier::Dram.to_string(), "dram");
+        assert_eq!(ServiceTier::Flash.name(), "flash");
+    }
+}

@@ -7,7 +7,10 @@
 //! accounts per-device latency, busy time and traffic, and produces the
 //! raw material for the power/throughput analyses of §7.
 
+use std::sync::Arc;
+
 use disk_trace::{DiskRequest, OpKind, PAGE_BYTES};
+use flash_obs::{EventRing, ObsSink, Registry, ServiceTier, Snapshot};
 use flashcache_core::{FlashCache, FlashCacheConfig, PrimaryDiskCache};
 use storage_model::{ActivityTracker, DramModel, DramPowerBreakdown, HddModel};
 
@@ -42,8 +45,16 @@ impl Default for HierarchyConfig {
 }
 
 /// Per-request result.
+///
+/// Shares its vocabulary with `flashcache_core::AccessOutcome`: both
+/// report `hit`, `tier` ([`ServiceTier`]) and `latency_us`.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct RequestOutcome {
+    /// Every page was served without touching the disk.
+    pub hit: bool,
+    /// The slowest tier the request touched ([`ServiceTier::Disk`] if
+    /// any page missed both caches).
+    pub tier: ServiceTier,
     /// Foreground latency of the request, µs.
     pub latency_us: f64,
     /// Pages served from DRAM.
@@ -77,6 +88,14 @@ pub struct HierarchyReport {
     pub disk: ActivityTracker,
     /// Per-request latency distribution.
     pub latency: LatencyHistogram,
+    /// Latency of page accesses served at DRAM (hits and absorbed
+    /// writes).
+    pub dram_latency: LatencyHistogram,
+    /// Latency of page accesses served from flash.
+    pub flash_latency: LatencyHistogram,
+    /// Latency of batched disk accesses (one sample per request that
+    /// reached the disk).
+    pub disk_latency: LatencyHistogram,
 }
 
 impl HierarchyReport {
@@ -119,6 +138,10 @@ pub struct Hierarchy {
     flash: Option<FlashCache>,
     report: HierarchyReport,
     since_flush: u64,
+    /// Attached observability sink (shared with the flash cache).
+    sink: Option<Arc<ObsSink>>,
+    /// Guards the Drop-time metric flush against double counting.
+    obs_flushed: bool,
 }
 
 impl Hierarchy {
@@ -139,8 +162,65 @@ impl Hierarchy {
             flash,
             report: HierarchyReport::default(),
             since_flush: 0,
+            sink: flash_obs::global_sink(),
+            obs_flushed: false,
             config,
         }
+    }
+
+    /// Attaches an observability sink to the hierarchy and its flash
+    /// cache, replacing the process-global one picked up at
+    /// construction (if any).
+    pub fn attach_sink(&mut self, sink: Arc<ObsSink>) {
+        if let Some(f) = &mut self.flash {
+            f.attach_sink(Arc::clone(&sink));
+        }
+        self.sink = Some(sink);
+        self.obs_flushed = false;
+    }
+
+    /// Exports the hierarchy's per-tier counters and latency histograms
+    /// as a metrics registry under the `hierarchy.*` prefix.
+    pub fn export_metrics(&self) -> Registry {
+        let mut reg = Registry::new();
+        let r = &self.report;
+        reg.counter_add("hierarchy.requests", r.requests);
+        reg.counter_add("hierarchy.pages", r.pages);
+        reg.counter_add("hierarchy.dram_hit_pages", r.dram_hit_pages);
+        reg.counter_add("hierarchy.flash_hit_pages", r.flash_hit_pages);
+        reg.counter_add("hierarchy.disk_read_pages", r.disk_read_pages);
+        reg.counter_add("hierarchy.disk_write_pages", r.disk_write_pages);
+        reg.counter_add(
+            "hierarchy.total_latency_us",
+            r.total_latency_us.round() as u64,
+        );
+        reg.histogram_merge("hierarchy.request_latency", &r.latency);
+        reg.histogram_merge("hierarchy.dram_latency", &r.dram_latency);
+        reg.histogram_merge("hierarchy.flash_latency", &r.flash_latency);
+        reg.histogram_merge("hierarchy.disk_latency", &r.disk_latency);
+        reg
+    }
+
+    /// A full telemetry snapshot: the sink's accumulated registry and
+    /// event trace, merged with the *live* (not yet flushed) metrics of
+    /// this hierarchy and its flash cache.
+    ///
+    /// Take either this snapshot *or* a later `ObsSink::snapshot` after
+    /// drop — combining both double-counts the live metrics.
+    pub fn obs_snapshot(&self) -> Snapshot {
+        let mut reg = match &self.sink {
+            Some(s) => s.registry(),
+            None => Registry::new(),
+        };
+        reg.merge(&self.export_metrics());
+        if let Some(f) = &self.flash {
+            reg.merge(&f.export_metrics());
+        }
+        let events = match &self.sink {
+            Some(s) => s.events(),
+            None => EventRing::new(0),
+        };
+        Snapshot::new(reg, events)
     }
 
     /// The flash cache, when present.
@@ -175,16 +255,24 @@ impl Hierarchy {
         for page in req.pages() {
             match req.op {
                 OpKind::Read => {
-                    let (lat, hit_level) = self.read_page(page);
+                    let (lat, tier) = self.read_page(page);
                     out.latency_us += lat;
-                    match hit_level {
-                        HitLevel::Dram => out.dram_hits += 1,
-                        HitLevel::Flash => out.flash_hits += 1,
-                        HitLevel::Disk => disk_read_pages += 1,
+                    match tier {
+                        ServiceTier::Dram => {
+                            out.dram_hits += 1;
+                            self.report.dram_latency.record(lat);
+                        }
+                        ServiceTier::Flash => {
+                            out.flash_hits += 1;
+                            self.report.flash_latency.record(lat);
+                        }
+                        ServiceTier::Disk => disk_read_pages += 1,
                     }
                 }
                 OpKind::Write => {
-                    out.latency_us += self.write_page(page);
+                    let lat = self.write_page(page);
+                    out.latency_us += lat;
+                    self.report.dram_latency.record(lat);
                 }
             }
         }
@@ -195,8 +283,17 @@ impl Hierarchy {
             out.latency_us += t;
             out.disk_pages = disk_read_pages;
             self.report.disk.record(t / 1e6, bytes, false);
+            self.report.disk_latency.record(t);
             self.report.disk_read_pages += disk_read_pages as u64;
         }
+        out.hit = out.disk_pages == 0;
+        out.tier = if out.disk_pages > 0 {
+            ServiceTier::Disk
+        } else if out.flash_hits > 0 {
+            ServiceTier::Flash
+        } else {
+            ServiceTier::Dram
+        };
         self.report.requests += 1;
         self.report.pages += req.len as u64;
         self.report.total_latency_us += out.latency_us;
@@ -224,27 +321,23 @@ impl Hierarchy {
         t
     }
 
-    fn read_page(&mut self, page: u64) -> (f64, HitLevel) {
+    fn read_page(&mut self, page: u64) -> (f64, ServiceTier) {
         let mut latency = self.dram_access(false);
         if self.pdc.access(page) {
-            return (latency, HitLevel::Dram);
+            return (latency, ServiceTier::Dram);
         }
-        // A PDC miss always installs the page clean; only the hit level
+        // A PDC miss always installs the page clean; only the hit tier
         // depends on where the data came from.
-        let level = if let Some(flash) = &mut self.flash {
+        let tier = if let Some(flash) = &mut self.flash {
             let out = flash.read(page);
-            latency += out.flash_latency_us;
+            latency += out.latency_us;
             self.flush_to_disk(out.flushed_dirty);
-            if out.hit {
-                HitLevel::Flash
-            } else {
-                HitLevel::Disk
-            }
+            out.tier
         } else {
-            HitLevel::Disk
+            ServiceTier::Disk
         };
         self.install_in_pdc(page, false);
-        (latency, level)
+        (latency, tier)
     }
 
     fn write_page(&mut self, page: u64) -> f64 {
@@ -342,11 +435,19 @@ impl Hierarchy {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum HitLevel {
-    Dram,
-    Flash,
-    Disk,
+impl Drop for Hierarchy {
+    /// Flushes the hierarchy's metrics into the attached sink (the
+    /// flash cache flushes its own `flash.*`/`nand.*` metrics in its
+    /// own `Drop`).
+    fn drop(&mut self) {
+        if self.obs_flushed {
+            return;
+        }
+        if let Some(s) = &self.sink {
+            s.merge_registry(&self.export_metrics());
+            self.obs_flushed = true;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,195 +1,7 @@
-//! Bounded-memory latency statistics: a log-scaled histogram good for
-//! percentile queries over microsecond-to-seconds request latencies.
+//! Bounded-memory latency statistics.
+//!
+//! [`LatencyHistogram`] now lives in the `flash-obs` crate so every
+//! layer of the workspace shares one histogram type; this module
+//! re-exports it for source compatibility.
 
-/// Log-scaled latency histogram covering 0.01µs to ~100s.
-///
-/// Buckets are spaced at 5% multiplicative steps, bounding percentile
-/// error to one step while using a few hundred counters regardless of
-/// sample count.
-#[derive(Debug, Clone)]
-pub struct LatencyHistogram {
-    buckets: Vec<u64>,
-    count: u64,
-    sum_us: f64,
-    max_us: f64,
-}
-
-const MIN_US: f64 = 0.01;
-const GROWTH: f64 = 1.05;
-const NUM_BUCKETS: usize = 512;
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        LatencyHistogram {
-            buckets: vec![0; NUM_BUCKETS],
-            count: 0,
-            sum_us: 0.0,
-            max_us: 0.0,
-        }
-    }
-
-    fn bucket_of(us: f64) -> usize {
-        if us <= MIN_US {
-            return 0;
-        }
-        let idx = (us / MIN_US).ln() / GROWTH.ln();
-        (idx as usize).min(NUM_BUCKETS - 1)
-    }
-
-    /// Lower bound of a bucket, µs.
-    fn bucket_floor(idx: usize) -> f64 {
-        MIN_US * GROWTH.powi(idx as i32)
-    }
-
-    /// Records one latency sample in microseconds.
-    ///
-    /// Non-finite or negative samples are ignored.
-    pub fn record(&mut self, us: f64) {
-        if !us.is_finite() || us < 0.0 {
-            return;
-        }
-        self.buckets[Self::bucket_of(us)] += 1;
-        self.count += 1;
-        self.sum_us += us;
-        self.max_us = self.max_us.max(us);
-    }
-
-    /// Number of samples recorded.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean latency, µs (0 when empty).
-    pub fn mean_us(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum_us / self.count as f64
-        }
-    }
-
-    /// Maximum sample, µs.
-    pub fn max_us(&self) -> f64 {
-        self.max_us
-    }
-
-    /// The `p`-quantile (`0 < p <= 1`), µs; 0 when empty.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `p` is outside `(0, 1]`.
-    pub fn percentile_us(&self, p: f64) -> f64 {
-        assert!(p > 0.0 && p <= 1.0, "percentile must be in (0,1], got {p}");
-        if self.count == 0 {
-            return 0.0;
-        }
-        let target = (p * self.count as f64).ceil() as u64;
-        let mut seen = 0u64;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                return Self::bucket_floor(i) * (1.0 + GROWTH) / 2.0;
-            }
-        }
-        self.max_us
-    }
-
-    /// Merges another histogram into this one.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
-            *a += b;
-        }
-        self.count += other.count;
-        self.sum_us += other.sum_us;
-        self.max_us = self.max_us.max(other.max_us);
-    }
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram::new()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn empty_histogram() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.count(), 0);
-        assert_eq!(h.mean_us(), 0.0);
-        assert_eq!(h.percentile_us(0.99), 0.0);
-    }
-
-    #[test]
-    fn percentiles_bracket_known_distribution() {
-        let mut h = LatencyHistogram::new();
-        // 90 fast DRAM-ish hits, 10 slow disk-ish misses.
-        for _ in 0..90 {
-            h.record(0.5);
-        }
-        for _ in 0..10 {
-            h.record(4200.0);
-        }
-        let p50 = h.percentile_us(0.50);
-        let p99 = h.percentile_us(0.99);
-        assert!((0.4..0.7).contains(&p50), "p50={p50}");
-        assert!((3500.0..5000.0).contains(&p99), "p99={p99}");
-        assert!((h.mean_us() - (90.0 * 0.5 + 10.0 * 4200.0) / 100.0).abs() < 1.0);
-        assert_eq!(h.max_us(), 4200.0);
-    }
-
-    #[test]
-    fn percentile_error_is_bounded_by_bucket_width() {
-        let mut h = LatencyHistogram::new();
-        for i in 1..=10_000 {
-            h.record(i as f64);
-        }
-        for &p in &[0.1, 0.5, 0.9, 0.999] {
-            let exact = p * 10_000.0;
-            let est = h.percentile_us(p);
-            assert!(
-                (est / exact - 1.0).abs() < 0.06,
-                "p={p}: est {est} vs exact {exact}"
-            );
-        }
-    }
-
-    #[test]
-    fn merge_equals_combined_recording() {
-        let mut a = LatencyHistogram::new();
-        let mut b = LatencyHistogram::new();
-        let mut c = LatencyHistogram::new();
-        for i in 0..1_000 {
-            let v = (i % 37) as f64 + 0.1;
-            if i % 2 == 0 {
-                a.record(v);
-            } else {
-                b.record(v);
-            }
-            c.record(v);
-        }
-        a.merge(&b);
-        assert_eq!(a.count(), c.count());
-        assert!((a.percentile_us(0.9) - c.percentile_us(0.9)).abs() < 1e-9);
-        assert!((a.mean_us() - c.mean_us()).abs() < 1e-9);
-    }
-
-    #[test]
-    fn ignores_garbage_samples() {
-        let mut h = LatencyHistogram::new();
-        h.record(f64::NAN);
-        h.record(f64::INFINITY);
-        h.record(-1.0);
-        assert_eq!(h.count(), 0);
-    }
-
-    #[test]
-    #[should_panic(expected = "percentile must be in")]
-    fn rejects_bad_percentile() {
-        LatencyHistogram::new().percentile_us(0.0);
-    }
-}
+pub use flash_obs::LatencyHistogram;

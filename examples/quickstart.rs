@@ -25,14 +25,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let first = cache.read(1000);
     println!(
         "first read : hit={} needs_disk={} latency={:.0}us",
-        first.hit, first.needs_disk_read, first.flash_latency_us
+        first.hit, first.needs_disk_read, first.latency_us
     );
 
     // Warm read: served from flash at MLC read latency + ECC decode.
     let second = cache.read(1000);
     println!(
         "second read: hit={} latency={:.0}us (MLC read + BCH decode)",
-        second.hit, second.flash_latency_us
+        second.hit, second.latency_us
     );
 
     // Writes always go out-of-place into the write region.
@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hot = cache.read(1000);
     println!(
         "hot read   : latency={:.0}us (now SLC: 25us array + decode)",
-        hot.flash_latency_us
+        hot.latency_us
     );
 
     println!("\ncache statistics:\n{}", cache.stats());
