@@ -1,7 +1,7 @@
 //! Criterion micro-benchmarks of the cache's hot paths: hits, misses
 //! with eviction pressure, and write churn with GC.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flashcache_core::{FlashCache, FlashCacheConfig};
 use nand_flash::{FlashConfig, FlashGeometry};
 
@@ -56,10 +56,39 @@ fn bench_write_churn(c: &mut Criterion) {
     });
 }
 
+/// Steady-state reclaim: the cache is warmed past capacity first, so
+/// every benchmarked write pays victim selection (GC compaction or
+/// block eviction). This is the path the reclaim index accelerates —
+/// the per-op cost of the scan baseline grows with the block count,
+/// the indexed cost does not.
+fn bench_steady_state_reclaim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flashcache_steady_reclaim");
+    for blocks in [256u32, 1024, 4096] {
+        let mut cache = cache(blocks);
+        let slots = blocks as u64 * 64;
+        let span = slots + slots / 2; // churn set 1.5x capacity
+        for p in 0..span {
+            cache.write(p);
+        }
+        let mut p = span;
+        g.bench_function(
+            BenchmarkId::from_parameter(format!("{blocks}_blocks")),
+            |b| {
+                b.iter(|| {
+                    p = (p + 1) % span;
+                    std::hint::black_box(cache.write(p))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_read_hit,
     bench_read_capacity_miss,
-    bench_write_churn
+    bench_write_churn,
+    bench_steady_state_reclaim
 );
 criterion_main!(benches);

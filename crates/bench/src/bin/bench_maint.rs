@@ -1,0 +1,147 @@
+//! `bench_maint`: before/after timings for reclaim victim selection,
+//! emitted as machine-readable JSON.
+//!
+//! Two caches are built per geometry — one routing victim queries
+//! (fully-invalid, GC, block-LRU, newest-block) through the O(blocks)
+//! FBST scans (`use_reclaim_index: false`), one through the incremental
+//! reclaim index — then both are warmed past capacity and timed on the
+//! same steady-state workloads, where every write pays eviction or GC:
+//!
+//! * `evict`: an always-cold write stream (pure block-LRU eviction plus
+//!   the §3.6 newest-block comparison);
+//! * `churn`: overwrites of a working set 1.5x capacity (invalidations
+//!   feed GC compaction alongside eviction).
+//!
+//! Results land in `BENCH_maint.json` in the current directory (the
+//! workspace root under `cargo run`). Consistency is asserted while
+//! measuring: both caches must report identical hit/miss and
+//! erase-vs-program *rates* would drift if victim keys diverged, so the
+//! harness cross-checks `check_invariants` (which replays every query
+//! against both implementations) on the indexed cache before and after
+//! timing.
+
+use std::time::Instant;
+
+use flashcache_bench::RunArgs;
+use flashcache_core::{FlashCache, FlashCacheConfig};
+use nand_flash::{FlashConfig, FlashGeometry};
+
+const GEOMETRIES: [u32; 3] = [256, 1024, 4096];
+// Small blocks keep the open block short-lived, so victim selection runs
+// every handful of writes — the reclaim path is what this instrument
+// measures, not the program path that amortizes it away.
+const PAGES_PER_BLOCK: u32 = 8; // 16 slots per block
+
+fn build(blocks: u32, use_index: bool) -> FlashCache {
+    let mut config = FlashCacheConfig {
+        flash: FlashConfig {
+            geometry: FlashGeometry {
+                blocks,
+                pages_per_block: PAGES_PER_BLOCK,
+                ..FlashGeometry::default()
+            },
+            ..FlashConfig::default()
+        },
+        ..FlashCacheConfig::default()
+    };
+    config.use_reclaim_index = use_index;
+    FlashCache::new(config).expect("valid config")
+}
+
+/// Wall-clock ns per op over `ops` writes of the given stream.
+fn time_writes(cache: &mut FlashCache, start_page: u64, span: u64, ops: u64) -> f64 {
+    let t = Instant::now();
+    for i in 0..ops {
+        cache.write(start_page + (i % span));
+    }
+    t.elapsed().as_nanos() as f64 / ops as f64
+}
+
+struct Timing {
+    scan_ns: f64,
+    index_ns: f64,
+}
+
+impl Timing {
+    fn speedup(&self) -> f64 {
+        self.scan_ns / self.index_ns
+    }
+}
+
+fn run_geometry(blocks: u32, measure_ops: u64) -> (Timing, Timing) {
+    let slots = blocks as u64 * (PAGES_PER_BLOCK as u64 * 2);
+    let span = slots + slots / 2;
+    let mut results = Vec::new();
+    for use_index in [false, true] {
+        let mut cache = build(blocks, use_index);
+        // Warm past capacity so every measured write reclaims.
+        for p in 0..span {
+            cache.write(p);
+        }
+        if use_index {
+            cache
+                .check_invariants()
+                .expect("index consistent after warm-up");
+        }
+        // Steady-state churn: overwrites within the 1.5x working set.
+        let churn_ns = time_writes(&mut cache, 0, span, measure_ops);
+        // Always-cold stream: pure eviction pressure.
+        let evict_ns = time_writes(&mut cache, span, u64::MAX, measure_ops);
+        if use_index {
+            cache
+                .check_invariants()
+                .expect("index consistent after measurement");
+        }
+        results.push((churn_ns, evict_ns));
+    }
+    let (scan, index) = (results[0], results[1]);
+    (
+        Timing {
+            scan_ns: scan.0,
+            index_ns: index.0,
+        },
+        Timing {
+            scan_ns: scan.1,
+            index_ns: index.1,
+        },
+    )
+}
+
+fn main() {
+    let args = RunArgs::parse(1);
+    // `--scale` divides the per-geometry measurement op count.
+    let measure_ops = (40_000u64 / args.scale).max(1_000);
+    println!(
+        "bench_maint: steady-state reclaim, scan dispatch vs reclaim index ({measure_ops} ops/point)"
+    );
+    let mut rows = Vec::new();
+    for blocks in GEOMETRIES {
+        let (churn, evict) = run_geometry(blocks, measure_ops);
+        println!(
+            "{blocks:>5} blocks  churn: scan {:>9.0} ns  index {:>7.0} ns  ({:.1}x)   evict: scan {:>9.0} ns  index {:>7.0} ns  ({:.1}x)",
+            churn.scan_ns,
+            churn.index_ns,
+            churn.speedup(),
+            evict.scan_ns,
+            evict.index_ns,
+            evict.speedup()
+        );
+        rows.push(format!(
+            "{{\"blocks\":{blocks},\"churn\":{{\"scan_ns\":{:.1},\"index_ns\":{:.1},\"speedup\":{:.2}}},\"evict\":{{\"scan_ns\":{:.1},\"index_ns\":{:.1},\"speedup\":{:.2}}}}}",
+            churn.scan_ns,
+            churn.index_ns,
+            churn.speedup(),
+            evict.scan_ns,
+            evict.index_ns,
+            evict.speedup()
+        ));
+    }
+    let json = format!(
+        "{{\n  \"workload\": \"steady-state writes past capacity\",\n  \"pages_per_block\": {PAGES_PER_BLOCK},\n  \"measure_ops\": {measure_ops},\n  \"time_unit\": \"ns_per_write\",\n  \"geometries\": [\n    {}\n  ]\n}}\n",
+        rows.join(",\n    ")
+    );
+    let path = "BENCH_maint.json";
+    std::fs::write(path, json).expect("write BENCH_maint.json");
+    println!("[saved {path}]");
+    args.finish();
+}

@@ -15,6 +15,7 @@ use flash_obs::{Event, ObsSink, Registry, ServiceTier};
 use nand_flash::{BlockId, CellMode, FlashDevice, PageAddr};
 
 use crate::config::{ConfigError, ControllerPolicy, FlashCacheConfig, SplitPolicy};
+use crate::reclaim::ReclaimIndex;
 use crate::stats::CacheStats;
 use crate::tables::{Fbst, Fcht, Fgst, Fpst, RegionKind};
 
@@ -86,6 +87,9 @@ pub struct FlashCache {
     pub(crate) fpst: Fpst,
     pub(crate) fbst: Fbst,
     pub(crate) fgst: Fgst,
+    /// Incremental victim-selection index over the FBST (GC, eviction,
+    /// wear levelling), kept in lock-step by [`FlashCache::reclaim_sync`].
+    pub(crate) reclaim: ReclaimIndex,
     /// ECC strength the *current content* of each slot was encoded with
     /// (configured strength applies from the next program, §5.2).
     pub(crate) live_strength: Vec<u8>,
@@ -163,10 +167,12 @@ impl FlashCache {
         Ok(FlashCache {
             live_strength: vec![config.initial_ecc; usable_slots as usize],
             device,
-            fcht: Fcht::new(),
+            // One mapping per slot at most: sized so lookups never rehash.
+            fcht: Fcht::with_capacity(usable_slots as usize),
             fpst,
             fbst,
             fgst: Fgst::default(),
+            reclaim: ReclaimIndex::new(blocks, geometry.slots_per_block()),
             read_region,
             write_region,
             unified,
@@ -234,6 +240,10 @@ impl FlashCache {
             ("flash.foreground_us", s.foreground_us.round() as u64),
             ("flash.background_us", s.background_us.round() as u64),
             ("flash.ecc_us", s.ecc_us.round() as u64),
+            ("flash.reclaim.index_queries", s.reclaim_index_queries),
+            ("flash.reclaim.index_hits", s.reclaim_index_hits),
+            ("flash.reclaim.scan_fallbacks", s.reclaim_scan_fallbacks),
+            ("flash.reclaim.index_skips", self.reclaim.skips()),
         ];
         for (name, v) in c {
             reg.counter_add(name, *v);
@@ -412,6 +422,24 @@ impl FlashCache {
         }
     }
 
+    /// Reconciles the reclaim index with `b`'s FBST state. Call after
+    /// any change to the block's valid/invalid counts, retirement, or a
+    /// wear-cost component (`erase_count`/`total_ecc`/`slc_pages`).
+    pub(crate) fn reclaim_sync(&mut self, b: BlockId) {
+        let s = *self.fbst.get(b);
+        let cost = self
+            .fbst
+            .wear_out(b, self.config.wear_k1, self.config.wear_k2);
+        self.reclaim
+            .sync(b, s.region, s.valid_pages, s.invalid_pages, s.retired, cost);
+    }
+
+    /// Marks `b` most recently used in the reclaim index's block LRU.
+    /// Call wherever the FBST's `last_access` is stamped.
+    pub(crate) fn reclaim_touch(&mut self, b: BlockId) {
+        self.reclaim.touch(b);
+    }
+
     fn begin_op(&mut self) {
         self.tick += 1;
         self.op_flushed = 0;
@@ -422,7 +450,8 @@ impl FlashCache {
             self.config.counter_decay_interval
         };
         if self.tick.is_multiple_of(interval) {
-            self.fpst.decay_access_counters();
+            // O(1): pages fold the pending halving lazily on next touch.
+            self.fpst.advance_decay_epoch();
         }
     }
 
@@ -446,6 +475,7 @@ impl FlashCache {
                 .expect("FCHT maps only programmed pages");
             self.stats.flash_reads += 1;
             self.fbst.get_mut(addr.block).last_access = self.tick;
+            self.reclaim_touch(addr.block);
             let ecc_us = self.config.ecc_latency.decode_us(live_t as usize);
             self.stats.ecc_us += ecc_us;
             let latency = out.latency_us + ecc_us;
@@ -479,7 +509,7 @@ impl FlashCache {
                 } else {
                     self.fpst.get_mut(addr).error_streak = 0;
                 }
-                let count = self.fpst.get_mut(addr).bump_access();
+                let count = self.fpst.bump_access(addr);
                 self.maybe_promote_hot(addr, count);
                 self.stats.read_hits += 1;
                 self.fgst.record(true, latency);
@@ -617,14 +647,16 @@ impl FlashCache {
             st.valid = true;
             st.dirty = dirty;
             st.disk_page = Some(disk_page);
-            st.access_count = access;
             st.error_streak = 0;
         }
+        self.fpst.set_access_count(addr, access);
         let bs = self.fbst.get_mut(addr.block);
         bs.valid_pages += 1;
         bs.last_access = self.tick;
         self.region_mut(region).valid_pages += 1;
         self.fcht.insert(disk_page, addr);
+        self.reclaim_sync(addr.block);
+        self.reclaim_touch(addr.block);
         out.latency_us + self.config.ecc_latency.encode_us(strength as usize)
     }
 
@@ -644,6 +676,7 @@ impl FlashCache {
         let r = self.region_mut(region);
         r.valid_pages -= 1;
         r.invalid_pages += 1;
+        self.reclaim_sync(addr.block);
     }
 
     /// Drops a live page, flushing it to disk first if it was dirty
@@ -670,6 +703,7 @@ impl FlashCache {
         let r = self.region_mut(region);
         r.valid_pages -= 1;
         r.invalid_pages += 1;
+        self.reclaim_sync(addr.block);
     }
 
     /// §5.2.2: a saturated read counter promotes a hot MLC page to SLC.
@@ -738,8 +772,8 @@ impl FlashCache {
             (true, false) => true,
             (false, true) => false,
             (true, true) => {
-                let st = self.fpst.get(addr);
-                let freq = (st.access_count as f64 / self.config.hot_threshold as f64).min(1.0);
+                let freq = (self.fpst.access_count(addr) as f64 / self.config.hot_threshold as f64)
+                    .min(1.0);
                 let d_code = self.config.ecc_latency.decode_us(cfg_t as usize + 1)
                     - self.config.ecc_latency.decode_us(cfg_t as usize);
                 let d_tcs = freq * d_code;
@@ -761,6 +795,7 @@ impl FlashCache {
             let delta = (new_t - cfg_t) as u32;
             self.fpst.get_mut(addr).ecc_strength = new_t;
             self.fbst.get_mut(addr.block).total_ecc += delta;
+            self.reclaim_sync(addr.block);
             self.stats.reconfig_ecc += 1;
             self.emit(Event::EccStrengthBump {
                 tick: self.tick,
@@ -774,6 +809,7 @@ impl FlashCache {
             self.fpst.get_mut(even).mode = CellMode::Slc;
             self.fpst.get_mut(even.sibling()).mode = CellMode::Slc;
             self.fbst.get_mut(addr.block).slc_pages += 1;
+            self.reclaim_sync(addr.block);
             self.stats.reconfig_density += 1;
             self.emit(Event::DensityMlcToSlc {
                 tick: self.tick,

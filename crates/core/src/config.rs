@@ -119,6 +119,12 @@ pub struct FlashCacheConfig {
     /// counter, so "frequently accessed" means *recent* frequency
     /// (§5.2.2). `0` selects one cache-capacity of accesses.
     pub counter_decay_interval: u64,
+    /// Serve reclaim victim queries (GC, eviction, wear levelling) from
+    /// the incremental reclaim index instead of O(blocks) FBST scans.
+    /// The index is maintained and verified either way; disabling only
+    /// changes which side answers queries (kept for before/after
+    /// benchmarking).
+    pub use_reclaim_index: bool,
 }
 
 impl Default for FlashCacheConfig {
@@ -140,6 +146,7 @@ impl Default for FlashCacheConfig {
             disk_latency_us: 4200.0,
             reconfig_margin: 0,
             counter_decay_interval: 0,
+            use_reclaim_index: true,
         }
     }
 }

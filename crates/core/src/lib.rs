@@ -38,10 +38,12 @@ pub mod config;
 pub mod descriptor;
 #[cfg(test)]
 mod edge_tests;
+pub mod fxhash;
 pub mod lru;
 mod maint;
 pub mod overheads;
 pub mod pdc;
+mod reclaim;
 pub mod snapshot;
 pub mod stats;
 pub mod tables;

@@ -4,7 +4,7 @@
 //! recency in the flash regions. Implemented as a doubly-linked list over
 //! vector slots plus a key→slot map — no external dependencies.
 
-use std::collections::HashMap;
+use crate::fxhash::FxHashMap;
 
 const NIL: usize = usize::MAX;
 
@@ -21,7 +21,7 @@ struct Node {
 pub struct LruTracker {
     nodes: Vec<Node>,
     free: Vec<usize>,
-    map: HashMap<u64, usize>,
+    map: FxHashMap<u64, usize>,
     head: usize, // most recent
     tail: usize, // least recent
 }
@@ -32,7 +32,19 @@ impl LruTracker {
         LruTracker {
             nodes: Vec::new(),
             free: Vec::new(),
-            map: HashMap::new(),
+            map: FxHashMap::default(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Creates an empty tracker pre-sized for `capacity` keys, so a
+    /// known population (e.g. one key per flash block) never rehashes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        LruTracker {
+            nodes: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            map: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
             head: NIL,
             tail: NIL,
         }

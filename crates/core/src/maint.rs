@@ -92,47 +92,61 @@ impl FlashCache {
         }
     }
 
-    /// Advances the open block's pointer to the next slot compatible with
-    /// the request, honouring per-physical-page mode configuration.
-    fn take_from_open(&mut self, kind: RegionKind, want_slc: bool) -> Option<PageAddr> {
-        let mut ob = self.region_mut(kind).open?;
+    /// Advances `next_slot` to the next programmable slot of `block`
+    /// compatible with the request's mode, honouring per-physical-page
+    /// configuration (and converting MLC pages to SLC for forced-SLC
+    /// requests). Shared by open-block allocation and block-to-block
+    /// migration — the walk must agree in both, or a migrated block
+    /// would be laid out differently than a freshly programmed one.
+    fn advance_slot(
+        &mut self,
+        block: BlockId,
+        next_slot: &mut u32,
+        want_slc: bool,
+    ) -> Option<PageAddr> {
         let spb = self.device.geometry().slots_per_block();
-        let mut result = None;
-        while ob.next_slot < spb {
-            let addr = PageAddr::new(ob.id, ob.next_slot);
-            let even = PageAddr::new(ob.id, ob.next_slot & !1u32);
+        while *next_slot < spb {
+            let addr = PageAddr::new(block, *next_slot);
+            let even = PageAddr::new(block, *next_slot & !1u32);
             if want_slc {
                 if addr.is_upper_half() {
                     // The lower half is already committed MLC; skip to the
                     // next physical page for an SLC allocation.
-                    ob.next_slot += 1;
+                    *next_slot += 1;
                     continue;
                 }
                 if self.fpst.get(even).mode == CellMode::Mlc {
                     self.fpst.get_mut(even).mode = CellMode::Slc;
                     self.fpst.get_mut(even.sibling()).mode = CellMode::Slc;
-                    self.fbst.get_mut(ob.id).slc_pages += 1;
+                    self.fbst.get_mut(block).slc_pages += 1;
+                    // slc_pages is a wear-cost term; keep the index fresh.
+                    self.reclaim_sync(block);
                 }
-                ob.next_slot += 2;
-                result = Some(addr);
-                break;
+                *next_slot += 2;
+                return Some(addr);
             }
             if addr.is_upper_half() {
                 // Lower half was programmed MLC; the upper half follows.
-                ob.next_slot += 1;
-                result = Some(addr);
-                break;
+                *next_slot += 1;
+                return Some(addr);
             }
             if self.fpst.get(even).mode == CellMode::Slc {
                 // Wear-demoted physical page: one SLC slot, skip sibling.
-                ob.next_slot += 2;
-                result = Some(addr);
-                break;
+                *next_slot += 2;
+                return Some(addr);
             }
-            ob.next_slot += 1;
-            result = Some(addr);
-            break;
+            *next_slot += 1;
+            return Some(addr);
         }
+        None
+    }
+
+    /// Advances the open block's pointer to the next slot compatible with
+    /// the request, honouring per-physical-page mode configuration.
+    fn take_from_open(&mut self, kind: RegionKind, want_slc: bool) -> Option<PageAddr> {
+        let mut ob = self.region_mut(kind).open?;
+        let spb = self.device.geometry().slots_per_block();
+        let result = self.advance_slot(ob.id, &mut ob.next_slot, want_slc);
         let region = self.region_mut(kind);
         if result.is_none() && ob.next_slot >= spb {
             region.open = None;
@@ -163,7 +177,32 @@ impl FlashCache {
         self.evict_block(kind)
     }
 
-    fn find_fully_invalid(&self, kind: RegionKind) -> Option<BlockId> {
+    /// The write-amplification floor for GC victims: minimum invalid
+    /// pages a block must carry before compaction beats eviction.
+    fn gc_floor(&self) -> u32 {
+        let spb = self.device.geometry().slots_per_block();
+        ((spb as f64 * self.config.gc_min_invalid_fraction).ceil() as u32).max(1)
+    }
+
+    /// A fully invalidated block of `kind`, from the reclaim index (or
+    /// the scan oracle when the index is disabled).
+    fn find_fully_invalid(&mut self, kind: RegionKind) -> Option<BlockId> {
+        if !self.config.use_reclaim_index {
+            self.stats.reclaim_scan_fallbacks += 1;
+            return self.find_fully_invalid_scan(kind);
+        }
+        self.stats.reclaim_index_queries += 1;
+        let region = self.storage_kind(kind);
+        let found = self
+            .reclaim
+            .fully_invalid(region, |b| self.block_is_reserved(b));
+        self.stats.reclaim_index_hits += found.is_some() as u64;
+        found
+    }
+
+    /// O(blocks) ground-truth oracle for [`Self::find_fully_invalid`],
+    /// retained for `check_invariants` and the differential tests.
+    fn find_fully_invalid_scan(&self, kind: RegionKind) -> Option<BlockId> {
         self.fbst
             .iter()
             .filter(|(b, s)| {
@@ -181,9 +220,25 @@ impl FlashCache {
     /// invalid pages, provided it clears the write-amplification floor
     /// (`gc_min_invalid_fraction`) — otherwise `None`, and eviction is
     /// the better reclaim.
-    fn find_gc_victim(&self, kind: RegionKind) -> Option<BlockId> {
-        let spb = self.device.geometry().slots_per_block();
-        let floor = ((spb as f64 * self.config.gc_min_invalid_fraction).ceil() as u32).max(1);
+    fn find_gc_victim(&mut self, kind: RegionKind) -> Option<BlockId> {
+        if !self.config.use_reclaim_index {
+            self.stats.reclaim_scan_fallbacks += 1;
+            return self.find_gc_victim_scan(kind);
+        }
+        self.stats.reclaim_index_queries += 1;
+        let region = self.storage_kind(kind);
+        self.reclaim.trim_gc_cursor(region);
+        let floor = self.gc_floor();
+        let found = self
+            .reclaim
+            .gc_victim(region, floor, |b| self.block_is_reserved(b));
+        self.stats.reclaim_index_hits += found.is_some() as u64;
+        found
+    }
+
+    /// O(blocks) ground-truth oracle for [`Self::find_gc_victim`].
+    fn find_gc_victim_scan(&self, kind: RegionKind) -> Option<BlockId> {
+        let floor = self.gc_floor();
         self.fbst
             .iter()
             .filter(|(b, s)| {
@@ -197,7 +252,23 @@ impl FlashCache {
             .map(|(b, _)| b)
     }
 
-    fn find_lru_victim(&self, kind: RegionKind) -> Option<BlockId> {
+    /// The least recently used block of `kind` with content.
+    fn find_lru_victim(&mut self, kind: RegionKind) -> Option<BlockId> {
+        if !self.config.use_reclaim_index {
+            self.stats.reclaim_scan_fallbacks += 1;
+            return self.find_lru_victim_scan(kind);
+        }
+        self.stats.reclaim_index_queries += 1;
+        let region = self.storage_kind(kind);
+        let found = self
+            .reclaim
+            .lru_victim(region, |b| self.block_is_reserved(b));
+        self.stats.reclaim_index_hits += found.is_some() as u64;
+        found
+    }
+
+    /// O(blocks) ground-truth oracle for [`Self::find_lru_victim`].
+    fn find_lru_victim_scan(&self, kind: RegionKind) -> Option<BlockId> {
         self.fbst
             .iter()
             .filter(|(b, s)| {
@@ -214,7 +285,21 @@ impl FlashCache {
     /// *entire* flash (§3.6: "Newest blocks are chosen from the entire
     /// set of Flash blocks"), restricted to blocks whose content can be
     /// migrated.
-    fn find_newest_block(&self, exclude: BlockId) -> Option<BlockId> {
+    fn find_newest_block(&mut self, exclude: BlockId) -> Option<BlockId> {
+        if !self.config.use_reclaim_index {
+            self.stats.reclaim_scan_fallbacks += 1;
+            return self.find_newest_block_scan(exclude);
+        }
+        self.stats.reclaim_index_queries += 1;
+        let found = self
+            .reclaim
+            .newest_block(exclude, |b| self.block_is_reserved(b));
+        self.stats.reclaim_index_hits += found.is_some() as u64;
+        found
+    }
+
+    /// O(blocks) ground-truth oracle for [`Self::find_newest_block`].
+    fn find_newest_block_scan(&self, exclude: BlockId) -> Option<BlockId> {
         let (k1, k2) = (self.config.wear_k1, self.config.wear_k2);
         self.fbst
             .iter()
@@ -310,7 +395,8 @@ impl FlashCache {
             self.drop_valid_page(src, false);
             return false;
         }
-        let want_slc = st.access_count >= self.config.hot_threshold && self.policy_allows_slc();
+        let access = self.fpst.access_count(src);
+        let want_slc = access >= self.config.hot_threshold && self.policy_allows_slc();
         let Some(dst) = self.gc_dest_slot(kind, want_slc) else {
             self.drop_valid_page(src, true);
             return false;
@@ -330,7 +416,8 @@ impl FlashCache {
         let r = self.region_mut(region);
         r.valid_pages -= 1;
         r.invalid_pages += 1;
-        let lat = self.program_slot(dst, disk_page, st.dirty, st.access_count);
+        self.reclaim_sync(src.block);
+        let lat = self.program_slot(dst, disk_page, st.dirty, access);
         *gc_us += lat;
         true
     }
@@ -458,41 +545,11 @@ impl FlashCache {
                 self.drop_valid_page(s_addr, false);
                 continue;
             }
-            // Find the next compatible slot in dst.
-            let want_slc = st.access_count >= self.config.hot_threshold && self.policy_allows_slc();
-            let mut placed = None;
-            while dst_slot < spb {
-                let d_addr = PageAddr::new(dst, dst_slot);
-                let d_even = PageAddr::new(dst, dst_slot & !1u32);
-                if want_slc {
-                    if d_addr.is_upper_half() {
-                        dst_slot += 1;
-                        continue;
-                    }
-                    if self.fpst.get(d_even).mode == CellMode::Mlc {
-                        self.fpst.get_mut(d_even).mode = CellMode::Slc;
-                        self.fpst.get_mut(d_even.sibling()).mode = CellMode::Slc;
-                        self.fbst.get_mut(dst).slc_pages += 1;
-                    }
-                    dst_slot += 2;
-                    placed = Some(d_addr);
-                    break;
-                }
-                if d_addr.is_upper_half() {
-                    dst_slot += 1;
-                    placed = Some(d_addr);
-                    break;
-                }
-                if self.fpst.get(d_even).mode == CellMode::Slc {
-                    dst_slot += 2;
-                    placed = Some(d_addr);
-                    break;
-                }
-                dst_slot += 1;
-                placed = Some(d_addr);
-                break;
-            }
-            match placed {
+            // Find the next compatible slot in dst — the same walk as
+            // open-block allocation (see `advance_slot`).
+            let access = self.fpst.access_count(s_addr);
+            let want_slc = access >= self.config.hot_threshold && self.policy_allows_slc();
+            match self.advance_slot(dst, &mut dst_slot, want_slc) {
                 Some(d_addr) => {
                     let disk_page = st.disk_page.expect("valid page maps a disk page");
                     let sp = self.fpst.get_mut(s_addr);
@@ -506,7 +563,8 @@ impl FlashCache {
                     let r = self.region_mut(region);
                     r.valid_pages -= 1;
                     r.invalid_pages += 1;
-                    let lat = self.program_slot(d_addr, disk_page, st.dirty, st.access_count);
+                    self.reclaim_sync(src);
+                    let lat = self.program_slot(d_addr, disk_page, st.dirty, access);
                     *gc_us += lat;
                     self.stats.gc_moved_pages += 1;
                 }
@@ -585,6 +643,11 @@ impl FlashCache {
                 .usable_slots
                 .saturating_sub(self.device.geometry().slots_per_block() as u64);
         }
+        // One reconciliation covers the erase (counts zeroed, erase_count
+        // bumped) and any retirement. Callers may reassign the block's
+        // region afterwards, but only while it is empty — a no-op for the
+        // index, so no further sync is needed at the handoff sites.
+        self.reclaim_sync(b);
         dead
     }
 
@@ -675,6 +738,86 @@ impl FlashCache {
                 self.fcht.len(),
                 valid[0] + valid[1]
             ));
+        }
+        // The incremental reclaim index must mirror the FBST exactly
+        // (membership and keys), whether or not queries are routed to it.
+        self.reclaim
+            .verify(&self.fbst, self.config.wear_k1, self.config.wear_k2)?;
+        // Differential: every index query must return a victim with the
+        // same ordering key as the O(blocks) scan oracle. Ties may break
+        // toward a different block; the keys must agree.
+        let reserved = |b: BlockId| self.block_is_reserved(b);
+        let kinds: &[RegionKind] = if self.unified {
+            &[RegionKind::Read]
+        } else {
+            &[RegionKind::Read, RegionKind::Write]
+        };
+        let mut excludes = vec![BlockId(u32::MAX)];
+        for &kind in kinds {
+            let scan = self.find_fully_invalid_scan(kind);
+            let idx = self.reclaim.fully_invalid(kind, reserved);
+            if scan.is_some() != idx.is_some() {
+                return Err(format!(
+                    "{kind:?}: fully-invalid scan {scan:?} vs index {idx:?}"
+                ));
+            }
+            let scan = self.find_gc_victim_scan(kind);
+            let idx = self.reclaim.gc_victim(kind, self.gc_floor(), reserved);
+            match (scan, idx) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    let (ka, kb) = (
+                        self.fbst.get(a).invalid_pages,
+                        self.fbst.get(b).invalid_pages,
+                    );
+                    if ka != kb {
+                        return Err(format!(
+                            "{kind:?}: GC scan {a} (invalid {ka}) vs index {b} (invalid {kb})"
+                        ));
+                    }
+                }
+                (scan, idx) => {
+                    return Err(format!("{kind:?}: GC scan {scan:?} vs index {idx:?}"));
+                }
+            }
+            let scan = self.find_lru_victim_scan(kind);
+            let idx = self.reclaim.lru_victim(kind, reserved);
+            match (scan, idx) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    let (ka, kb) = (self.fbst.get(a).last_access, self.fbst.get(b).last_access);
+                    if ka != kb {
+                        return Err(format!(
+                            "{kind:?}: LRU scan {a} (access {ka}) vs index {b} (access {kb})"
+                        ));
+                    }
+                    excludes.push(a);
+                }
+                (scan, idx) => {
+                    return Err(format!("{kind:?}: LRU scan {scan:?} vs index {idx:?}"));
+                }
+            }
+        }
+        // Newest-block query, both with a sentinel exclusion and with the
+        // real eviction victims §3.6 would compare against.
+        let (k1, k2) = (self.config.wear_k1, self.config.wear_k2);
+        for exclude in excludes {
+            let scan = self.find_newest_block_scan(exclude);
+            let idx = self.reclaim.newest_block(exclude, reserved);
+            match (scan, idx) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    let (wa, wb) = (self.fbst.wear_out(a, k1, k2), self.fbst.wear_out(b, k1, k2));
+                    if wa != wb {
+                        return Err(format!(
+                            "newest scan {a} (wear {wa}) vs index {b} (wear {wb})"
+                        ));
+                    }
+                }
+                (scan, idx) => {
+                    return Err(format!("newest scan {scan:?} vs index {idx:?}"));
+                }
+            }
         }
         let _ = CacheStats::default();
         Ok(())

@@ -51,6 +51,13 @@ pub struct CacheStats {
     pub background_us: f64,
     /// ECC decode/encode latency included in `foreground_us`, µs.
     pub ecc_us: f64,
+    /// Reclaim victim queries answered by the incremental index.
+    pub reclaim_index_queries: u64,
+    /// Index-answered queries that produced a victim.
+    pub reclaim_index_hits: u64,
+    /// Reclaim victim queries answered by the O(blocks) FBST scan
+    /// (index disabled via `use_reclaim_index: false`).
+    pub reclaim_scan_fallbacks: u64,
 }
 
 impl CacheStats {

@@ -2,9 +2,9 @@
 //! FCHT, FPST, FBST and FGST. In the paper these live in DRAM and are
 //! consulted by OS code; their total overhead is under 2% of flash size.
 
-use std::collections::HashMap;
-
 use nand_flash::{BlockId, CellMode, FlashGeometry, PageAddr};
+
+use crate::fxhash::FxHashMap;
 
 /// Which cache region a block belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -23,13 +23,22 @@ pub enum RegionKind {
 /// the same fully-associative semantics.
 #[derive(Debug, Default)]
 pub struct Fcht {
-    map: HashMap<u64, PageAddr>,
+    map: FxHashMap<u64, PageAddr>,
 }
 
 impl Fcht {
     /// Creates an empty table.
     pub fn new() -> Self {
         Fcht::default()
+    }
+
+    /// Creates an empty table pre-sized for `capacity` mappings. The
+    /// table holds at most one entry per flash slot, so sizing it from
+    /// the device geometry means the lookup hot path never rehashes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Fcht {
+            map: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
+        }
     }
 
     /// Number of cached disk pages.
@@ -69,8 +78,13 @@ pub struct PageState {
     pub ecc_strength: u8,
     /// Mode this flash page is (or will next be) programmed in.
     pub mode: CellMode,
-    /// Saturating read-access counter (§5.2.2).
+    /// Saturating read-access counter (§5.2.2). This is the *raw*
+    /// stored value; pending epoch decay may still apply — read through
+    /// [`Fpst::access_count`] for the effective value.
     pub access_count: u8,
+    /// Decay epoch `access_count` was last folded at (see
+    /// [`Fpst::advance_decay_epoch`]).
+    pub access_epoch: u32,
     /// Consecutive reads whose error count reached the configured
     /// strength — reconfiguration waits for errors that "fail
     /// consistently" (§5.2.1) so a transient soft error cannot trigger a
@@ -89,6 +103,7 @@ impl PageState {
             ecc_strength,
             mode,
             access_count: 0,
+            access_epoch: 0,
             error_streak: 0,
             disk_page: None,
         }
@@ -106,6 +121,11 @@ impl PageState {
 pub struct Fpst {
     geometry: FlashGeometry,
     pages: Vec<PageState>,
+    /// Current decay epoch: each page owes `decay_epoch - access_epoch`
+    /// halvings of its access counter, applied lazily on the next
+    /// touch. Advancing the epoch is O(1), replacing the old
+    /// full-table decay walk on the access path.
+    decay_epoch: u32,
 }
 
 impl Fpst {
@@ -118,6 +138,7 @@ impl Fpst {
                 PageState::fresh(initial_ecc, initial_mode);
                 geometry.total_slots() as usize
             ],
+            decay_epoch: 0,
         }
     }
 
@@ -149,12 +170,56 @@ impl Fpst {
         })
     }
 
-    /// Halves every access counter — the periodic decay that keeps the
-    /// saturating counters measuring *recent* access frequency.
-    pub fn decay_access_counters(&mut self) {
-        for p in &mut self.pages {
-            p.access_count >>= 1;
+    /// Starts a new decay epoch: every access counter is halved once,
+    /// *lazily*. O(1) — pages fold the pending halvings the next time
+    /// their counter is read or written, so steady-state accesses never
+    /// pay a full-table walk. A `u8` counter is dead after 8 halvings,
+    /// so the fold caps the shift and epoch wrap-around is harmless.
+    pub fn advance_decay_epoch(&mut self) {
+        self.decay_epoch = self.decay_epoch.wrapping_add(1);
+    }
+
+    /// The current decay epoch (stamp for direct `access_count` writes).
+    pub fn decay_epoch(&self) -> u32 {
+        self.decay_epoch
+    }
+
+    /// Effective access counter of `addr`, with pending decay applied.
+    pub fn access_count(&self, addr: PageAddr) -> u8 {
+        let p = self.get(addr);
+        let owed = self.decay_epoch.wrapping_sub(p.access_epoch);
+        if owed >= 8 {
+            0
+        } else {
+            p.access_count >> owed
         }
+    }
+
+    /// Folds pending decay into the stored counter and stamps the page
+    /// current. Returns the folded value.
+    fn fold_decay(&mut self, addr: PageAddr) -> u8 {
+        let epoch = self.decay_epoch;
+        let folded = self.access_count(addr);
+        let p = self.get_mut(addr);
+        p.access_count = folded;
+        p.access_epoch = epoch;
+        folded
+    }
+
+    /// Saturating increment of `addr`'s access counter (folding pending
+    /// decay first); returns the new effective value.
+    pub fn bump_access(&mut self, addr: PageAddr) -> u8 {
+        self.fold_decay(addr);
+        self.get_mut(addr).bump_access()
+    }
+
+    /// Overwrites `addr`'s access counter with `value`, stamped at the
+    /// current epoch (no decay owed until the next epoch).
+    pub fn set_access_count(&mut self, addr: PageAddr, value: u8) {
+        let epoch = self.decay_epoch;
+        let p = self.get_mut(addr);
+        p.access_count = value;
+        p.access_epoch = epoch;
     }
 
     /// Sum of configured ECC strengths across a block (`TotalECC` in the
@@ -374,6 +439,42 @@ mod tests {
         p.access_count = 254;
         assert_eq!(p.bump_access(), 255);
         assert_eq!(p.bump_access(), 255);
+    }
+
+    #[test]
+    fn lazy_decay_matches_eager_halving() {
+        let mut t = Fpst::new(geom(), 1, CellMode::Mlc);
+        let a = PageAddr::new(BlockId(0), 0);
+        t.set_access_count(a, 200);
+        // One epoch: 200 -> 100; bump folds then increments.
+        t.advance_decay_epoch();
+        assert_eq!(t.access_count(a), 100);
+        assert_eq!(t.bump_access(a), 101);
+        // Three more epochs: 101 >> 3 = 12.
+        for _ in 0..3 {
+            t.advance_decay_epoch();
+        }
+        assert_eq!(t.access_count(a), 12);
+        // A counter is dead after 8 epochs regardless of magnitude.
+        t.set_access_count(a, 255);
+        for _ in 0..8 {
+            t.advance_decay_epoch();
+        }
+        assert_eq!(t.access_count(a), 0);
+        assert_eq!(t.bump_access(a), 1);
+    }
+
+    #[test]
+    fn set_access_count_stamps_current_epoch() {
+        let mut t = Fpst::new(geom(), 1, CellMode::Mlc);
+        let a = PageAddr::new(BlockId(1), 2);
+        t.advance_decay_epoch();
+        t.advance_decay_epoch();
+        t.set_access_count(a, 40);
+        // No decay owed until the *next* epoch.
+        assert_eq!(t.access_count(a), 40);
+        t.advance_decay_epoch();
+        assert_eq!(t.access_count(a), 20);
     }
 
     #[test]

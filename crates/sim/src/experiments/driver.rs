@@ -24,6 +24,24 @@ pub fn half_working_set_bytes(workload: &WorkloadSpec) -> u64 {
     (workload.footprint_pages * PAGE_BYTES / 2).max(8 * 256 * 1024)
 }
 
+/// Whether `FLASHCACHE_CHECK_INVARIANTS` is set (to anything but `0` or
+/// the empty string). When on, [`drive_cache`] periodically asserts
+/// [`FlashCache::check_invariants`], which cross-checks the incremental
+/// reclaim index against the O(blocks) scan oracles mid-replay. Off by
+/// default: the check is O(blocks × slots) and meant for CI smoke runs,
+/// not production sweeps.
+pub fn invariant_checks_enabled() -> bool {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        std::env::var("FLASHCACHE_CHECK_INVARIANTS")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false)
+    })
+}
+
+/// Access interval between mid-replay invariant checks.
+const INVARIANT_CHECK_INTERVAL: u64 = 8192;
+
 /// Replays up to `accesses` page accesses from `generator` into `cache`,
 /// stopping early if the cache dies when `stop_when_dead` is set.
 /// Returns the number of page accesses performed.
@@ -33,6 +51,7 @@ pub fn drive_cache(
     accesses: u64,
     stop_when_dead: bool,
 ) -> u64 {
+    let checked = invariant_checks_enabled();
     let mut done = 0u64;
     'outer: while done < accesses {
         let req = generator.next_request();
@@ -43,10 +62,20 @@ pub fn drive_cache(
                 cache.read(page);
             }
             done += 1;
+            if checked && done.is_multiple_of(INVARIANT_CHECK_INTERVAL) {
+                cache
+                    .check_invariants()
+                    .expect("cache invariants hold mid-replay");
+            }
             if done >= accesses || (stop_when_dead && cache.is_dead()) {
                 break 'outer;
             }
         }
+    }
+    if checked {
+        cache
+            .check_invariants()
+            .expect("cache invariants hold after replay");
     }
     done
 }
