@@ -44,6 +44,8 @@ const VALUE_KEYS: &[&str] = &[
     "write-fraction",
     "json-metrics",
     "trace-events",
+    "shards",
+    "batch",
 ];
 
 impl Args {

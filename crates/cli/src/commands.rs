@@ -40,6 +40,8 @@ SIMULATE:
   --dram-mb N         primary disk cache size (default 16)
   --flash-mb N        flash cache size; 0 = DRAM-only baseline (default 64)
   --unified           use one shared region instead of the 90/10 split
+  --shards N          hash-partition the flash cache into N shards (default 1)
+  --batch N           submit requests in concurrent batches of N (default 1)
 
 SWEEP:
   --sizes-mb A,B,C    flash sizes to evaluate (default 8,16,32,64)
@@ -73,19 +75,17 @@ fn load_workload(args: &super::Args) -> Result<WorkloadSpec, String> {
     Ok(if scale > 1 { spec.scaled(scale) } else { spec })
 }
 
-fn flash_config(flash_mb: u64, unified: bool) -> FlashCacheConfig {
-    FlashCacheConfig {
-        flash: FlashConfig {
-            geometry: FlashGeometry::for_mlc_capacity(flash_mb << 20),
-            ..FlashConfig::default()
-        },
-        split: if unified {
-            SplitPolicy::Unified
-        } else {
-            SplitPolicy::default()
-        },
-        ..FlashCacheConfig::default()
-    }
+fn flash_config(flash_mb: u64, unified: bool) -> Result<FlashCacheConfig, String> {
+    let builder = FlashCacheConfig::builder().flash(FlashConfig {
+        geometry: FlashGeometry::for_mlc_capacity(flash_mb << 20),
+        ..FlashConfig::default()
+    });
+    let builder = if unified {
+        builder.unified()
+    } else {
+        builder.split(SplitPolicy::default())
+    };
+    builder.build().map_err(|e| format!("{flash_mb}MB: {e}"))
 }
 
 /// When `--json-metrics` was given, installs the process-global
@@ -123,31 +123,54 @@ pub fn simulate(args: &super::Args) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let dram_mb: u64 = args.num("dram-mb", 16u64).map_err(|e| e.to_string())?;
     let flash_mb: u64 = args.num("flash-mb", 64u64).map_err(|e| e.to_string())?;
-    let mut hierarchy = Hierarchy::new(HierarchyConfig {
+    let shards: usize = args.num("shards", 1usize).map_err(|e| e.to_string())?;
+    let batch: usize = args.num("batch", 1usize).map_err(|e| e.to_string())?;
+    let flash = if flash_mb > 0 {
+        Some(flash_config(flash_mb, args.flag("unified"))?)
+    } else {
+        None
+    };
+    let mut hierarchy = Hierarchy::try_new(HierarchyConfig {
         dram_bytes: dram_mb << 20,
-        flash: (flash_mb > 0).then(|| flash_config(flash_mb, args.flag("unified"))),
+        flash,
+        flash_shards: shards,
         ..HierarchyConfig::default()
-    });
+    })
+    .map_err(|e| e.to_string())?;
 
+    let batch = batch.max(1);
+    let mut pending: Vec<DiskRequest> = Vec::with_capacity(batch);
     let replayed = if let Some(path) = args.get("spc") {
         let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
         let mut n = 0u64;
         for record in SpcReader::new(BufReader::new(file)) {
             let record = record.map_err(|e| e.to_string())?;
-            hierarchy.submit(record.to_request());
+            pending.push(record.to_request());
+            if pending.len() >= batch {
+                hierarchy.submit_batch(&pending);
+                pending.clear();
+            }
             n += 1;
             if n >= requests {
                 break;
             }
         }
+        hierarchy.submit_batch(&pending);
+        pending.clear();
         println!("replayed {n} SPC records from {path}");
         n
     } else {
         let workload = load_workload(args)?;
         let mut generator = workload.generator(seed);
         for _ in 0..requests {
-            hierarchy.submit(generator.next_request());
+            pending.push(generator.next_request());
+            if pending.len() >= batch {
+                hierarchy.submit_batch(&pending);
+                pending.clear();
+            }
         }
+        hierarchy.submit_batch(&pending);
+        pending.clear();
         println!(
             "replayed {requests} requests of {} ({}MB footprint, seed {seed})",
             workload.name,
@@ -177,16 +200,31 @@ pub fn simulate(args: &super::Args) -> Result<(), String> {
         "disk traffic      : {} page reads, {} page writes ({:.2}s busy)",
         report.disk_read_pages, report.disk_write_pages, report.disk.busy_s
     );
-    if let Some(flash) = hierarchy.flash() {
+    if let Some(engine) = hierarchy.flash_engine() {
         println!();
-        println!("flash cache:");
-        println!("{}", flash.stats());
-        println!(
-            "SLC fraction {:.1}% | usable slots {} | erase spread {:?}",
-            flash.slc_fraction() * 100.0,
-            flash.usable_slots(),
-            flash.erase_spread(),
-        );
+        if engine.shard_count() > 1 {
+            println!("flash cache ({} shards, merged):", engine.shard_count());
+            println!("{}", engine.stats());
+            println!("usable slots {}", engine.usable_slots());
+            for (i, shard) in engine.shards().iter().enumerate() {
+                println!(
+                    "  shard {i}: {} reads | SLC {:.1}% | erase spread {:?}",
+                    shard.stats().reads,
+                    shard.slc_fraction() * 100.0,
+                    shard.erase_spread(),
+                );
+            }
+        } else {
+            let flash = &engine.shards()[0];
+            println!("flash cache:");
+            println!("{}", flash.stats());
+            println!(
+                "SLC fraction {:.1}% | usable slots {} | erase spread {:?}",
+                flash.slc_fraction() * 100.0,
+                flash.usable_slots(),
+                flash.erase_spread(),
+            );
+        }
     }
     if let Some((path, _sink)) = &obs_out {
         write_obs(path, &hierarchy.obs_snapshot().to_json())?;
@@ -222,7 +260,7 @@ pub fn sweep(args: &super::Args) -> Result<(), String> {
         let mut row = Vec::new();
         for unified in [true, false] {
             let mut cache =
-                FlashCache::new(flash_config(mb, unified)).map_err(|e| format!("{mb}MB: {e}"))?;
+                FlashCache::new(flash_config(mb, unified)?).map_err(|e| format!("{mb}MB: {e}"))?;
             let mut generator = workload.generator(seed);
             let mut done = 0u64;
             while done < requests {
@@ -297,7 +335,7 @@ pub fn lifetime(args: &super::Args) -> Result<(), String> {
     for (name, policy) in policies {
         let flash_bytes =
             (workload.footprint_pages * flashcache::trace::PAGE_BYTES / 2).max(8 * 256 * 1024);
-        let mut config = flash_config(flash_bytes >> 20, false);
+        let mut config = flash_config(flash_bytes >> 20, false)?;
         config.flash.geometry = FlashGeometry::for_mlc_capacity(flash_bytes);
         config.controller = policy;
         if let ControllerPolicy::FixedEcc { strength } = policy {

@@ -15,6 +15,7 @@ use flash_obs::{Event, ObsSink, Registry, ServiceTier};
 use nand_flash::{BlockId, CellMode, FlashDevice, PageAddr};
 
 use crate::config::{ConfigError, ControllerPolicy, FlashCacheConfig, SplitPolicy};
+use crate::error::CacheError;
 use crate::reclaim::ReclaimIndex;
 use crate::stats::CacheStats;
 use crate::tables::{Fbst, Fcht, Fgst, Fpst, RegionKind};
@@ -235,6 +236,7 @@ impl FlashCache {
             ("flash.reconfig_density", s.reconfig_density),
             ("flash.hot_promotions", s.hot_promotions),
             ("flash.uncorrectable_reads", s.uncorrectable_reads),
+            ("flash.internal_errors", s.internal_errors),
             ("flash.retired_blocks", s.retired_blocks),
             ("flash.gc_time_us", s.gc_time_us.round() as u64),
             ("flash.foreground_us", s.foreground_us.round() as u64),
@@ -363,16 +365,6 @@ impl FlashCache {
         self.fbst.get(block).region
     }
 
-    /// Diagnostic dump of allocator/region state (unstable format).
-    #[doc(hidden)]
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `FlashCache::snapshot()` for a typed `CacheSnapshot` (its `Display` renders the same information)"
-    )]
-    pub fn debug_state(&self) -> String {
-        self.snapshot().to_string()
-    }
-
     /// Erase-count spread `(min, max, mean)` over non-retired blocks —
     /// the wear-levelling quality metric used by the ablation benches.
     pub fn erase_spread(&self) -> (u64, u64, f64) {
@@ -463,8 +455,44 @@ impl FlashCache {
         outcome
     }
 
+    /// Degrades an internal error into the fail-to-disk outcome used by
+    /// the infallible entry points: corruption-class errors surface as
+    /// `uncorrectable`, and the access bypasses the cache entirely.
+    fn degraded_outcome(&mut self, e: &CacheError, is_read: bool) -> AccessOutcome {
+        self.stats.internal_errors += 1;
+        AccessOutcome {
+            hit: false,
+            tier: ServiceTier::Disk,
+            needs_disk_read: is_read,
+            uncorrectable: e.is_corruption(),
+            bypassed: true,
+            ..AccessOutcome::default()
+        }
+    }
+
     /// Services a read of `disk_page` (§5.1 read path).
+    ///
+    /// Infallible wrapper over [`FlashCache::try_read`]: an internal
+    /// [`CacheError`] is degraded into a bypassed, disk-bound outcome
+    /// (with `uncorrectable` set for corruption-class errors) and
+    /// counted in [`CacheStats::internal_errors`].
     pub fn read(&mut self, disk_page: u64) -> AccessOutcome {
+        match self.try_read(disk_page) {
+            Ok(out) => out,
+            Err(e) => self.degraded_outcome(&e, true),
+        }
+    }
+
+    /// Services a read of `disk_page`, surfacing internal errors as
+    /// typed [`CacheError`]s instead of panicking or degrading.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError`] when a management table and the device disagree or
+    /// a device operation fails mid-access. The cache aborts the access
+    /// at the failure point; the caller should satisfy the request from
+    /// disk.
+    pub fn try_read(&mut self, disk_page: u64) -> Result<AccessOutcome, CacheError> {
         self.begin_op();
         self.stats.reads += 1;
         if let Some(addr) = self.fcht.lookup(disk_page) {
@@ -472,7 +500,7 @@ impl FlashCache {
             let out = self
                 .device
                 .read_page(addr)
-                .expect("FCHT maps only programmed pages");
+                .map_err(|source| CacheError::TableCorruption { addr, source })?;
             self.stats.flash_reads += 1;
             self.fbst.get_mut(addr.block).last_access = self.tick;
             self.reclaim_touch(addr.block);
@@ -510,20 +538,20 @@ impl FlashCache {
                     self.fpst.get_mut(addr).error_streak = 0;
                 }
                 let count = self.fpst.bump_access(addr);
-                self.maybe_promote_hot(addr, count);
+                self.maybe_promote_hot(addr, count)?;
                 self.stats.read_hits += 1;
                 self.fgst.record(true, latency);
-                return self.finish(AccessOutcome {
+                return Ok(self.finish(AccessOutcome {
                     hit: true,
                     tier: ServiceTier::Flash,
                     latency_us: latency,
                     ..AccessOutcome::default()
-                });
+                }));
             }
             // Uncorrectable hit: account the wasted flash read, then miss.
             self.fgst.record(false, 0.0);
-            let filled = self.fill_from_disk(disk_page, RegionKind::Read);
-            return self.finish(AccessOutcome {
+            let filled = self.fill_from_disk(disk_page, RegionKind::Read)?;
+            return Ok(self.finish(AccessOutcome {
                 hit: false,
                 tier: ServiceTier::Disk,
                 latency_us: latency,
@@ -531,22 +559,40 @@ impl FlashCache {
                 uncorrectable: true,
                 bypassed: !filled,
                 ..AccessOutcome::default()
-            });
+            }));
         }
         // Plain miss: fetch from disk, fill the read cache.
         self.fgst.record(false, 0.0);
-        let filled = self.fill_from_disk(disk_page, RegionKind::Read);
-        self.finish(AccessOutcome {
+        let filled = self.fill_from_disk(disk_page, RegionKind::Read)?;
+        Ok(self.finish(AccessOutcome {
             hit: false,
             needs_disk_read: true,
             bypassed: !filled,
             ..AccessOutcome::default()
-        })
+        }))
     }
 
     /// Services a write of `disk_page` (§5.1 write path): always an
     /// out-of-place write into the write region.
+    ///
+    /// Infallible wrapper over [`FlashCache::try_write`]; see
+    /// [`FlashCache::read`] for the degradation contract.
     pub fn write(&mut self, disk_page: u64) -> AccessOutcome {
+        match self.try_write(disk_page) {
+            Ok(out) => out,
+            Err(e) => self.degraded_outcome(&e, false),
+        }
+    }
+
+    /// Services a write of `disk_page`, surfacing internal errors as
+    /// typed [`CacheError`]s.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError`] when a management table and the device disagree or
+    /// a device operation fails mid-access. The caller still owns the
+    /// dirty data and must write it to disk itself.
+    pub fn try_write(&mut self, disk_page: u64) -> Result<AccessOutcome, CacheError> {
         self.begin_op();
         self.stats.writes += 1;
         let mut hit = false;
@@ -562,17 +608,17 @@ impl FlashCache {
         } else {
             RegionKind::Write
         };
-        let programmed = match self.allocate_slot(target, false) {
+        let programmed = match self.allocate_slot(target, false)? {
             Some(addr) => {
-                let lat = self.program_slot(addr, disk_page, true, 0);
+                let lat = self.program_slot(addr, disk_page, true, 0)?;
                 self.op_background_us += lat;
                 true
             }
             None => false,
         };
         self.fgst.record(hit, 0.0);
-        self.maybe_background_read_gc();
-        self.finish(AccessOutcome {
+        self.maybe_background_read_gc()?;
+        Ok(self.finish(AccessOutcome {
             hit,
             tier: if programmed {
                 ServiceTier::Flash
@@ -581,7 +627,7 @@ impl FlashCache {
             },
             bypassed: !programmed,
             ..AccessOutcome::default()
-        })
+        }))
     }
 
     /// Marks every dirty page clean and returns how many disk writes the
@@ -607,14 +653,14 @@ impl FlashCache {
 
     /// Fills `disk_page` into `kind` after a disk fetch. Returns false if
     /// no space could be allocated (worn-out device).
-    fn fill_from_disk(&mut self, disk_page: u64, kind: RegionKind) -> bool {
-        match self.allocate_slot(kind, false) {
+    fn fill_from_disk(&mut self, disk_page: u64, kind: RegionKind) -> Result<bool, CacheError> {
+        match self.allocate_slot(kind, false)? {
             Some(addr) => {
-                let lat = self.program_slot(addr, disk_page, false, 0);
+                let lat = self.program_slot(addr, disk_page, false, 0)?;
                 self.op_background_us += lat;
-                true
+                Ok(true)
             }
-            None => false,
+            None => Ok(false),
         }
     }
 
@@ -626,7 +672,7 @@ impl FlashCache {
         disk_page: u64,
         dirty: bool,
         access: u8,
-    ) -> f64 {
+    ) -> Result<f64, CacheError> {
         let even = PageAddr::new(addr.block, addr.slot & !1);
         let mode = if addr.is_upper_half() {
             CellMode::Mlc
@@ -637,7 +683,7 @@ impl FlashCache {
         let out = self
             .device
             .program_page(addr, mode, None)
-            .expect("allocator hands out programmable slots");
+            .map_err(|source| CacheError::ProgramRejected { addr, source })?;
         self.stats.flash_programs += 1;
         let gi = self.gidx(addr);
         self.live_strength[gi] = strength;
@@ -657,7 +703,7 @@ impl FlashCache {
         self.fcht.insert(disk_page, addr);
         self.reclaim_sync(addr.block);
         self.reclaim_touch(addr.block);
-        out.latency_us + self.config.ecc_latency.encode_us(strength as usize)
+        Ok(out.latency_us + self.config.ecc_latency.encode_us(strength as usize))
     }
 
     /// Invalidates a superseded page (no flush owed).
@@ -707,30 +753,34 @@ impl FlashCache {
     }
 
     /// §5.2.2: a saturated read counter promotes a hot MLC page to SLC.
-    fn maybe_promote_hot(&mut self, addr: PageAddr, count: u8) {
+    fn maybe_promote_hot(&mut self, addr: PageAddr, count: u8) -> Result<(), CacheError> {
         if count != self.config.hot_threshold {
-            return;
+            return Ok(());
         }
         if !matches!(
             self.config.controller,
             ControllerPolicy::Programmable | ControllerPolicy::DensityOnly
         ) {
-            return;
+            return Ok(());
         }
-        let phys_mode = self
-            .device
-            .physical_mode(addr)
-            .expect("hit pages are programmed");
+        let Some(phys_mode) = self.device.physical_mode(addr) else {
+            // A hit page must be programmed; the device disagreeing with
+            // the FPST is table corruption.
+            return Err(CacheError::TableCorruption {
+                addr,
+                source: nand_flash::FlashOpError::NotProgrammed(addr),
+            });
+        };
         if phys_mode != CellMode::Mlc {
-            return;
+            return Ok(());
         }
         let kind = self.region_kind_of(addr);
         let st = *self.fpst.get(addr);
-        let disk_page = st.disk_page.expect("valid page has a mapping");
+        let disk_page = st.disk_page.ok_or(CacheError::MappingMissing { addr })?;
         // Invalidate *before* allocating: allocation may trigger GC, which
         // must not relocate the page we are about to migrate ourselves.
         self.invalidate_for_overwrite(addr);
-        let Some(dst) = self.allocate_slot(kind, true) else {
+        let Some(dst) = self.allocate_slot(kind, true)? else {
             // Promotion failed for lack of space; the page falls out of
             // the cache (its content was just served, and a dirty copy
             // still owes a disk write).
@@ -738,10 +788,10 @@ impl FlashCache {
                 self.op_flushed += 1;
                 self.stats.flushed_dirty_pages += 1;
             }
-            return;
+            return Ok(());
         };
         // Migrate: the page was just read; program the copy in SLC mode.
-        let lat = self.program_slot(dst, disk_page, st.dirty, self.config.hot_threshold);
+        let lat = self.program_slot(dst, disk_page, st.dirty, self.config.hot_threshold)?;
         self.op_background_us += lat;
         self.stats.hot_promotions += 1;
         self.stats.reconfig_density += 1;
@@ -750,6 +800,7 @@ impl FlashCache {
             block: dst.block.0,
             slot: dst.slot,
         });
+        Ok(())
     }
 
     /// §5.2.1: reacts to a page whose observed errors reached its
@@ -821,19 +872,20 @@ impl FlashCache {
 
     /// Background read-region GC when invalid pages push valid capacity
     /// below the watermark (§5.1).
-    fn maybe_background_read_gc(&mut self) {
+    fn maybe_background_read_gc(&mut self) -> Result<(), CacheError> {
         if self.unified {
-            return;
+            return Ok(());
         }
         let r = self.region(RegionKind::Read);
         let occupied = r.valid_pages + r.invalid_pages;
         if occupied == 0 {
-            return;
+            return Ok(());
         }
         let valid_frac = r.valid_pages as f64 / occupied as f64;
         if valid_frac < self.config.read_gc_watermark {
-            self.collect_garbage(RegionKind::Read);
+            self.collect_garbage(RegionKind::Read)?;
         }
+        Ok(())
     }
 }
 

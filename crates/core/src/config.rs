@@ -70,6 +70,14 @@ pub enum ControllerPolicy {
 }
 
 /// Full configuration of a [`crate::cache::FlashCache`].
+///
+/// Prefer [`FlashCacheConfig::builder`] over filling the struct in by
+/// hand: the builder validates on [`build`](FlashCacheConfigBuilder::build),
+/// so an impossible combination is rejected at construction instead of
+/// surfacing later from `FlashCache::new`. Raw struct-literal
+/// construction (including functional update from `..Default::default()`)
+/// remains possible for backwards compatibility but is discouraged for
+/// new code.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FlashCacheConfig {
     /// Underlying device configuration.
@@ -152,6 +160,26 @@ impl Default for FlashCacheConfig {
 }
 
 impl FlashCacheConfig {
+    /// Starts a fluent builder seeded with the paper-default
+    /// configuration; call [`FlashCacheConfigBuilder::build`] to
+    /// validate and obtain the finished config.
+    ///
+    /// ```
+    /// use flashcache_core::FlashCacheConfig;
+    ///
+    /// let config = FlashCacheConfig::builder()
+    ///     .write_fraction(0.10)
+    ///     .max_ecc(12)
+    ///     .build()
+    ///     .expect("defaults tweaked within valid ranges");
+    /// assert_eq!(config.max_ecc, 12);
+    /// ```
+    pub fn builder() -> FlashCacheConfigBuilder {
+        FlashCacheConfigBuilder {
+            config: FlashCacheConfig::default(),
+        }
+    }
+
     /// Validates invariants, returning a description of the first
     /// violation.
     ///
@@ -211,6 +239,142 @@ impl FlashCacheConfig {
     }
 }
 
+/// Fluent constructor for [`FlashCacheConfig`], obtained from
+/// [`FlashCacheConfig::builder`].
+///
+/// Every setter overrides one field of the paper-default configuration;
+/// [`build`](FlashCacheConfigBuilder::build) runs
+/// [`FlashCacheConfig::validate`] so the returned config is always
+/// internally consistent.
+#[derive(Debug, Clone)]
+pub struct FlashCacheConfigBuilder {
+    config: FlashCacheConfig,
+}
+
+impl FlashCacheConfigBuilder {
+    /// Sets the underlying device configuration.
+    pub fn flash(mut self, flash: FlashConfig) -> Self {
+        self.config.flash = flash;
+        self
+    }
+
+    /// Sets the read/write split policy.
+    pub fn split(mut self, split: SplitPolicy) -> Self {
+        self.config.split = split;
+        self
+    }
+
+    /// Shorthand for a [`SplitPolicy::Split`] with the given write-cache
+    /// fraction.
+    pub fn write_fraction(mut self, write_fraction: f64) -> Self {
+        self.config.split = SplitPolicy::Split { write_fraction };
+        self
+    }
+
+    /// Shorthand for [`SplitPolicy::Unified`].
+    pub fn unified(mut self) -> Self {
+        self.config.split = SplitPolicy::Unified;
+        self
+    }
+
+    /// Sets the controller reconfiguration policy.
+    pub fn controller(mut self, controller: ControllerPolicy) -> Self {
+        self.config.controller = controller;
+        self
+    }
+
+    /// Sets the cell mode newly allocated pages start in.
+    pub fn default_mode(mut self, default_mode: CellMode) -> Self {
+        self.config.default_mode = default_mode;
+        self
+    }
+
+    /// Sets the ECC strength newly allocated pages start with.
+    pub fn initial_ecc(mut self, initial_ecc: u8) -> Self {
+        self.config.initial_ecc = initial_ecc;
+        self
+    }
+
+    /// Sets the maximum ECC strength the controller may program.
+    pub fn max_ecc(mut self, max_ecc: u8) -> Self {
+        self.config.max_ecc = max_ecc;
+        self
+    }
+
+    /// Sets the ECC accelerator timing model.
+    pub fn ecc_latency(mut self, ecc_latency: EccLatencyModel) -> Self {
+        self.config.ecc_latency = ecc_latency;
+        self
+    }
+
+    /// Sets the wear-levelling trigger threshold (§3.6).
+    pub fn wear_threshold(mut self, wear_threshold: f64) -> Self {
+        self.config.wear_threshold = wear_threshold;
+        self
+    }
+
+    /// Sets the degree-of-wear-out cost weights (`k2 > k1` required).
+    pub fn wear_weights(mut self, k1: f64, k2: f64) -> Self {
+        self.config.wear_k1 = k1;
+        self.config.wear_k2 = k2;
+        self
+    }
+
+    /// Sets the read-region GC watermark (§5.1).
+    pub fn read_gc_watermark(mut self, read_gc_watermark: f64) -> Self {
+        self.config.read_gc_watermark = read_gc_watermark;
+        self
+    }
+
+    /// Sets the minimum invalid fraction GC requires of a victim block.
+    pub fn gc_min_invalid_fraction(mut self, fraction: f64) -> Self {
+        self.config.gc_min_invalid_fraction = fraction;
+        self
+    }
+
+    /// Sets the hot-page SLC promotion threshold (§5.2.2).
+    pub fn hot_threshold(mut self, hot_threshold: u8) -> Self {
+        self.config.hot_threshold = hot_threshold;
+        self
+    }
+
+    /// Sets the average disk miss penalty used by the Δtd heuristic, µs.
+    pub fn disk_latency_us(mut self, disk_latency_us: f64) -> Self {
+        self.config.disk_latency_us = disk_latency_us;
+        self
+    }
+
+    /// Sets the reconfiguration trigger margin.
+    pub fn reconfig_margin(mut self, reconfig_margin: u8) -> Self {
+        self.config.reconfig_margin = reconfig_margin;
+        self
+    }
+
+    /// Sets the access-counter decay interval (§5.2.2; `0` selects one
+    /// cache-capacity of accesses).
+    pub fn counter_decay_interval(mut self, interval: u64) -> Self {
+        self.config.counter_decay_interval = interval;
+        self
+    }
+
+    /// Selects whether reclaim victim queries use the incremental index.
+    pub fn use_reclaim_index(mut self, use_reclaim_index: bool) -> Self {
+        self.config.use_reclaim_index = use_reclaim_index;
+        self
+    }
+
+    /// Validates the assembled configuration and returns it.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] from [`FlashCacheConfig::validate`] describing
+    /// the first violated constraint.
+    pub fn build(self) -> Result<FlashCacheConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,6 +423,42 @@ mod tests {
         c.read_gc_watermark = 0.9;
         c.flash.geometry.blocks = 2;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn builder_defaults_match_default() {
+        assert_eq!(
+            FlashCacheConfig::builder().build().unwrap(),
+            FlashCacheConfig::default()
+        );
+    }
+
+    #[test]
+    fn builder_sets_fields_and_validates() {
+        let c = FlashCacheConfig::builder()
+            .unified()
+            .initial_ecc(2)
+            .max_ecc(16)
+            .hot_threshold(4)
+            .wear_weights(0.25, 4.0)
+            .use_reclaim_index(false)
+            .build()
+            .unwrap();
+        assert_eq!(c.split, SplitPolicy::Unified);
+        assert_eq!(c.initial_ecc, 2);
+        assert_eq!(c.max_ecc, 16);
+        assert_eq!(c.hot_threshold, 4);
+        assert!(!c.use_reclaim_index);
+
+        // Invalid combinations are rejected at build time.
+        assert!(FlashCacheConfig::builder()
+            .write_fraction(0.0)
+            .build()
+            .is_err());
+        assert!(FlashCacheConfig::builder()
+            .wear_weights(8.0, 0.5)
+            .build()
+            .is_err());
     }
 
     #[test]

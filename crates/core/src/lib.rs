@@ -38,6 +38,7 @@ pub mod config;
 pub mod descriptor;
 #[cfg(test)]
 mod edge_tests;
+pub mod error;
 pub mod fxhash;
 pub mod lru;
 mod maint;
@@ -49,8 +50,11 @@ pub mod stats;
 pub mod tables;
 
 pub use cache::{AccessOutcome, FlashCache};
-pub use config::{ConfigError, ControllerPolicy, FlashCacheConfig, SplitPolicy};
+pub use config::{
+    ConfigError, ControllerPolicy, FlashCacheConfig, FlashCacheConfigBuilder, SplitPolicy,
+};
 pub use descriptor::{DescriptorOp, FlashDescriptor};
+pub use error::CacheError;
 pub use flash_obs::ServiceTier;
 pub use overheads::TableOverheads;
 pub use pdc::PrimaryDiskCache;

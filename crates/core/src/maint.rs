@@ -12,6 +12,7 @@ use nand_flash::{BlockId, CellMode, PageAddr};
 
 use crate::cache::{FlashCache, OpenBlock};
 use crate::config::ControllerPolicy;
+use crate::error::CacheError;
 use crate::stats::CacheStats;
 use crate::tables::RegionKind;
 
@@ -56,12 +57,16 @@ impl FlashCache {
     /// needed. `want_slc` forces the destination physical page into SLC
     /// mode (hot-page promotion). Returns `None` when the device can no
     /// longer provide space (worn out).
-    pub(crate) fn allocate_slot(&mut self, kind: RegionKind, want_slc: bool) -> Option<PageAddr> {
+    pub(crate) fn allocate_slot(
+        &mut self,
+        kind: RegionKind,
+        want_slc: bool,
+    ) -> Result<Option<PageAddr>, CacheError> {
         let mut attempts = 0u32;
         let limit = 2 * self.device.geometry().blocks + 8;
         loop {
             if let Some(addr) = self.take_from_open(kind, want_slc) {
-                return Some(addr);
+                return Ok(Some(addr));
             }
             let region = self.region_mut(kind);
             if let Some(b) = region.free.pop_front() {
@@ -71,7 +76,7 @@ impl FlashCache {
                 });
                 continue;
             }
-            if !self.make_space(kind) {
+            if !self.make_space(kind)? {
                 // Last resort: consume the reserved spare so the final
                 // surviving blocks still cycle (and can retire) instead
                 // of sitting pinned forever.
@@ -83,11 +88,11 @@ impl FlashCache {
                     });
                     continue;
                 }
-                return None;
+                return Ok(None);
             }
             attempts += 1;
             if attempts > limit {
-                return None;
+                return Ok(None);
             }
         }
     }
@@ -158,18 +163,18 @@ impl FlashCache {
 
     /// Tries to create free space in `kind`. Returns `false` when no
     /// further progress is possible (all blocks retired or pinned).
-    fn make_space(&mut self, kind: RegionKind) -> bool {
+    fn make_space(&mut self, kind: RegionKind) -> Result<bool, CacheError> {
         // 1. A fully invalidated block can simply be erased.
         if let Some(b) = self.find_fully_invalid(kind) {
-            self.erase_and_recycle(b, kind);
-            return true;
+            self.erase_and_recycle(b, kind)?;
+            return Ok(true);
         }
         // 2. Compaction GC — the common case for the write region (§5.1).
         //    The read region compacts only via its watermark trigger.
         if self.unified || kind == RegionKind::Write {
             if let Some(b) = self.find_gc_victim(kind) {
-                if self.gc_compact(b, kind) {
-                    return true;
+                if self.gc_compact(b, kind)? {
+                    return Ok(true);
                 }
             }
         }
@@ -308,27 +313,27 @@ impl FlashCache {
             })
             .map(|(b, _)| b)
             .min_by(|&a, &b| {
+                // total_cmp: no panic path even for NaN wear costs.
                 self.fbst
                     .wear_out(a, k1, k2)
-                    .partial_cmp(&self.fbst.wear_out(b, k1, k2))
-                    .expect("wear costs are finite")
+                    .total_cmp(&self.fbst.wear_out(b, k1, k2))
             })
     }
 
     /// Public entry for watermark-triggered compaction. Returns whether a
     /// pass ran (victim selection applies the write-amplification floor).
-    pub(crate) fn collect_garbage(&mut self, kind: RegionKind) -> bool {
+    pub(crate) fn collect_garbage(&mut self, kind: RegionKind) -> Result<bool, CacheError> {
         match self.find_gc_victim(kind) {
             Some(victim) => self.gc_compact(victim, kind),
-            None => false,
+            None => Ok(false),
         }
     }
 
     /// Moves the victim's valid pages into the allocation stream, then
     /// erases the victim (Figure 8's GC flow).
-    fn gc_compact(&mut self, victim: BlockId, kind: RegionKind) -> bool {
+    fn gc_compact(&mut self, victim: BlockId, kind: RegionKind) -> Result<bool, CacheError> {
         let mut gc_us = 0.0;
-        let moved = self.relocate_valid_pages(victim, kind, &mut gc_us);
+        let moved = self.relocate_valid_pages(victim, kind, &mut gc_us)?;
         self.stats.gc_runs += 1;
         self.stats.gc_moved_pages += moved as u64;
         self.emit(Event::GcCompaction {
@@ -336,7 +341,7 @@ impl FlashCache {
             block: victim.0,
             moved_pages: moved,
         });
-        let retired = self.erase_block_internal(victim, &mut gc_us);
+        let retired = self.erase_block_internal(victim, &mut gc_us)?;
         self.stats.gc_time_us += gc_us;
         if !retired {
             let storage = self.storage_kind(kind);
@@ -348,14 +353,19 @@ impl FlashCache {
                 region.free.push_back(victim);
             }
         }
-        true
+        Ok(true)
     }
 
     /// Relocates every valid page of `src` via the region's allocation
     /// stream (open block, then free blocks, then the spare). Pages that
     /// cannot be placed are evicted (dirty ones flushed). Returns the
     /// number of pages moved.
-    fn relocate_valid_pages(&mut self, src: BlockId, kind: RegionKind, gc_us: &mut f64) -> u32 {
+    fn relocate_valid_pages(
+        &mut self,
+        src: BlockId,
+        kind: RegionKind,
+        gc_us: &mut f64,
+    ) -> Result<u32, CacheError> {
         let spb = self.device.geometry().slots_per_block();
         let mut moved = 0;
         for slot in 0..spb {
@@ -363,16 +373,21 @@ impl FlashCache {
             if !self.fpst.get(addr).valid {
                 continue;
             }
-            if self.move_page(addr, kind, gc_us) {
+            if self.move_page(addr, kind, gc_us)? {
                 moved += 1;
             }
         }
-        moved
+        Ok(moved)
     }
 
     /// Moves one valid page to a new location. Returns `false` if the
     /// page was dropped instead (uncorrectable or no destination).
-    fn move_page(&mut self, src: PageAddr, kind: RegionKind, gc_us: &mut f64) -> bool {
+    fn move_page(
+        &mut self,
+        src: PageAddr,
+        kind: RegionKind,
+        gc_us: &mut f64,
+    ) -> Result<bool, CacheError> {
         let st = *self.fpst.get(src);
         let live_t = self.live_strength[src.block.0 as usize
             * self.device.geometry().slots_per_block() as usize
@@ -380,7 +395,7 @@ impl FlashCache {
         let out = self
             .device
             .read_page(src)
-            .expect("valid pages are programmed");
+            .map_err(|source| CacheError::TableCorruption { addr: src, source })?;
         self.stats.flash_reads += 1;
         *gc_us += out.latency_us + self.config.ecc_latency.decode_us(live_t as usize);
         if out.raw_bit_errors > live_t as u32 {
@@ -393,15 +408,17 @@ impl FlashCache {
                 bit_errors: out.raw_bit_errors,
             });
             self.drop_valid_page(src, false);
-            return false;
+            return Ok(false);
         }
         let access = self.fpst.access_count(src);
         let want_slc = access >= self.config.hot_threshold && self.policy_allows_slc();
         let Some(dst) = self.gc_dest_slot(kind, want_slc) else {
             self.drop_valid_page(src, true);
-            return false;
+            return Ok(false);
         };
-        let disk_page = st.disk_page.expect("valid page maps a disk page");
+        let disk_page = st
+            .disk_page
+            .ok_or(CacheError::MappingMissing { addr: src })?;
         // Re-home: clear the old mapping (no flush — data is moving).
         {
             let s = self.fpst.get_mut(src);
@@ -417,9 +434,9 @@ impl FlashCache {
         r.valid_pages -= 1;
         r.invalid_pages += 1;
         self.reclaim_sync(src.block);
-        let lat = self.program_slot(dst, disk_page, st.dirty, access);
+        let lat = self.program_slot(dst, disk_page, st.dirty, access)?;
         *gc_us += lat;
-        true
+        Ok(true)
     }
 
     /// A destination slot for relocation: never recurses into
@@ -450,9 +467,9 @@ impl FlashCache {
 
     /// Evicts a whole block chosen by block-LRU, applying the
     /// wear-level-aware override of §3.6.
-    fn evict_block(&mut self, kind: RegionKind) -> bool {
+    fn evict_block(&mut self, kind: RegionKind) -> Result<bool, CacheError> {
         let Some(victim) = self.find_lru_victim(kind) else {
-            return false;
+            return Ok(false);
         };
         if self.config.wear_threshold.is_finite() {
             if let Some(newest) = self.find_newest_block(victim) {
@@ -466,22 +483,27 @@ impl FlashCache {
         }
         self.drop_block_content(victim);
         self.stats.evictions += 1;
-        self.erase_and_recycle(victim, kind);
-        true
+        self.erase_and_recycle(victim, kind)?;
+        Ok(true)
     }
 
     /// §3.6: the old (worn, LRU) block absorbs the newest block's
     /// content; the newest block is erased and handed to the requesting
     /// region, balancing wear.
-    fn wear_level_swap(&mut self, old: BlockId, newest: BlockId, kind: RegionKind) -> bool {
+    fn wear_level_swap(
+        &mut self,
+        old: BlockId,
+        newest: BlockId,
+        kind: RegionKind,
+    ) -> Result<bool, CacheError> {
         self.drop_block_content(old);
         self.stats.evictions += 1;
         let mut gc_us = 0.0;
-        let old_retired = self.erase_block_internal(old, &mut gc_us);
+        let old_retired = self.erase_block_internal(old, &mut gc_us)?;
         if old_retired {
             // The worn block died on erase; treat as a plain eviction.
             self.stats.gc_time_us += gc_us;
-            return true;
+            return Ok(true);
         }
         // The old block takes over the newest block's identity.
         let newest_state = *self.fbst.get(newest);
@@ -490,7 +512,7 @@ impl FlashCache {
             bs.region = newest_state.region;
             bs.last_access = newest_state.last_access;
         }
-        self.migrate_block_content(newest, old, &mut gc_us);
+        self.migrate_block_content(newest, old, &mut gc_us)?;
         // If migration salvaged nothing (end-of-life uncorrectable reads
         // can drop every page), the old block is erased and empty: hand
         // it to the requesting region's free pool rather than leaving it
@@ -501,7 +523,7 @@ impl FlashCache {
             self.fbst.get_mut(old).region = storage;
             self.region_mut(kind).free.push_back(old);
         }
-        let newest_retired = self.erase_block_internal(newest, &mut gc_us);
+        let newest_retired = self.erase_block_internal(newest, &mut gc_us)?;
         self.stats.gc_time_us += gc_us;
         if !newest_retired {
             let storage = self.storage_kind(kind);
@@ -514,13 +536,18 @@ impl FlashCache {
             worn_block: old.0,
             newest_block: newest.0,
         });
-        true
+        Ok(true)
     }
 
     /// Moves every valid page of `src` into block `dst` (assumed fully
     /// erased), walking `dst`'s slots with the same mode rules as normal
     /// allocation. Unplaceable pages are evicted (flushed if dirty).
-    fn migrate_block_content(&mut self, src: BlockId, dst: BlockId, gc_us: &mut f64) {
+    fn migrate_block_content(
+        &mut self,
+        src: BlockId,
+        dst: BlockId,
+        gc_us: &mut f64,
+    ) -> Result<(), CacheError> {
         let spb = self.device.geometry().slots_per_block();
         let mut dst_slot = 0u32;
         for slot in 0..spb {
@@ -531,7 +558,13 @@ impl FlashCache {
             let st = *self.fpst.get(s_addr);
             let live_t =
                 self.live_strength[s_addr.block.0 as usize * spb as usize + s_addr.slot as usize];
-            let out = self.device.read_page(s_addr).expect("valid page");
+            let out =
+                self.device
+                    .read_page(s_addr)
+                    .map_err(|source| CacheError::TableCorruption {
+                        addr: s_addr,
+                        source,
+                    })?;
             self.stats.flash_reads += 1;
             *gc_us += out.latency_us + self.config.ecc_latency.decode_us(live_t as usize);
             if out.raw_bit_errors > live_t as u32 {
@@ -551,7 +584,9 @@ impl FlashCache {
             let want_slc = access >= self.config.hot_threshold && self.policy_allows_slc();
             match self.advance_slot(dst, &mut dst_slot, want_slc) {
                 Some(d_addr) => {
-                    let disk_page = st.disk_page.expect("valid page maps a disk page");
+                    let disk_page = st
+                        .disk_page
+                        .ok_or(CacheError::MappingMissing { addr: s_addr })?;
                     let sp = self.fpst.get_mut(s_addr);
                     sp.valid = false;
                     sp.dirty = false;
@@ -564,7 +599,7 @@ impl FlashCache {
                     r.valid_pages -= 1;
                     r.invalid_pages += 1;
                     self.reclaim_sync(src);
-                    let lat = self.program_slot(d_addr, disk_page, st.dirty, access);
+                    let lat = self.program_slot(d_addr, disk_page, st.dirty, access)?;
                     *gc_us += lat;
                     self.stats.gc_moved_pages += 1;
                 }
@@ -573,6 +608,7 @@ impl FlashCache {
                 }
             }
         }
+        Ok(())
     }
 
     /// Flushes/drops every valid page of a block prior to erasure.
@@ -590,7 +626,7 @@ impl FlashCache {
     /// bookkeeping, probes post-erase health, and retires the block if a
     /// physical page can no longer be protected at any configuration the
     /// policy can reach. Returns `true` if the block was retired.
-    fn erase_block_internal(&mut self, b: BlockId, gc_us: &mut f64) -> bool {
+    fn erase_block_internal(&mut self, b: BlockId, gc_us: &mut f64) -> Result<bool, CacheError> {
         debug_assert_eq!(self.fbst.get(b).valid_pages, 0, "erase of live block");
         let region = self.fbst.get(b).region;
         let invalid = self.fbst.get(b).invalid_pages;
@@ -610,7 +646,10 @@ impl FlashCache {
             bs.invalid_pages = 0;
             bs.erase_count += 1;
         }
-        let out = self.device.erase_block(b).expect("block id in range");
+        let out = self
+            .device
+            .erase_block(b)
+            .map_err(|source| CacheError::BlockOp { block: b, source })?;
         self.stats.erases += 1;
         self.emit(Event::BlockErased {
             tick: self.tick(),
@@ -648,20 +687,20 @@ impl FlashCache {
         // region afterwards, but only while it is empty — a no-op for the
         // index, so no further sync is needed at the handoff sites.
         self.reclaim_sync(b);
-        dead
+        Ok(dead)
     }
 
     /// Erase + return the block to `kind`'s free pool (unless retired).
-    fn erase_and_recycle(&mut self, b: BlockId, kind: RegionKind) -> bool {
+    fn erase_and_recycle(&mut self, b: BlockId, kind: RegionKind) -> Result<bool, CacheError> {
         let mut gc_us = 0.0;
-        let retired = self.erase_block_internal(b, &mut gc_us);
+        let retired = self.erase_block_internal(b, &mut gc_us)?;
         self.stats.gc_time_us += gc_us;
         if !retired {
             let storage = self.storage_kind(kind);
             self.fbst.get_mut(b).region = storage;
             self.region_mut(kind).free.push_back(b);
         }
-        !retired
+        Ok(!retired)
     }
 
     /// Test/diagnostic hook: consistency check between the incremental

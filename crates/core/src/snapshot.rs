@@ -1,9 +1,8 @@
 //! Typed point-in-time snapshot of the flash cache's internal state.
 //!
-//! [`CacheSnapshot`] replaces the old string-only `debug_state()` dump:
-//! callers get structured access to region allocator state, per-block
-//! wear, the FGST, and the accumulated statistics, while the `Display`
-//! impl still renders the familiar human-readable text.
+//! [`CacheSnapshot`] gives callers structured access to region
+//! allocator state, per-block wear, the FGST, and the accumulated
+//! statistics, while the `Display` impl renders a human-readable dump.
 
 use std::fmt;
 
@@ -234,13 +233,5 @@ mod tests {
         assert!(text.contains("read: free="));
         assert!(text.contains("b0:"));
         assert!(text.contains("wear: erases"));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn debug_state_shim_matches_snapshot_display() {
-        let mut cache = FlashCache::new(FlashCacheConfig::default()).unwrap();
-        cache.read(1);
-        assert_eq!(cache.debug_state(), cache.snapshot().to_string());
     }
 }

@@ -58,6 +58,10 @@ pub struct CacheStats {
     /// Reclaim victim queries answered by the O(blocks) FBST scan
     /// (index disabled via `use_reclaim_index: false`).
     pub reclaim_scan_fallbacks: u64,
+    /// Internal errors degraded into bypassed outcomes by the infallible
+    /// entry points (`read`/`write` catching a
+    /// [`CacheError`](crate::CacheError) from their `try_` twins).
+    pub internal_errors: u64,
 }
 
 impl CacheStats {
@@ -79,6 +83,41 @@ impl CacheStats {
         } else {
             1.0 - (self.read_hits + self.write_hits) as f64 / total as f64
         }
+    }
+
+    /// Accumulates `other` into `self`, field by field.
+    ///
+    /// Used by the sharded engine to report paper-faithful totals across
+    /// shard-partitioned caches: every counter and accumulated duration
+    /// is additive, so the merged value equals what a single cache
+    /// serving the union of the traffic would have counted for the same
+    /// per-shard event sequences.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.reads += other.reads;
+        self.read_hits += other.read_hits;
+        self.writes += other.writes;
+        self.write_hits += other.write_hits;
+        self.flash_reads += other.flash_reads;
+        self.flash_programs += other.flash_programs;
+        self.erases += other.erases;
+        self.gc_runs += other.gc_runs;
+        self.gc_moved_pages += other.gc_moved_pages;
+        self.gc_time_us += other.gc_time_us;
+        self.evictions += other.evictions;
+        self.flushed_dirty_pages += other.flushed_dirty_pages;
+        self.wear_migrations += other.wear_migrations;
+        self.reconfig_ecc += other.reconfig_ecc;
+        self.reconfig_density += other.reconfig_density;
+        self.hot_promotions += other.hot_promotions;
+        self.uncorrectable_reads += other.uncorrectable_reads;
+        self.retired_blocks += other.retired_blocks;
+        self.foreground_us += other.foreground_us;
+        self.background_us += other.background_us;
+        self.ecc_us += other.ecc_us;
+        self.reclaim_index_queries += other.reclaim_index_queries;
+        self.reclaim_index_hits += other.reclaim_index_hits;
+        self.reclaim_scan_fallbacks += other.reclaim_scan_fallbacks;
+        self.internal_errors += other.internal_errors;
     }
 
     /// GC overhead: GC time relative to all time the cache spent working
@@ -167,6 +206,34 @@ mod tests {
             ..CacheStats::default()
         };
         assert!((s.gc_overhead() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_is_fieldwise_additive() {
+        let a = CacheStats {
+            reads: 3,
+            read_hits: 2,
+            gc_time_us: 1.5,
+            internal_errors: 1,
+            ..CacheStats::default()
+        };
+        let b = CacheStats {
+            reads: 4,
+            writes: 7,
+            gc_time_us: 0.5,
+            ..CacheStats::default()
+        };
+        let mut m = a;
+        m.merge(&b);
+        assert_eq!(m.reads, 7);
+        assert_eq!(m.read_hits, 2);
+        assert_eq!(m.writes, 7);
+        assert_eq!(m.internal_errors, 1);
+        assert!((m.gc_time_us - 2.0).abs() < 1e-12);
+        // Merging the zero stats is the identity.
+        let mut z = a;
+        z.merge(&CacheStats::default());
+        assert_eq!(z, a);
     }
 
     #[test]

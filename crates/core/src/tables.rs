@@ -387,6 +387,44 @@ impl Fgst {
             self.misses as f64 / self.accesses as f64
         }
     }
+
+    /// Merges per-shard FGSTs into one table describing the union of the
+    /// traffic: lifetime counters sum; the EWMA rates are combined as
+    /// access-weighted (miss rate) and hit-weighted (hit latency)
+    /// averages, the closest single-table equivalent of shards that each
+    /// smoothed only their own slice of the stream.
+    ///
+    /// A single part is returned unchanged (not run through the weighted
+    /// average), so a one-shard engine reports bit-identical FGST state
+    /// to a bare cache.
+    pub fn merged(parts: &[Fgst]) -> Fgst {
+        if parts.len() == 1 {
+            return parts[0];
+        }
+        let mut out = Fgst::default();
+        if parts.is_empty() {
+            return out;
+        }
+        out.alpha = parts[0].alpha;
+        let mut rate_num = 0.0;
+        let mut lat_num = 0.0;
+        let mut hits = 0u64;
+        for p in parts {
+            out.accesses += p.accesses;
+            out.misses += p.misses;
+            rate_num += p.miss_rate * p.accesses as f64;
+            let h = p.accesses - p.misses;
+            lat_num += p.avg_hit_latency_us * h as f64;
+            hits += h;
+        }
+        if out.accesses > 0 {
+            out.miss_rate = rate_num / out.accesses as f64;
+        }
+        if hits > 0 {
+            out.avg_hit_latency_us = lat_num / hits as f64;
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -532,5 +570,36 @@ mod tests {
         assert!((g.cumulative_miss_rate() - 0.1).abs() < 1e-12);
         assert!(g.miss_rate > 0.0 && g.miss_rate < 0.5);
         assert!(g.avg_hit_latency_us > 0.0);
+    }
+
+    #[test]
+    fn fgst_merged_single_part_is_identity() {
+        let mut g = Fgst::default();
+        for i in 0..57 {
+            g.record(i % 3 != 0, 42.5);
+        }
+        // Bit-identical, not just approximately equal: the one-shard
+        // engine must match a bare cache exactly.
+        assert_eq!(Fgst::merged(&[g]), g);
+    }
+
+    #[test]
+    fn fgst_merged_weights_by_traffic() {
+        let mut a = Fgst::default();
+        let mut b = Fgst::default();
+        for _ in 0..300 {
+            a.record(true, 40.0);
+        }
+        for _ in 0..100 {
+            b.record(false, 0.0);
+        }
+        let m = Fgst::merged(&[a, b]);
+        assert_eq!(m.accesses, 400);
+        assert_eq!(m.misses, 100);
+        assert!((m.cumulative_miss_rate() - 0.25).abs() < 1e-12);
+        // Weighted EWMA miss rate sits between the parts'.
+        assert!(m.miss_rate > a.miss_rate && m.miss_rate < b.miss_rate);
+        // Empty merge yields the default table.
+        assert_eq!(Fgst::merged(&[]), Fgst::default());
     }
 }

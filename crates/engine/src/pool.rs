@@ -1,0 +1,112 @@
+//! Scoped thread pool primitives shared by the engine and the bench
+//! sweep runners.
+//!
+//! [`par_map`] fans independent work items across OS threads with
+//! `std::thread::scope` — no external dependencies — while preserving
+//! input order in the results. The engine uses it to execute cache
+//! shards concurrently; the bench crate re-exports it (as
+//! `flashcache_bench::parallel`) for its embarrassingly parallel figure
+//! sweeps, where every point is an independent simulation with its own
+//! seed.
+
+use std::sync::Mutex;
+
+/// Default worker count: the machine's available parallelism, 1 if it
+/// cannot be determined.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on up to `threads` worker threads, returning
+/// results in input order.
+///
+/// Work is distributed dynamically (each worker pulls the next pending
+/// item), so uneven per-item cost — e.g. short-lived vs long-lived
+/// workloads in a lifetime sweep, or imbalanced shard groups in a cache
+/// batch — balances automatically. With `threads <= 1` or a single
+/// item, runs inline with no thread overhead.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker once all threads are joined.
+pub fn par_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = threads.max(1).min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Index-tagged LIFO work queue (reversed so items pop in order) and
+    // order-preserving result slots.
+    let queue: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().rev().collect());
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let next = queue.lock().expect("queue poisoned").pop();
+                match next {
+                    Some((i, item)) => {
+                        let r = f(item);
+                        results.lock().expect("results poisoned")[i] = Some(r);
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("results poisoned")
+        .into_iter()
+        .map(|r| r.expect("every item was processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_maps_all_items() {
+        let items: Vec<u64> = (0..100).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 7, 64] {
+            let got = par_map(items.clone(), threads, |x| x * x);
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(par_map(Vec::<u32>::new(), 8, |x| x), Vec::<u32>::new());
+        assert_eq!(par_map(vec![41u32], 8, |x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn uneven_work_balances() {
+        // Items with wildly different costs still come back in order.
+        let items: Vec<u64> = (0..16).collect();
+        let got = par_map(items, 4, |x| {
+            let spins = if x % 4 == 0 { 200_000 } else { 10 };
+            let mut acc = x;
+            for i in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            (x, acc)
+        });
+        for (i, (x, _)) in got.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,615 @@
+//! Hash-partitioned sharding of the flash disk cache.
+
+use std::fmt;
+use std::sync::Arc;
+
+use disk_trace::{DiskRequest, OpKind};
+use flash_obs::{ObsSink, Registry, ServiceTier};
+use flashcache_core::tables::Fgst;
+use flashcache_core::{
+    AccessOutcome, CacheError, CacheStats, ConfigError, FlashCache, FlashCacheConfig,
+};
+
+use crate::pool;
+
+/// Golden-ratio increment decorrelating per-shard RNG seeds.
+const SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A sharded-engine construction error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The per-shard cache configuration failed validation.
+    Config(ConfigError),
+    /// Shard count must be at least 1.
+    InvalidShardCount {
+        /// The rejected count.
+        shards: usize,
+    },
+    /// The device's blocks cannot be divided evenly across the shards —
+    /// an uneven split would silently change total capacity.
+    IndivisibleBlocks {
+        /// Blocks on the unsharded device.
+        blocks: u32,
+        /// Requested shard count.
+        shards: usize,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Config(e) => write!(f, "{e}"),
+            EngineError::InvalidShardCount { shards } => {
+                write!(f, "shard count must be >= 1, got {shards}")
+            }
+            EngineError::IndivisibleBlocks { blocks, shards } => write!(
+                f,
+                "{blocks} flash blocks cannot be split evenly across {shards} shards"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for EngineError {
+    fn from(e: ConfigError) -> Self {
+        EngineError::Config(e)
+    }
+}
+
+/// One shard's slice of a batch: `(request index, disk page, op)` in
+/// submission order.
+type ShardOps = Vec<(u32, u64, OpKind)>;
+
+/// splitmix64 finalizer: uncorrelates disk-page numbers before the
+/// modulo so striding access patterns spread across shards.
+#[inline]
+fn mix(page: u64) -> u64 {
+    let mut z = page.wrapping_add(SEED_STRIDE);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// N independent [`FlashCache`] shards hash-partitioning the disk-page
+/// address space, executed concurrently per batch.
+///
+/// The device geometry is split N ways (blocks / N per shard), so total
+/// flash capacity is conserved; each shard runs the paper's full
+/// machinery — GC, wear levelling, controller reconfiguration — over
+/// its own slice of both the address space and the device. Shard 0
+/// keeps the base configuration's RNG seed, so `shards = 1` constructs
+/// a cache that behaves **bit-identically** to
+/// `FlashCache::new(config)`.
+///
+/// # Determinism
+///
+/// For a fixed (configuration seed, shard count), every query — merged
+/// stats, outcomes, modeled times — is reproducible regardless of the
+/// worker-thread count: batches partition deterministically (splitmix64
+/// of the page number, mod N), each shard consumes its slice in batch
+/// order, and result slots are keyed by request index.
+///
+/// # Examples
+///
+/// ```
+/// use disk_trace::DiskRequest;
+/// use flashcache_core::FlashCacheConfig;
+/// use flashcache_engine::ShardedCache;
+///
+/// let config = FlashCacheConfig::builder().build().unwrap();
+/// let mut engine = ShardedCache::new(config, 4).unwrap();
+/// let batch: Vec<DiskRequest> = (0..64).map(DiskRequest::read).collect();
+/// let outcomes = engine.submit(&batch);
+/// assert_eq!(outcomes.len(), 64);
+/// assert_eq!(engine.stats().reads, 64);
+/// ```
+#[derive(Debug)]
+pub struct ShardedCache {
+    shards: Vec<FlashCache>,
+    /// Worker threads used per batch (capped by the shard count in
+    /// [`pool::par_map`]).
+    threads: usize,
+    /// Accumulated per-shard flash busy time over batched submissions,
+    /// µs (foreground + background + GC).
+    shard_busy_us: Vec<f64>,
+    /// Accumulated modeled batch makespans, µs: each batch contributes
+    /// its busiest shard's time, modelling shards as concurrently
+    /// operating flash channels.
+    makespan_us: f64,
+    /// Batches submitted.
+    batches: u64,
+    /// Guards the Drop-time per-shard metric flush.
+    obs_flushed: bool,
+}
+
+impl ShardedCache {
+    /// Builds `shards` independent caches, splitting the configured
+    /// device's blocks evenly among them.
+    ///
+    /// Shard `i` derives its RNG seed as `base + i * stride` (shard 0 =
+    /// base), so different shards sample independent error/quality
+    /// streams while the whole ensemble stays reproducible.
+    ///
+    /// # Errors
+    ///
+    /// * [`EngineError::InvalidShardCount`] for `shards == 0`;
+    /// * [`EngineError::IndivisibleBlocks`] if the block count does not
+    ///   divide evenly;
+    /// * [`EngineError::Config`] if the derived per-shard configuration
+    ///   fails validation (e.g. fewer than 4 blocks per shard).
+    pub fn new(config: FlashCacheConfig, shards: usize) -> Result<Self, EngineError> {
+        if shards == 0 {
+            return Err(EngineError::InvalidShardCount { shards });
+        }
+        let blocks = config.flash.geometry.blocks;
+        if !(blocks as usize).is_multiple_of(shards) {
+            return Err(EngineError::IndivisibleBlocks { blocks, shards });
+        }
+        let mut built = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let mut c = config.clone();
+            c.flash.geometry.blocks = blocks / shards as u32;
+            c.flash.seed = config
+                .flash
+                .seed
+                .wrapping_add((i as u64).wrapping_mul(SEED_STRIDE));
+            built.push(FlashCache::new(c)?);
+        }
+        Ok(ShardedCache {
+            shard_busy_us: vec![0.0; shards],
+            shards: built,
+            threads: pool::default_threads(),
+            makespan_us: 0.0,
+            batches: 0,
+            obs_flushed: false,
+        })
+    }
+
+    /// Sets the worker-thread cap for batched submission (default: the
+    /// machine's available parallelism). Thread count never affects
+    /// results, only wall-clock time.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards, in partition order.
+    pub fn shards(&self) -> &[FlashCache] {
+        &self.shards
+    }
+
+    /// Mutable access to the shards (e.g. to drive one shard directly
+    /// in a test).
+    pub fn shards_mut(&mut self) -> &mut [FlashCache] {
+        &mut self.shards
+    }
+
+    /// The shard that owns `disk_page`.
+    pub fn shard_of(&self, disk_page: u64) -> usize {
+        if self.shards.len() == 1 {
+            0
+        } else {
+            (mix(disk_page) % self.shards.len() as u64) as usize
+        }
+    }
+
+    /// Submits a batch, executing the shards concurrently, and returns
+    /// one merged [`AccessOutcome`] per request (in batch order).
+    ///
+    /// Requests are decomposed into pages, grouped by owning shard, and
+    /// each shard services its group in batch order on a pool of up to
+    /// [`set_threads`](ShardedCache::set_threads) workers. A multi-page
+    /// request spanning shards merges its page outcomes: latencies sum,
+    /// `hit` requires every page to hit, and the tier degrades to
+    /// [`ServiceTier::Disk`] if any page needs the disk.
+    ///
+    /// The batch's *modeled* duration — the busiest shard's flash time —
+    /// accumulates into [`modeled_time_us`](ShardedCache::modeled_time_us).
+    pub fn submit(&mut self, batch: &[DiskRequest]) -> Vec<AccessOutcome> {
+        let n = self.shards.len();
+        let mut groups: Vec<ShardOps> = vec![Vec::new(); n];
+        for (ri, req) in batch.iter().enumerate() {
+            for page in req.pages() {
+                let s = if n == 1 {
+                    0
+                } else {
+                    (mix(page) % n as u64) as usize
+                };
+                groups[s].push((ri as u32, page, req.op));
+            }
+        }
+        let work: Vec<(&mut FlashCache, ShardOps)> = self.shards.iter_mut().zip(groups).collect();
+        let results = pool::par_map(work, self.threads, |(shard, ops)| {
+            let gc_before = shard.stats().gc_time_us;
+            let mut busy = 0.0;
+            let mut outs = Vec::with_capacity(ops.len());
+            for (ri, page, op) in ops {
+                let out = match op {
+                    OpKind::Read => shard.read(page),
+                    OpKind::Write => shard.write(page),
+                };
+                busy += out.latency_us + out.background_us;
+                outs.push((ri, out));
+            }
+            busy += shard.stats().gc_time_us - gc_before;
+            (busy, outs)
+        });
+
+        let mut merged = vec![AccessOutcome::default(); batch.len()];
+        let mut seen = vec![false; batch.len()];
+        let mut makespan = 0.0f64;
+        for (si, (busy, outs)) in results.into_iter().enumerate() {
+            self.shard_busy_us[si] += busy;
+            makespan = makespan.max(busy);
+            for (ri, out) in outs {
+                let slot = &mut merged[ri as usize];
+                if !seen[ri as usize] {
+                    *slot = out;
+                    seen[ri as usize] = true;
+                } else {
+                    slot.hit &= out.hit;
+                    slot.latency_us += out.latency_us;
+                    slot.background_us += out.background_us;
+                    slot.needs_disk_read |= out.needs_disk_read;
+                    slot.flushed_dirty += out.flushed_dirty;
+                    slot.uncorrectable |= out.uncorrectable;
+                    slot.bypassed |= out.bypassed;
+                    if out.tier == ServiceTier::Disk {
+                        slot.tier = ServiceTier::Disk;
+                    }
+                }
+            }
+        }
+        self.makespan_us += makespan;
+        self.batches += 1;
+        merged
+    }
+
+    /// Reads one page through its owning shard (serial path; does not
+    /// contribute to the modeled batch times).
+    pub fn read(&mut self, disk_page: u64) -> AccessOutcome {
+        let s = self.shard_of(disk_page);
+        self.shards[s].read(disk_page)
+    }
+
+    /// Writes one page through its owning shard (serial path).
+    pub fn write(&mut self, disk_page: u64) -> AccessOutcome {
+        let s = self.shard_of(disk_page);
+        self.shards[s].write(disk_page)
+    }
+
+    /// Fallible single-page read exposing the typed [`CacheError`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the owning shard's [`CacheError`].
+    pub fn try_read(&mut self, disk_page: u64) -> Result<AccessOutcome, CacheError> {
+        let s = self.shard_of(disk_page);
+        self.shards[s].try_read(disk_page)
+    }
+
+    /// Fallible single-page write exposing the typed [`CacheError`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the owning shard's [`CacheError`].
+    pub fn try_write(&mut self, disk_page: u64) -> Result<AccessOutcome, CacheError> {
+        let s = self.shard_of(disk_page);
+        self.shards[s].try_write(disk_page)
+    }
+
+    /// Marks every dirty page clean across all shards and returns the
+    /// total disk writes owed (the periodic write-back flush of §5.1).
+    pub fn flush_writes(&mut self) -> u64 {
+        self.shards.iter_mut().map(|s| s.flush_writes()).sum()
+    }
+
+    /// Merged statistics: the field-wise sum of every shard's counters.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for s in &self.shards {
+            total.merge(&s.stats());
+        }
+        total
+    }
+
+    /// Per-shard statistics, in partition order.
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        self.shards.iter().map(|s| s.stats()).collect()
+    }
+
+    /// Merged flash global status table (traffic-weighted across
+    /// shards; exactly shard 0's table when there is one shard).
+    pub fn fgst(&self) -> Fgst {
+        let parts: Vec<Fgst> = self.shards.iter().map(|s| s.fgst()).collect();
+        Fgst::merged(&parts)
+    }
+
+    /// Pages cached across all shards.
+    pub fn cached_pages(&self) -> u64 {
+        self.shards.iter().map(|s| s.cached_pages()).sum()
+    }
+
+    /// Usable (non-retired) slots across all shards.
+    pub fn usable_slots(&self) -> u64 {
+        self.shards.iter().map(|s| s.usable_slots()).sum()
+    }
+
+    /// `true` once every shard's device is worn out.
+    pub fn is_dead(&self) -> bool {
+        self.shards.iter().all(|s| s.is_dead())
+    }
+
+    /// Accumulated modeled time of all batched submissions, µs: the sum
+    /// over batches of the busiest shard's flash time. With one shard
+    /// this equals [`serial_time_us`](ShardedCache::serial_time_us);
+    /// with N balanced shards it approaches `serial / N` — the
+    /// concurrent-flash-channel model behind `bench_shard`'s scaling
+    /// figures.
+    pub fn modeled_time_us(&self) -> f64 {
+        self.makespan_us
+    }
+
+    /// Accumulated flash busy time across all shards and batches, µs —
+    /// what a single serial channel would have spent.
+    pub fn serial_time_us(&self) -> f64 {
+        self.shard_busy_us.iter().sum()
+    }
+
+    /// Accumulated busy time of each shard, µs, in partition order.
+    pub fn shard_busy_us(&self) -> &[f64] {
+        &self.shard_busy_us
+    }
+
+    /// Batches submitted so far.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Attaches an observability sink to every shard (replacing any
+    /// process-global sink picked up at construction).
+    pub fn attach_sink(&mut self, sink: Arc<ObsSink>) {
+        for s in &mut self.shards {
+            s.attach_sink(Arc::clone(&sink));
+        }
+        self.obs_flushed = false;
+    }
+
+    /// Exports merged engine metrics: every shard's counters summed
+    /// under the usual `flash.*` / `nand.*` names, gauges recomputed
+    /// over the ensemble, and — when there is more than one shard — a
+    /// per-shard copy under `flash.shard.<i>.*`.
+    ///
+    /// With one shard the output is identical to that shard's own
+    /// [`FlashCache::export_metrics`], preserving the N = 1 degeneracy.
+    pub fn export_metrics(&self) -> Registry {
+        let mut reg = Registry::new();
+        for (i, s) in self.shards.iter().enumerate() {
+            let shard_reg = s.export_metrics();
+            reg.merge(&shard_reg);
+            if self.shards.len() > 1 {
+                reg.merge(&prefixed(i, &shard_reg));
+            }
+        }
+        if self.shards.len() > 1 {
+            // Registry::merge overwrites gauges (last shard wins);
+            // recompute them over the whole ensemble.
+            reg.gauge_set("flash.cached_pages", self.cached_pages() as f64);
+            reg.gauge_set("flash.usable_slots", self.usable_slots() as f64);
+            let slc = self.shards.iter().map(|s| s.slc_fraction()).sum::<f64>()
+                / self.shards.len() as f64;
+            reg.gauge_set("flash.slc_fraction", slc);
+            reg.gauge_set("flash.miss_rate", self.fgst().miss_rate);
+        }
+        reg
+    }
+
+    /// Flushes per-shard prefixed metrics (N > 1 only) and every
+    /// shard's own totals into the attached sinks. Called automatically
+    /// on drop; idempotent until [`attach_sink`](ShardedCache::attach_sink)
+    /// re-arms it.
+    pub fn flush_obs(&mut self) {
+        self.flush_prefixed();
+        for s in &mut self.shards {
+            s.flush_obs();
+        }
+    }
+
+    /// Merges each shard's `flash.shard.<i>.*` copy into its sink. The
+    /// plain `flash.*` totals are *not* written here — each shard's own
+    /// `flush_obs`/`Drop` does that additively — so nothing double
+    /// counts, and with one shard nothing is emitted at all (keeping
+    /// N = 1 observability bit-identical to a bare cache).
+    fn flush_prefixed(&mut self) {
+        if self.obs_flushed || self.shards.len() <= 1 {
+            return;
+        }
+        for (i, s) in self.shards.iter().enumerate() {
+            if let Some(sink) = s.sink() {
+                sink.merge_registry(&prefixed(i, &s.export_metrics()));
+            }
+        }
+        self.obs_flushed = true;
+    }
+}
+
+impl Drop for ShardedCache {
+    /// Flushes the per-shard prefixed metrics; each shard then flushes
+    /// its own totals in its own `Drop`.
+    fn drop(&mut self) {
+        self.flush_prefixed();
+    }
+}
+
+/// Re-keys a shard's registry under `flash.shard.<i>.`: the leading
+/// `flash.` is stripped (`flash.reads` → `flash.shard.0.reads`); other
+/// prefixes nest whole (`nand.reads` → `flash.shard.0.nand.reads`).
+fn prefixed(i: usize, reg: &Registry) -> Registry {
+    let mut out = Registry::new();
+    for (name, metric) in reg.iter() {
+        let suffix = name.strip_prefix("flash.").unwrap_or(name);
+        let pname = format!("flash.shard.{i}.{suffix}");
+        if let Some(v) = metric.as_counter() {
+            out.counter_add(&pname, v);
+        } else if let Some(v) = metric.as_gauge() {
+            out.gauge_set(&pname, v);
+        } else if let Some(h) = metric.as_histogram() {
+            out.histogram_merge(&pname, h);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nand_flash::{FlashConfig, FlashGeometry};
+
+    fn config(blocks: u32) -> FlashCacheConfig {
+        FlashCacheConfig::builder()
+            .flash(FlashConfig {
+                geometry: FlashGeometry {
+                    blocks,
+                    pages_per_block: 8,
+                    ..FlashGeometry::default()
+                },
+                ..FlashConfig::default()
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(matches!(
+            ShardedCache::new(config(32), 0),
+            Err(EngineError::InvalidShardCount { .. })
+        ));
+        assert!(matches!(
+            ShardedCache::new(config(32), 3),
+            Err(EngineError::IndivisibleBlocks { .. })
+        ));
+        // 32 blocks / 16 shards = 2 blocks per shard: below the core's
+        // 4-block minimum.
+        assert!(matches!(
+            ShardedCache::new(config(32), 16),
+            Err(EngineError::Config(_))
+        ));
+        let e = ShardedCache::new(config(32), 4).unwrap();
+        assert_eq!(e.shard_count(), 4);
+        assert_eq!(e.shards()[0].device().geometry().blocks, 8);
+    }
+
+    #[test]
+    fn routing_is_stable_and_total() {
+        let e = ShardedCache::new(config(32), 4).unwrap();
+        let mut seen = [false; 4];
+        for p in 0..1000u64 {
+            let s = e.shard_of(p);
+            assert_eq!(s, e.shard_of(p));
+            seen[s] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all shards receive traffic");
+    }
+
+    #[test]
+    fn submit_merges_stats_and_outcomes() {
+        let mut e = ShardedCache::new(config(32), 4).unwrap();
+        let batch: Vec<DiskRequest> = (0..100).map(DiskRequest::read).collect();
+        let first = e.submit(&batch);
+        assert_eq!(first.len(), 100);
+        assert!(first.iter().all(|o| o.needs_disk_read));
+        let second = e.submit(&batch);
+        assert!(second.iter().all(|o| o.hit), "refetch hits every shard");
+        let st = e.stats();
+        assert_eq!(st.reads, 200);
+        assert_eq!(st.read_hits, 100);
+        assert_eq!(e.batches(), 2);
+        assert!(e.modeled_time_us() > 0.0);
+        assert!(e.modeled_time_us() <= e.serial_time_us());
+    }
+
+    #[test]
+    fn multi_page_requests_merge_across_shards() {
+        let mut e = ShardedCache::new(config(32), 4).unwrap();
+        let req = DiskRequest::new(0, 16, OpKind::Read);
+        let cold = e.submit(std::slice::from_ref(&req));
+        assert_eq!(cold.len(), 1);
+        assert!(!cold[0].hit);
+        assert!(cold[0].needs_disk_read);
+        let warm = e.submit(std::slice::from_ref(&req));
+        assert!(warm[0].hit, "all 16 pages cached across shards");
+        assert_eq!(e.stats().reads, 32);
+    }
+
+    #[test]
+    fn determinism_across_thread_counts() {
+        let run = |threads: usize| {
+            let mut e = ShardedCache::new(config(32), 4).unwrap();
+            e.set_threads(threads);
+            let batch: Vec<DiskRequest> = (0..300)
+                .map(|i| {
+                    if i % 3 == 0 {
+                        DiskRequest::write(i % 97)
+                    } else {
+                        DiskRequest::read(i % 53)
+                    }
+                })
+                .collect();
+            let outs = e.submit(&batch);
+            (outs, e.stats(), e.modeled_time_us())
+        };
+        let (o1, s1, m1) = run(1);
+        let (o8, s8, m8) = run(8);
+        assert_eq!(o1, o8);
+        assert_eq!(s1, s8);
+        assert_eq!(m1, m8);
+    }
+
+    #[test]
+    fn single_shard_keeps_base_seed_and_no_prefixes() {
+        let e = ShardedCache::new(config(32), 1).unwrap();
+        assert_eq!(e.shards()[0].config().flash.seed, config(32).flash.seed);
+        assert_eq!(e.shard_of(12345), 0);
+        let reg = e.export_metrics();
+        assert!(
+            reg.iter().all(|(n, _)| !n.starts_with("flash.shard.")),
+            "N=1 must not emit per-shard metrics"
+        );
+    }
+
+    #[test]
+    fn multi_shard_exports_prefixed_metrics() {
+        let mut e = ShardedCache::new(config(32), 2).unwrap();
+        let batch: Vec<DiskRequest> = (0..50).map(DiskRequest::read).collect();
+        e.submit(&batch);
+        let reg = e.export_metrics();
+        let per_shard: u64 = (0..2)
+            .map(|i| reg.counter(&format!("flash.shard.{i}.reads")))
+            .sum();
+        assert_eq!(per_shard, 50);
+        assert_eq!(reg.counter("flash.reads"), 50);
+    }
+
+    #[test]
+    fn flush_writes_sums_shards() {
+        let mut e = ShardedCache::new(config(32), 4).unwrap();
+        let batch: Vec<DiskRequest> = (0..40).map(DiskRequest::write).collect();
+        e.submit(&batch);
+        assert!(e.flush_writes() > 0);
+        assert_eq!(e.flush_writes(), 0, "second flush finds nothing dirty");
+    }
+}

@@ -1,0 +1,191 @@
+//! Differential tests pinning the sharded engine to the bare cache.
+//!
+//! The N=1 contract is the engine's most important invariant: a
+//! [`ShardedCache`] with one shard must be *byte-identical* to a bare
+//! [`FlashCache`] fed the same trace — same per-request outcomes, same
+//! stats, same snapshot, same observability counters, no
+//! `flash.shard.*` metric prefixes. That identity is what lets every
+//! existing single-cache experiment adopt the engine without changing
+//! its numbers.
+//!
+//! The proptest then pins the N>1 aggregation: merged [`CacheStats`]
+//! totals equal the fieldwise sum of the per-shard stats for arbitrary
+//! seeds and shard counts.
+
+use std::sync::Arc;
+
+use disk_trace::{DiskRequest, OpKind, WorkloadSpec};
+use flash_obs::ObsSink;
+use flashcache_core::{AccessOutcome, FlashCache, FlashCacheConfig, ServiceTier};
+use flashcache_engine::ShardedCache;
+use nand_flash::{FlashConfig, FlashGeometry};
+use proptest::prelude::*;
+
+/// Small geometry (128 blocks × 32 pages) so the trace below overflows
+/// the cache and exercises fills, eviction, and GC; 128 is divisible by
+/// every shard count the tests use.
+fn config() -> FlashCacheConfig {
+    FlashCacheConfig::builder()
+        .flash(FlashConfig {
+            geometry: FlashGeometry {
+                blocks: 128,
+                pages_per_block: 32,
+                ..FlashGeometry::default()
+            },
+            ..FlashConfig::default()
+        })
+        .build()
+        .expect("test geometry is valid")
+}
+
+/// Drives one request through a bare cache page-by-page, merging the
+/// per-page outcomes exactly as `ShardedCache::submit` merges them.
+fn drive_bare(cache: &mut FlashCache, req: &DiskRequest) -> AccessOutcome {
+    let mut merged = AccessOutcome::default();
+    let mut first = true;
+    for page in req.pages() {
+        let out = match req.op {
+            OpKind::Read => cache.read(page),
+            OpKind::Write => cache.write(page),
+        };
+        if first {
+            merged = out;
+            first = false;
+        } else {
+            merged.hit &= out.hit;
+            merged.latency_us += out.latency_us;
+            merged.background_us += out.background_us;
+            merged.needs_disk_read |= out.needs_disk_read;
+            merged.flushed_dirty += out.flushed_dirty;
+            merged.uncorrectable |= out.uncorrectable;
+            merged.bypassed |= out.bypassed;
+            if out.tier == ServiceTier::Disk {
+                merged.tier = ServiceTier::Disk;
+            }
+        }
+    }
+    merged
+}
+
+fn trace(seed: u64, n: usize) -> Vec<DiskRequest> {
+    // 8MB footprint over a 16MB cache: warm hits plus a miss tail.
+    WorkloadSpec::alpha1()
+        .scaled(64)
+        .generator(seed)
+        .take_requests(n)
+}
+
+#[test]
+fn single_shard_is_byte_identical_to_bare_cache() {
+    let reqs = trace(0xD1FF, 6_000);
+
+    let mut engine = ShardedCache::new(config(), 1).expect("1 shard is always valid");
+    let mut bare = FlashCache::new(config()).expect("same config as the engine");
+    let engine_sink = Arc::new(ObsSink::with_capacity(256));
+    let bare_sink = Arc::new(ObsSink::with_capacity(256));
+    engine.attach_sink(Arc::clone(&engine_sink));
+    bare.attach_sink(Arc::clone(&bare_sink));
+
+    for chunk in reqs.chunks(64) {
+        let sharded_outs = engine.submit(chunk);
+        for (req, sharded) in chunk.iter().zip(sharded_outs) {
+            let bare_out = drive_bare(&mut bare, req);
+            assert_eq!(bare_out, sharded, "outcome diverged on {req}");
+        }
+    }
+
+    assert_eq!(engine.flush_writes(), bare.flush_writes());
+    assert_eq!(engine.stats(), bare.stats(), "merged stats must match");
+    assert_eq!(engine.fgst(), bare.fgst(), "merged FGST must match");
+    assert_eq!(engine.cached_pages(), bare.cached_pages());
+    assert_eq!(engine.usable_slots(), bare.usable_slots());
+    assert_eq!(
+        engine.shards()[0].snapshot(),
+        bare.snapshot(),
+        "table snapshot must match"
+    );
+
+    // Identical metric registries — including the absence of any
+    // `flash.shard.*` keys at N=1.
+    let engine_reg = engine.export_metrics();
+    assert_eq!(engine_reg, bare.export_metrics());
+    assert!(engine_reg.iter().all(|(k, _)| !k.contains("shard")));
+
+    // Identical observability totals once both flush their sinks.
+    engine.flush_obs();
+    bare.flush_obs();
+    assert_eq!(engine_sink.registry(), bare_sink.registry());
+}
+
+#[test]
+fn serial_entry_points_match_bare_cache() {
+    let mut engine = ShardedCache::new(config(), 1).expect("1 shard");
+    let mut bare = FlashCache::new(config()).expect("same config");
+    for page in 0..2_000u64 {
+        let p = page * 7 % 4_096;
+        if page % 4 == 0 {
+            assert_eq!(engine.write(p), bare.write(p));
+        } else {
+            assert_eq!(engine.read(p), bare.read(p));
+        }
+    }
+    assert_eq!(engine.stats(), bare.stats());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Merged `CacheStats` totals equal the fieldwise sum of the
+    /// per-shard stats, for arbitrary seeds and every shard count.
+    #[test]
+    fn merged_stats_equal_fieldwise_sum_of_shards(
+        seed in any::<u64>(),
+        shard_pow in 0u32..4,
+    ) {
+        let shards = 1usize << shard_pow;
+        let reqs = trace(seed, 1_500);
+        let mut engine = ShardedCache::new(config(), shards)
+            .expect("128 blocks divide by 1/2/4/8");
+        for chunk in reqs.chunks(128) {
+            engine.submit(chunk);
+        }
+        engine.flush_writes();
+
+        let merged = engine.stats();
+        let parts = engine.shard_stats();
+        prop_assert_eq!(parts.len(), shards);
+
+        macro_rules! sums {
+            ($($field:ident: $ty:ty),* $(,)?) => {$(
+                prop_assert_eq!(
+                    merged.$field,
+                    parts.iter().map(|s| s.$field).sum::<$ty>(),
+                    "field {} must be the sum of the shards", stringify!($field)
+                );
+            )*};
+        }
+        sums!(
+            reads: u64, read_hits: u64, writes: u64, write_hits: u64,
+            flash_reads: u64, flash_programs: u64, erases: u64,
+            gc_runs: u64, gc_moved_pages: u64, evictions: u64,
+            flushed_dirty_pages: u64, wear_migrations: u64,
+            reconfig_ecc: u64, reconfig_density: u64, hot_promotions: u64,
+            uncorrectable_reads: u64, retired_blocks: u64,
+            reclaim_index_queries: u64, reclaim_index_hits: u64,
+            reclaim_scan_fallbacks: u64, internal_errors: u64,
+        );
+        for (m, sum) in [
+            (merged.gc_time_us, parts.iter().map(|s| s.gc_time_us).sum::<f64>()),
+            (merged.foreground_us, parts.iter().map(|s| s.foreground_us).sum::<f64>()),
+            (merged.background_us, parts.iter().map(|s| s.background_us).sum::<f64>()),
+            (merged.ecc_us, parts.iter().map(|s| s.ecc_us).sum::<f64>()),
+        ] {
+            prop_assert!((m - sum).abs() <= 1e-6 * sum.abs().max(1.0));
+        }
+
+        // Conservation against the trace itself: every page of every
+        // request is counted by exactly one shard.
+        let pages: u64 = reqs.iter().map(|r| u64::from(r.len)).sum();
+        prop_assert_eq!(merged.reads + merged.writes, pages);
+    }
+}

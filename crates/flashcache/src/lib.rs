@@ -12,6 +12,7 @@
 //! | peers | [`storage`] | DDR2 DRAM and HDD timing/power models |
 //! | workloads | [`trace`] | Table 4 micro/macro trace generators |
 //! | **contribution** | [`core`] | the flash disk cache: split regions, GC, wear levelling, programmable controller |
+//! | scaling | [`engine`] | sharded concurrent cache engine with batched submission |
 //! | evaluation | [`sim`] | trace simulator, server model, per-figure experiment drivers |
 //! | telemetry | [`obs`] | metrics registry, structured trace events, deterministic JSON snapshots |
 //!
@@ -23,7 +24,8 @@
 //! use flashcache::{FlashCache, FlashCacheConfig};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let mut cache = FlashCache::new(FlashCacheConfig::default())?;
+//! let config = FlashCacheConfig::builder().build()?;
+//! let mut cache = FlashCache::new(config)?;
 //! assert!(cache.read(7).needs_disk_read); // cold miss fills the cache
 //! assert!(cache.read(7).hit);             // now served from flash
 //! println!("{}", cache.stats());
@@ -41,6 +43,7 @@ pub use flash_ecc as ecc;
 pub use flash_obs as obs;
 pub use flash_reliability as reliability;
 pub use flashcache_core as core;
+pub use flashcache_engine as engine;
 pub use flashcache_sim as sim;
 pub use nand_flash as nand;
 pub use storage_model as storage;
@@ -48,7 +51,8 @@ pub use storage_model as storage;
 pub use disk_trace::{DiskRequest, OpKind, WorkloadSpec};
 pub use flash_obs::{ObsSink, ServiceTier};
 pub use flashcache_core::{
-    AccessOutcome, CacheSnapshot, CacheStats, ConfigError, ControllerPolicy, FlashCache,
-    FlashCacheConfig, PrimaryDiskCache, SplitPolicy,
+    AccessOutcome, CacheError, CacheSnapshot, CacheStats, ConfigError, ControllerPolicy,
+    FlashCache, FlashCacheConfig, FlashCacheConfigBuilder, PrimaryDiskCache, SplitPolicy,
 };
+pub use flashcache_engine::{EngineError, ShardedCache};
 pub use flashcache_sim::{Hierarchy, HierarchyConfig, ServerConfig};

@@ -7,13 +7,13 @@ use nand_flash::FlashGeometry;
 
 /// Builds a cache configuration whose MLC capacity is `bytes`.
 pub fn cache_config_for_bytes(bytes: u64) -> FlashCacheConfig {
-    FlashCacheConfig {
-        flash: nand_flash::FlashConfig {
+    FlashCacheConfig::builder()
+        .flash(nand_flash::FlashConfig {
             geometry: FlashGeometry::for_mlc_capacity(bytes),
             ..nand_flash::FlashConfig::default()
-        },
-        ..FlashCacheConfig::default()
-    }
+        })
+        .build()
+        .expect("experiment capacities sit inside the validated ranges")
 }
 
 /// Flash capacity equal to half a workload's working set (the Figure 11

@@ -12,6 +12,7 @@ use std::sync::Arc;
 use disk_trace::{DiskRequest, OpKind, PAGE_BYTES};
 use flash_obs::{EventRing, ObsSink, Registry, ServiceTier, Snapshot};
 use flashcache_core::{FlashCache, FlashCacheConfig, PrimaryDiskCache};
+use flashcache_engine::{EngineError, ShardedCache};
 use storage_model::{ActivityTracker, DramModel, DramPowerBreakdown, HddModel};
 
 use crate::metrics::LatencyHistogram;
@@ -30,6 +31,9 @@ pub struct HierarchyConfig {
     pub hdd: HddModel,
     /// Requests between periodic dirty write-back flushes of the PDC.
     pub flush_interval: u64,
+    /// Shards the flash cache is hash-partitioned into (1 = the
+    /// unsharded baseline; see [`ShardedCache`]).
+    pub flash_shards: usize,
 }
 
 impl Default for HierarchyConfig {
@@ -40,6 +44,7 @@ impl Default for HierarchyConfig {
             dram: DramModel::default(),
             hdd: HddModel::travelstar(),
             flush_interval: 1024,
+            flash_shards: 1,
         }
     }
 }
@@ -135,7 +140,7 @@ impl HierarchyReport {
 pub struct Hierarchy {
     config: HierarchyConfig,
     pdc: PrimaryDiskCache,
-    flash: Option<FlashCache>,
+    flash: Option<ShardedCache>,
     report: HierarchyReport,
     since_flush: u64,
     /// Attached observability sink (shared with the flash cache).
@@ -149,15 +154,27 @@ impl Hierarchy {
     ///
     /// # Panics
     ///
-    /// Panics if the flash configuration fails validation (construct the
-    /// [`FlashCacheConfig`] with `validate()` first for graceful errors).
+    /// Panics if the flash configuration fails validation or cannot be
+    /// sharded as requested; use [`Hierarchy::try_new`] for graceful
+    /// errors.
     pub fn new(config: HierarchyConfig) -> Self {
+        Hierarchy::try_new(config).expect("hierarchy config must be valid")
+    }
+
+    /// Builds the hierarchy, surfacing configuration problems as typed
+    /// errors.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError`] if the flash configuration fails validation or
+    /// its blocks cannot be split across `flash_shards`.
+    pub fn try_new(config: HierarchyConfig) -> Result<Self, EngineError> {
         let pdc_pages = (config.dram_bytes / PAGE_BYTES).max(1) as usize;
-        let flash = config
-            .flash
-            .clone()
-            .map(|c| FlashCache::new(c).expect("flash cache config must be valid"));
-        Hierarchy {
+        let flash = match config.flash.clone() {
+            Some(c) => Some(ShardedCache::new(c, config.flash_shards.max(1))?),
+            None => None,
+        };
+        Ok(Hierarchy {
             pdc: PrimaryDiskCache::new(pdc_pages),
             flash,
             report: HierarchyReport::default(),
@@ -165,7 +182,7 @@ impl Hierarchy {
             sink: flash_obs::global_sink(),
             obs_flushed: false,
             config,
-        }
+        })
     }
 
     /// Attaches an observability sink to the hierarchy and its flash
@@ -223,8 +240,15 @@ impl Hierarchy {
         Snapshot::new(reg, events)
     }
 
-    /// The flash cache, when present.
+    /// The first flash shard, when flash is present. With the default
+    /// `flash_shards: 1` this *is* the whole flash cache; with more
+    /// shards prefer [`Hierarchy::flash_engine`] for merged views.
     pub fn flash(&self) -> Option<&FlashCache> {
+        self.flash.as_ref().map(|f| &f.shards()[0])
+    }
+
+    /// The sharded flash engine, when flash is present.
+    pub fn flash_engine(&self) -> Option<&ShardedCache> {
         self.flash.as_ref()
     }
 
@@ -239,7 +263,9 @@ impl Hierarchy {
     pub fn reset_measurements(&mut self) {
         self.report = HierarchyReport::default();
         if let Some(f) = &mut self.flash {
-            f.reset_stats();
+            for shard in f.shards_mut() {
+                shard.reset_stats();
+            }
         }
     }
 
@@ -313,6 +339,107 @@ impl Hierarchy {
         for r in reqs {
             self.submit(r);
         }
+    }
+
+    /// Replays a batch of requests, letting the flash shards service
+    /// their partitions concurrently ([`ShardedCache::submit`]).
+    ///
+    /// With one shard (or no flash) this falls back to serial
+    /// [`Hierarchy::submit`] per request and is outcome-identical to
+    /// it. With multiple shards the batch is staged: every request
+    /// probes the DRAM cache first, then all PDC-missed read pages go
+    /// to the flash engine as one batch, then disk accesses and PDC
+    /// installs are accounted per request in batch order. Within a
+    /// batch, a request therefore does not observe cache fills caused
+    /// by later requests of the same batch — the usual semantics of a
+    /// queue of independent concurrent clients. The periodic PDC flush
+    /// runs at batch boundaries once `flush_interval` requests have
+    /// accumulated.
+    pub fn submit_batch(&mut self, reqs: &[DiskRequest]) -> Vec<RequestOutcome> {
+        let shard_count = self.flash.as_ref().map_or(0, |f| f.shard_count());
+        if shard_count <= 1 {
+            return reqs.iter().map(|r| self.submit(*r)).collect();
+        }
+        let mut outs = vec![RequestOutcome::default(); reqs.len()];
+        // Phase 1: DRAM probes; collect the flash-bound read pages.
+        let mut flash_pages: Vec<DiskRequest> = Vec::new();
+        let mut owners: Vec<u32> = Vec::new();
+        for (ri, req) in reqs.iter().enumerate() {
+            for page in req.pages() {
+                match req.op {
+                    OpKind::Read => {
+                        let lat = self.dram_access(false);
+                        outs[ri].latency_us += lat;
+                        if self.pdc.access(page) {
+                            outs[ri].dram_hits += 1;
+                            self.report.dram_latency.record(lat);
+                        } else {
+                            flash_pages.push(DiskRequest::read(page));
+                            owners.push(ri as u32);
+                        }
+                    }
+                    OpKind::Write => {
+                        let lat = self.write_page(page);
+                        outs[ri].latency_us += lat;
+                        self.report.dram_latency.record(lat);
+                    }
+                }
+            }
+        }
+        // Phase 2: the shards service the missed pages concurrently.
+        let flash_outs = self
+            .flash
+            .as_mut()
+            .expect("batched path requires flash")
+            .submit(&flash_pages);
+        // Phase 3: per-page accounting and PDC installs, batch order.
+        let probe_us = self.config.dram.access_latency_us(PAGE_BYTES);
+        let mut disk_reads = vec![0u32; reqs.len()];
+        for ((fo, page_req), &ri) in flash_outs.iter().zip(&flash_pages).zip(&owners) {
+            let ri = ri as usize;
+            outs[ri].latency_us += fo.latency_us;
+            self.flush_to_disk(fo.flushed_dirty);
+            if fo.tier == ServiceTier::Flash {
+                outs[ri].flash_hits += 1;
+                self.report.flash_latency.record(probe_us + fo.latency_us);
+            } else {
+                disk_reads[ri] += 1;
+            }
+            self.install_in_pdc(page_req.page, false);
+        }
+        // Phase 4: close out each request — batched disk access, report.
+        for (ri, req) in reqs.iter().enumerate() {
+            let pages = disk_reads[ri];
+            if pages > 0 {
+                let bytes = pages as u64 * PAGE_BYTES;
+                let t = self.config.hdd.access_latency_us(bytes);
+                outs[ri].latency_us += t;
+                outs[ri].disk_pages = pages;
+                self.report.disk.record(t / 1e6, bytes, false);
+                self.report.disk_latency.record(t);
+                self.report.disk_read_pages += pages as u64;
+            }
+            outs[ri].hit = outs[ri].disk_pages == 0;
+            outs[ri].tier = if outs[ri].disk_pages > 0 {
+                ServiceTier::Disk
+            } else if outs[ri].flash_hits > 0 {
+                ServiceTier::Flash
+            } else {
+                ServiceTier::Dram
+            };
+            self.report.requests += 1;
+            self.report.pages += req.len as u64;
+            self.report.total_latency_us += outs[ri].latency_us;
+            self.report.latency.record(outs[ri].latency_us);
+            self.report.dram_hit_pages += outs[ri].dram_hits as u64;
+            self.report.flash_hit_pages += outs[ri].flash_hits as u64;
+        }
+        self.since_flush += reqs.len() as u64;
+        if self.since_flush >= self.config.flush_interval {
+            self.since_flush = 0;
+            self.periodic_flush();
+        }
+        outs
     }
 
     fn dram_access(&mut self, write: bool) -> f64 {
@@ -423,14 +550,19 @@ impl Hierarchy {
     pub fn flash_power_w(&self, elapsed_s: f64) -> f64 {
         match &self.flash {
             None => 0.0,
-            Some(f) => {
-                let stats = f.device().stats();
-                let capacity = f
-                    .device()
-                    .geometry()
-                    .capacity_bytes(nand_flash::CellMode::Mlc);
-                stats.energy_mj / 1000.0 / elapsed_s + f.device().config().power.idle_w(capacity)
-            }
+            Some(f) => f
+                .shards()
+                .iter()
+                .map(|shard| {
+                    let stats = shard.device().stats();
+                    let capacity = shard
+                        .device()
+                        .geometry()
+                        .capacity_bytes(nand_flash::CellMode::Mlc);
+                    stats.energy_mj / 1000.0 / elapsed_s
+                        + shard.device().config().power.idle_w(capacity)
+                })
+                .sum(),
         }
     }
 }

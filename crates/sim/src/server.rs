@@ -173,8 +173,11 @@ pub fn run_server_warm(
     // Array operations overlap across banks; BCH decode serializes on
     // the shared programmable controller (§4.1).
     let flash_busy_us = hierarchy
-        .flash()
-        .map(|f| f.device().stats().busy_us / server.flash_banks.max(1) as f64 + f.stats().ecc_us)
+        .flash_engine()
+        .map(|e| {
+            let busy: f64 = e.shards().iter().map(|f| f.device().stats().busy_us).sum();
+            busy / server.flash_banks.max(1) as f64 + e.stats().ecc_us
+        })
         .unwrap_or(0.0);
     let disk_busy_us = report.disk.busy_s * 1e6;
 
@@ -196,13 +199,23 @@ pub fn run_server_warm(
     let power_inputs = PowerInputs {
         disk_busy_s: report.disk.busy_s,
         flash_energy_mj: hierarchy
-            .flash()
-            .map(|f| f.device().stats().energy_mj)
+            .flash_engine()
+            .map(|e| {
+                e.shards()
+                    .iter()
+                    .map(|f| f.device().stats().energy_mj)
+                    .sum()
+            })
             .unwrap_or(0.0),
         flash_idle_w: hierarchy.flash_power_w(1.0)
             - hierarchy
-                .flash()
-                .map(|f| f.device().stats().energy_mj / 1000.0)
+                .flash_engine()
+                .map(|e| {
+                    e.shards()
+                        .iter()
+                        .map(|f| f.device().stats().energy_mj / 1000.0)
+                        .sum()
+                })
                 .unwrap_or(0.0),
         dram_read_bytes: report.dram.read_bytes,
         dram_write_bytes: report.dram.write_bytes,

@@ -46,12 +46,14 @@ fn run(config: FlashCacheConfig, label: &str) {
 }
 
 fn main() {
-    let base = || FlashCacheConfig {
-        flash: FlashConfig {
-            geometry: FlashGeometry::for_mlc_capacity(4 << 20),
-            ..FlashConfig::default()
-        },
-        ..FlashCacheConfig::default()
+    let base = || {
+        FlashCacheConfig::builder()
+            .flash(FlashConfig {
+                geometry: FlashGeometry::for_mlc_capacity(4 << 20),
+                ..FlashConfig::default()
+            })
+            .build()
+            .expect("base tuning config is valid")
     };
 
     println!("Zipf(1.2) workload, 4MB flash (2MB working set)\n");

@@ -13,8 +13,8 @@ use flashcache::nand::{FlashConfig, FlashGeometry, WearConfig};
 use flashcache::{ControllerPolicy, FlashCache, FlashCacheConfig, WorkloadSpec};
 
 fn run_to_failure(policy: ControllerPolicy) -> (u64, flashcache::CacheStats) {
-    let mut config = FlashCacheConfig {
-        flash: FlashConfig {
+    let mut builder = FlashCacheConfig::builder()
+        .flash(FlashConfig {
             geometry: FlashGeometry {
                 blocks: 16,
                 pages_per_block: 16,
@@ -22,14 +22,12 @@ fn run_to_failure(policy: ControllerPolicy) -> (u64, flashcache::CacheStats) {
             },
             wear: WearConfig::default().accelerated(2e5),
             ..FlashConfig::default()
-        },
-        controller: policy,
-        ..FlashCacheConfig::default()
-    };
+        })
+        .controller(policy);
     if let ControllerPolicy::FixedEcc { strength } = policy {
-        config.initial_ecc = strength;
-        config.max_ecc = strength;
+        builder = builder.initial_ecc(strength).max_ecc(strength);
     }
+    let config = builder.build().expect("valid config");
     let mut cache = FlashCache::new(config).expect("valid config");
     let mut generator = WorkloadSpec::financial1().scaled(2048).generator(7);
     let mut accesses = 0u64;

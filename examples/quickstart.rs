@@ -11,13 +11,12 @@ use flashcache::{FlashCache, FlashCacheConfig};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 64MB (MLC) flash disk cache with the paper's defaults:
     // 90/10 read/write split, MLC-first, programmable controller.
-    let config = FlashCacheConfig {
-        flash: FlashConfig {
+    let config = FlashCacheConfig::builder()
+        .flash(FlashConfig {
             geometry: FlashGeometry::for_mlc_capacity(64 << 20),
             ..FlashConfig::default()
-        },
-        ..FlashCacheConfig::default()
-    };
+        })
+        .build()?;
     let mut cache = FlashCache::new(config)?;
 
     // Cold read: the cache reports that the disk must be consulted and

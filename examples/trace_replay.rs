@@ -5,6 +5,8 @@
 //!
 //! ```sh
 //! cargo run --release -p flashcache --example trace_replay
+//! # sharded replay: 4 concurrent flash shards, 256-request batches
+//! cargo run --release -p flashcache --example trace_replay -- --shards 4 --batch 256
 //! ```
 
 use std::io::BufReader;
@@ -12,7 +14,19 @@ use std::io::BufReader;
 use flashcache::trace::spc::{write_spc, SpcReader};
 use flashcache::{DiskRequest, Hierarchy, HierarchyConfig, WorkloadSpec};
 
+fn parse_flag(name: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("flag value must be a number"))
+        .unwrap_or(default)
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let shards = parse_flag("--shards", 1);
+    let batch = parse_flag("--batch", 1).max(1);
+
     // 1. Generate a Financial1-like OLTP burst.
     let workload = WorkloadSpec::financial1().scaled(512);
     let mut generator = workload.generator(2024);
@@ -41,13 +55,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(parsed, requests, "SPC round trip must be lossless");
     println!("round trip verified: {} records identical", parsed.len());
 
-    // 4. Replay the parsed trace through the full hierarchy.
-    let mut hierarchy = Hierarchy::new(HierarchyConfig {
+    // 4. Replay the parsed trace through the full hierarchy — batched
+    //    across the flash shards when --shards/--batch ask for it.
+    let mut hierarchy = Hierarchy::try_new(HierarchyConfig {
         dram_bytes: 1 << 20,
+        flash_shards: shards,
         ..HierarchyConfig::default()
-    });
-    for req in parsed {
-        hierarchy.submit(req);
+    })?;
+    println!(
+        "
+replaying with {shards} flash shard(s), batches of {batch}"
+    );
+    for chunk in parsed.chunks(batch) {
+        hierarchy.submit_batch(chunk);
     }
     hierarchy.drain();
     let report = hierarchy.report();

@@ -37,13 +37,13 @@ fn main() {
         42,
         server,
     );
-    let flash_cfg = FlashCacheConfig {
-        flash: FlashConfig {
+    let flash_cfg = FlashCacheConfig::builder()
+        .flash(FlashConfig {
             geometry: FlashGeometry::for_mlc_capacity(64 << 20),
             ..FlashConfig::default()
-        },
-        ..FlashCacheConfig::default()
-    };
+        })
+        .build()
+        .expect("web-server flash config is valid");
     let with_flash = run_server_warm(
         HierarchyConfig {
             dram_bytes: 4 << 20, // 4MB DRAM + 64MB flash
