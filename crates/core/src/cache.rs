@@ -99,6 +99,12 @@ pub struct FlashCache {
     pub(crate) unified: bool,
     /// Logical clock for LRU.
     pub(crate) tick: u64,
+    /// Access-counter decay period (`counter_decay_interval` with its
+    /// `0 = one device's worth of slots` default resolved).
+    pub(crate) decay_interval: u64,
+    /// Ops until the next decay epoch; a countdown avoids a `tick %
+    /// interval` division on every access.
+    pub(crate) decay_countdown: u64,
     /// Usable (non-retired) slots.
     pub(crate) usable_slots: u64,
     /// Per-operation accumulators, reset at the start of each access.
@@ -165,6 +171,11 @@ impl FlashCache {
             write_region.spare = write_region.free.pop_back();
         }
         let usable_slots = geometry.total_slots();
+        let decay_interval = if config.counter_decay_interval == 0 {
+            usable_slots.max(1)
+        } else {
+            config.counter_decay_interval
+        };
         Ok(FlashCache {
             live_strength: vec![config.initial_ecc; usable_slots as usize],
             device,
@@ -178,6 +189,8 @@ impl FlashCache {
             write_region,
             unified,
             tick: 0,
+            decay_interval,
+            decay_countdown: decay_interval,
             usable_slots,
             op_flushed: 0,
             op_background_us: 0.0,
@@ -248,7 +261,10 @@ impl FlashCache {
             ("flash.reclaim.index_skips", self.reclaim.skips()),
         ];
         for (name, v) in c {
-            reg.counter_add(name, *v);
+            // Pre-resolved handle + indexed add: the export burst does
+            // its string work exactly once per name.
+            let id = reg.handle(name);
+            reg.add(id, *v);
         }
         let d = self.device.stats();
         let n: &[(&str, u64)] = &[
@@ -260,7 +276,8 @@ impl FlashCache {
             ("nand.energy_uj", (d.energy_mj * 1000.0).round() as u64),
         ];
         for (name, v) in n {
-            reg.counter_add(name, *v);
+            let id = reg.handle(name);
+            reg.add(id, *v);
         }
         reg.gauge_set("flash.cached_pages", self.cached_pages() as f64);
         reg.gauge_set("flash.usable_slots", self.usable_slots as f64);
@@ -436,12 +453,9 @@ impl FlashCache {
         self.tick += 1;
         self.op_flushed = 0;
         self.op_background_us = 0.0;
-        let interval = if self.config.counter_decay_interval == 0 {
-            self.device.geometry().total_slots().max(1)
-        } else {
-            self.config.counter_decay_interval
-        };
-        if self.tick.is_multiple_of(interval) {
+        self.decay_countdown -= 1;
+        if self.decay_countdown == 0 {
+            self.decay_countdown = self.decay_interval;
             // O(1): pages fold the pending halving lazily on next touch.
             self.fpst.advance_decay_epoch();
         }

@@ -1,8 +1,10 @@
-//! An O(1) least-recently-used tracker over `u64` keys.
+//! O(1) least-recently-used trackers.
 //!
-//! Used for the primary (DRAM) disk cache's page LRU and for block-level
-//! recency in the flash regions. Implemented as a doubly-linked list over
-//! vector slots plus a key→slot map — no external dependencies.
+//! [`LruTracker`] handles sparse `u64` keys (the primary DRAM disk
+//! cache's page LRU) with a doubly-linked list over vector slots plus a
+//! key→slot map. [`DenseLru`] handles a dense `u32` key universe known
+//! up front (one key per flash block) by indexing the links directly
+//! with the key, removing the hash lookup from the replay hot path.
 
 use crate::fxhash::FxHashMap;
 
@@ -171,6 +173,157 @@ impl Iterator for LruIter<'_> {
         let node = self.tracker.nodes[self.cur];
         self.cur = node.prev;
         Some(node.key)
+    }
+}
+
+const DNIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct DenseNode {
+    prev: u32,
+    next: u32,
+    present: bool,
+}
+
+/// LRU order tracker over dense `u32` keys `0..capacity`.
+///
+/// The key doubles as the link-array index, so every operation is a
+/// couple of direct loads/stores with no hashing. Grows automatically
+/// if touched with a key at or past the current capacity.
+#[derive(Debug, Default)]
+pub struct DenseLru {
+    nodes: Vec<DenseNode>,
+    head: u32, // most recent
+    tail: u32, // least recent
+    len: usize,
+}
+
+impl DenseLru {
+    /// Creates a tracker covering keys `0..capacity`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        DenseLru {
+            nodes: vec![
+                DenseNode {
+                    prev: DNIL,
+                    next: DNIL,
+                    present: false,
+                };
+                capacity
+            ],
+            head: DNIL,
+            tail: DNIL,
+            len: 0,
+        }
+    }
+
+    /// Number of tracked keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `true` if `key` is tracked.
+    pub fn contains(&self, key: u32) -> bool {
+        self.nodes
+            .get(key as usize)
+            .is_some_and(|node| node.present)
+    }
+
+    fn ensure(&mut self, key: u32) {
+        if key as usize >= self.nodes.len() {
+            self.nodes.resize(
+                key as usize + 1,
+                DenseNode {
+                    prev: DNIL,
+                    next: DNIL,
+                    present: false,
+                },
+            );
+        }
+    }
+
+    fn unlink(&mut self, key: u32) {
+        let DenseNode { prev, next, .. } = self.nodes[key as usize];
+        if prev != DNIL {
+            self.nodes[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != DNIL {
+            self.nodes[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, key: u32) {
+        let head = self.head;
+        {
+            let node = &mut self.nodes[key as usize];
+            node.prev = DNIL;
+            node.next = head;
+        }
+        if head != DNIL {
+            self.nodes[head as usize].prev = key;
+        }
+        self.head = key;
+        if self.tail == DNIL {
+            self.tail = key;
+        }
+    }
+
+    /// Marks `key` as most recently used, inserting it if absent.
+    /// Returns `true` if the key was already present.
+    pub fn touch(&mut self, key: u32) -> bool {
+        self.ensure(key);
+        let was_present = self.nodes[key as usize].present;
+        if was_present {
+            if self.head == key {
+                return true; // already MRU
+            }
+            self.unlink(key);
+        } else {
+            self.nodes[key as usize].present = true;
+            self.len += 1;
+        }
+        self.push_front(key);
+        was_present
+    }
+
+    /// Removes `key`; returns `true` if it was present.
+    pub fn remove(&mut self, key: u32) -> bool {
+        if !self.contains(key) {
+            return false;
+        }
+        self.unlink(key);
+        let node = &mut self.nodes[key as usize];
+        node.present = false;
+        node.prev = DNIL;
+        node.next = DNIL;
+        self.len -= 1;
+        true
+    }
+
+    /// The least recently used key, if any.
+    pub fn lru(&self) -> Option<u32> {
+        (self.tail != DNIL).then_some(self.tail)
+    }
+
+    /// Iterates keys from least to most recently used.
+    pub fn iter_lru_first(&self) -> impl Iterator<Item = u32> + '_ {
+        let mut cur = self.tail;
+        std::iter::from_fn(move || {
+            if cur == DNIL {
+                return None;
+            }
+            let key = cur;
+            cur = self.nodes[cur as usize].prev;
+            Some(key)
+        })
     }
 }
 

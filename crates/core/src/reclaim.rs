@@ -18,8 +18,8 @@
 //! * a per-region **bucketed invalid-count index** (`Vec<BTreeSet>`
 //!   indexed by `invalid_pages`, plus a running max-bucket cursor)
 //!   serves the GC victim and fully-invalid queries;
-//! * a per-region **block LRU** reuses the O(1)
-//!   [`LruTracker`](crate::lru::LruTracker) — touch order is exactly
+//! * a per-region **block LRU** reuses the O(1) dense-keyed
+//!   [`DenseLru`](crate::lru::DenseLru) — touch order is exactly
 //!   `last_access` order, so the tracker's tail is the scan's
 //!   `min_by_key(last_access)`;
 //! * a global **wear ordering** (a bucket queue: `BTreeMap` keyed by
@@ -35,12 +35,51 @@
 //! against an FBST recount there.
 
 use std::cell::Cell;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 use nand_flash::BlockId;
 
-use crate::lru::LruTracker;
+use crate::lru::DenseLru;
 use crate::tables::{Fbst, RegionKind};
+
+/// A sorted `Vec<u32>` set. The invalid-count buckets hold a handful of
+/// block ids each but are updated on *every* program and invalidate;
+/// a flat sorted vector keeps those updates allocation-free (`BTreeSet`
+/// node churn dominated the replay profile), while iteration stays in
+/// ascending order like the `BTreeSet` it replaces.
+#[derive(Debug, Clone, Default)]
+struct SortedSet(Vec<u32>);
+
+impl SortedSet {
+    fn insert(&mut self, v: u32) {
+        if let Err(i) = self.0.binary_search(&v) {
+            self.0.insert(i, v);
+        }
+    }
+
+    fn remove(&mut self, v: u32) {
+        if let Ok(i) = self.0.binary_search(&v) {
+            self.0.remove(i);
+        }
+    }
+
+    fn contains(&self, v: u32) -> bool {
+        self.0.binary_search(&v).is_ok()
+    }
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Ascending iteration (double-ended, like `BTreeSet::iter`).
+    fn iter(&self) -> std::slice::Iter<'_, u32> {
+        self.0.iter()
+    }
+}
 
 /// Maps an `f64` wear cost onto a `u64` whose unsigned order matches
 /// the float's `partial_cmp` order (for non-NaN values). Keys compare
@@ -69,25 +108,25 @@ enum BucketLoc {
 #[derive(Debug)]
 struct RegionIndex {
     /// Blocks with `valid == 0 && invalid > 0` — erasable for free.
-    fully_invalid: BTreeSet<u32>,
+    fully_invalid: SortedSet,
     /// `gc_buckets[i]`: blocks with `valid > 0 && invalid == i`.
     /// Index 0 is never populated (kept so `invalid` indexes directly).
-    gc_buckets: Vec<BTreeSet<u32>>,
+    gc_buckets: Vec<SortedSet>,
     /// Upper bound on the highest non-empty GC bucket. Raised eagerly
     /// on insert, lowered lazily — each lowering step pairs with an
     /// earlier insert, so the walk is amortized O(1).
     max_bucket: u32,
     /// Blocks with any programmed pages, in `last_access` order.
-    lru: LruTracker,
+    lru: DenseLru,
 }
 
 impl RegionIndex {
     fn new(blocks: u32, slots_per_block: u32) -> Self {
         RegionIndex {
-            fully_invalid: BTreeSet::new(),
-            gc_buckets: vec![BTreeSet::new(); slots_per_block as usize + 1],
+            fully_invalid: SortedSet::default(),
+            gc_buckets: vec![SortedSet::default(); slots_per_block as usize + 1],
             max_bucket: 0,
-            lru: LruTracker::with_capacity(blocks as usize),
+            lru: DenseLru::with_capacity(blocks as usize),
         }
     }
 
@@ -95,10 +134,10 @@ impl RegionIndex {
         match loc {
             BucketLoc::None => {}
             BucketLoc::FullyInvalid => {
-                self.fully_invalid.remove(&b.0);
+                self.fully_invalid.remove(b.0);
             }
             BucketLoc::Gc(i) => {
-                self.gc_buckets[i as usize].remove(&b.0);
+                self.gc_buckets[i as usize].remove(b.0);
             }
         }
     }
@@ -125,10 +164,12 @@ impl RegionIndex {
 pub(crate) struct ReclaimIndex {
     read: RegionIndex,
     write: RegionIndex,
-    /// Wear bucket queue over non-retired blocks with valid pages:
-    /// exact-cost key → block ids. `BTreeMap` keeps the minimum (the
-    /// "newest" block) at the front in O(log B).
-    wear: BTreeMap<u64, BTreeSet<u32>>,
+    /// Wear ordering over non-retired blocks with valid pages, as flat
+    /// `(exact-cost key, block)` pairs: the `BTreeSet` keeps the
+    /// minimum (the "newest" block) at the front in O(log B), and a
+    /// single flat tree re-keys without the per-bucket set allocations
+    /// a map-of-sets pays on every program.
+    wear: BTreeSet<(u64, u32)>,
     /// Per block: the wear key it is filed under, if a member.
     wear_key: Vec<Option<u64>>,
     /// Per block: which region's index holds it (None = no content).
@@ -146,7 +187,7 @@ impl ReclaimIndex {
         ReclaimIndex {
             read: RegionIndex::new(blocks, slots_per_block),
             write: RegionIndex::new(blocks, slots_per_block),
-            wear: BTreeMap::new(),
+            wear: BTreeSet::new(),
             wear_key: vec![None; blocks as usize],
             region_of: vec![None; blocks as usize],
             loc: vec![BucketLoc::None; blocks as usize],
@@ -196,7 +237,7 @@ impl ReclaimIndex {
                     RegionKind::Write => &mut self.write,
                 };
                 r.bucket_remove(b, old_loc);
-                r.lru.remove(b.0 as u64);
+                r.lru.remove(b.0);
                 self.loc[i] = BucketLoc::None;
             }
             if let Some(new) = want_region {
@@ -207,7 +248,7 @@ impl ReclaimIndex {
                 // A block (re)gains content only via a program, which
                 // stamps `last_access = now` — entering as MRU is the
                 // correct recency position.
-                r.lru.touch(b.0 as u64);
+                r.lru.touch(b.0);
                 r.bucket_insert(b, want_loc);
                 self.loc[i] = want_loc;
             }
@@ -232,15 +273,10 @@ impl ReclaimIndex {
         };
         if self.wear_key[i] != want_wear {
             if let Some(old) = self.wear_key[i] {
-                if let Some(set) = self.wear.get_mut(&old) {
-                    set.remove(&b.0);
-                    if set.is_empty() {
-                        self.wear.remove(&old);
-                    }
-                }
+                self.wear.remove(&(old, b.0));
             }
             if let Some(new) = want_wear {
-                self.wear.entry(new).or_default().insert(b.0);
+                self.wear.insert((new, b.0));
             }
             self.wear_key[i] = want_wear;
         }
@@ -255,7 +291,7 @@ impl ReclaimIndex {
                 RegionKind::Read => &mut self.read,
                 RegionKind::Write => &mut self.write,
             };
-            r.lru.touch(b.0 as u64);
+            r.lru.touch(b.0);
         }
     }
 
@@ -338,7 +374,7 @@ impl ReclaimIndex {
         self.region(kind)
             .lru
             .iter_lru_first()
-            .map(|k| BlockId(k as u32))
+            .map(BlockId)
             .find(|&b| {
                 let ok = !reserved(b);
                 if !ok {
@@ -357,15 +393,13 @@ impl ReclaimIndex {
         exclude: BlockId,
         reserved: impl Fn(BlockId) -> bool,
     ) -> Option<BlockId> {
-        for set in self.wear.values() {
-            for &b in set {
-                let b = BlockId(b);
-                if b == exclude || reserved(b) {
-                    self.skip();
-                    continue;
-                }
-                return Some(b);
+        for &(_, b) in &self.wear {
+            let b = BlockId(b);
+            if b == exclude || reserved(b) {
+                self.skip();
+                continue;
             }
+            return Some(b);
         }
         None
     }
@@ -409,13 +443,13 @@ impl ReclaimIndex {
                 };
                 match expect_loc {
                     BucketLoc::FullyInvalid => {
-                        if !r.fully_invalid.contains(&b.0) {
+                        if !r.fully_invalid.contains(b.0) {
                             return Err(format!("{b}: missing from fully-invalid set"));
                         }
                         counts[ri].0 += 1;
                     }
                     BucketLoc::Gc(inv) => {
-                        if !r.gc_buckets[inv as usize].contains(&b.0) {
+                        if !r.gc_buckets[inv as usize].contains(b.0) {
                             return Err(format!("{b}: missing from GC bucket {inv}"));
                         }
                         if inv > r.max_bucket {
@@ -428,7 +462,7 @@ impl ReclaimIndex {
                     }
                     BucketLoc::None => {}
                 }
-                if !r.lru.contains(b.0 as u64) {
+                if !r.lru.contains(b.0) {
                     return Err(format!("{b}: missing from {kind:?} block LRU"));
                 }
                 counts[ri].2 += 1;
@@ -447,7 +481,7 @@ impl ReclaimIndex {
                 ));
             }
             if let Some(key) = expect_wear {
-                if !self.wear.get(&key).is_some_and(|set| set.contains(&b.0)) {
+                if !self.wear.contains(&(key, b.0)) {
                     return Err(format!("{b}: missing from wear bucket {key:#x}"));
                 }
                 wear_members += 1;
@@ -478,7 +512,7 @@ impl ReclaimIndex {
                 ));
             }
         }
-        let wear_total: usize = self.wear.values().map(|s| s.len()).sum();
+        let wear_total = self.wear.len();
         if wear_total != wear_members {
             return Err(format!(
                 "wear index holds {wear_total} entries, expected {wear_members}"

@@ -4,8 +4,6 @@
 
 use nand_flash::{BlockId, CellMode, FlashGeometry, PageAddr};
 
-use crate::fxhash::FxHashMap;
-
 /// Which cache region a block belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RegionKind {
@@ -15,55 +13,191 @@ pub enum RegionKind {
     Write,
 }
 
+/// Marks a vacant [`FchtEntry`]. `slot` is bounded by
+/// `slots_per_block`, so no real geometry can mint this value.
+const FCHT_VACANT: u32 = u32::MAX;
+
+/// One bucket of the [`Fcht`]: key plus the packed flash location,
+/// 16 bytes so four buckets share a cache line.
+#[derive(Debug, Clone, Copy)]
+struct FchtEntry {
+    key: u64,
+    block: u32,
+    slot: u32,
+}
+
+const FCHT_EMPTY: FchtEntry = FchtEntry {
+    key: 0,
+    block: 0,
+    slot: FCHT_VACANT,
+};
+
 /// FlashCache hash table: disk page → flash page mapping.
 ///
 /// The paper implements this as a hashed fully-associative tag store
 /// (~100 hash entries suffice for throughput, §3.1); the lookup-cost
-/// question is moot for a software reproduction, so a hash map provides
-/// the same fully-associative semantics.
-#[derive(Debug, Default)]
+/// question is moot for a software reproduction, so any fully
+/// associative map gives the same semantics. This one is tuned for the
+/// replay hot path, where the table far outgrows L2 and every probe is
+/// a DRAM access: a flat power-of-two array of 16-byte key+location
+/// entries (presence encoded in the location, so a lookup touches
+/// exactly one cache line), Fibonacci hashing on the high product
+/// bits, linear probing, and backward-shift deletion instead of
+/// tombstones so churn never degrades probe lengths.
+#[derive(Debug)]
 pub struct Fcht {
-    map: FxHashMap<u64, PageAddr>,
+    entries: Vec<FchtEntry>,
+    /// `64 - log2(entries.len())`: maps a 64-bit hash to a bucket.
+    shift: u32,
+    len: usize,
 }
+
+impl Default for Fcht {
+    fn default() -> Self {
+        Fcht::new()
+    }
+}
+
+/// Multiplicative hash constant (2^64 / golden ratio, forced odd) —
+/// the same one [`crate::fxhash::FxHasher`] uses.
+const FCHT_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
 
 impl Fcht {
     /// Creates an empty table.
     pub fn new() -> Self {
-        Fcht::default()
+        Fcht::with_capacity(0)
     }
 
     /// Creates an empty table pre-sized for `capacity` mappings. The
     /// table holds at most one entry per flash slot, so sizing it from
     /// the device geometry means the lookup hot path never rehashes.
     pub fn with_capacity(capacity: usize) -> Self {
+        // Keep the load factor at or below 7/8 once `capacity` entries
+        // are resident.
+        let buckets = (capacity.saturating_mul(8) / 7 + 1)
+            .next_power_of_two()
+            .max(8);
         Fcht {
-            map: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
+            entries: vec![FCHT_EMPTY; buckets],
+            shift: 64 - buckets.trailing_zeros(),
+            len: 0,
         }
     }
 
     /// Number of cached disk pages.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.len
     }
 
     /// `true` if no disk pages are cached.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len == 0
+    }
+
+    /// Home bucket: high bits of the multiplicative hash, which is
+    /// where the multiply concentrates the mixing.
+    #[inline]
+    fn home(&self, key: u64) -> usize {
+        (key.wrapping_mul(FCHT_SEED) >> self.shift) as usize
     }
 
     /// Looks up the flash location of a disk page.
+    #[inline]
     pub fn lookup(&self, disk_page: u64) -> Option<PageAddr> {
-        self.map.get(&disk_page).copied()
+        let mask = self.entries.len() - 1;
+        let mut i = self.home(disk_page);
+        loop {
+            let e = &self.entries[i];
+            if e.slot == FCHT_VACANT {
+                return None;
+            }
+            if e.key == disk_page {
+                return Some(PageAddr::new(BlockId(e.block), e.slot));
+            }
+            i = (i + 1) & mask;
+        }
     }
 
     /// Installs or moves a mapping, returning any previous location.
     pub fn insert(&mut self, disk_page: u64, addr: PageAddr) -> Option<PageAddr> {
-        self.map.insert(disk_page, addr)
+        debug_assert_ne!(addr.slot, FCHT_VACANT, "slot id is reserved");
+        if (self.len + 1) * 8 > self.entries.len() * 7 {
+            self.grow();
+        }
+        let mask = self.entries.len() - 1;
+        let mut i = self.home(disk_page);
+        loop {
+            let e = &mut self.entries[i];
+            if e.slot == FCHT_VACANT {
+                *e = FchtEntry {
+                    key: disk_page,
+                    block: addr.block.0,
+                    slot: addr.slot,
+                };
+                self.len += 1;
+                return None;
+            }
+            if e.key == disk_page {
+                let old = PageAddr::new(BlockId(e.block), e.slot);
+                e.block = addr.block.0;
+                e.slot = addr.slot;
+                return Some(old);
+            }
+            i = (i + 1) & mask;
+        }
     }
 
     /// Removes a mapping.
     pub fn remove(&mut self, disk_page: u64) -> Option<PageAddr> {
-        self.map.remove(&disk_page)
+        let mask = self.entries.len() - 1;
+        let mut i = self.home(disk_page);
+        loop {
+            let e = &self.entries[i];
+            if e.slot == FCHT_VACANT {
+                return None;
+            }
+            if e.key == disk_page {
+                break;
+            }
+            i = (i + 1) & mask;
+        }
+        let removed = PageAddr::new(BlockId(self.entries[i].block), self.entries[i].slot);
+        // Backward-shift deletion: walk the probe chain after the hole
+        // and pull back every entry whose home bucket lies at or before
+        // the hole, so chains stay contiguous without tombstones.
+        let mut hole = i;
+        let mut j = i;
+        loop {
+            j = (j + 1) & mask;
+            if self.entries[j].slot == FCHT_VACANT {
+                break;
+            }
+            let h = self.home(self.entries[j].key);
+            if (j.wrapping_sub(h) & mask) >= (j.wrapping_sub(hole) & mask) {
+                self.entries[hole] = self.entries[j];
+                hole = j;
+            }
+        }
+        self.entries[hole] = FCHT_EMPTY;
+        self.len -= 1;
+        Some(removed)
+    }
+
+    fn grow(&mut self) {
+        let doubled = (self.entries.len() * 2).max(8);
+        let old = std::mem::replace(&mut self.entries, vec![FCHT_EMPTY; doubled]);
+        self.shift = 64 - self.entries.len().trailing_zeros();
+        let mask = self.entries.len() - 1;
+        for e in old {
+            if e.slot == FCHT_VACANT {
+                continue;
+            }
+            let mut i = self.home(e.key);
+            while self.entries[i].slot != FCHT_VACANT {
+                i = (i + 1) & mask;
+            }
+            self.entries[i] = e;
+        }
     }
 }
 

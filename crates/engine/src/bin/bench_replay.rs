@@ -1,0 +1,276 @@
+//! End-to-end replay throughput benchmark: the single-shard fast path.
+//!
+//! Streams the 200k-request Zipf trace (alpha1 with a 5% write mix —
+//! the same workload `bench_shard` uses) straight from the generator
+//! into [`ShardedCache::submit`] batches, with no intermediate
+//! full-trace materialization, and reports wall-clock **pages per
+//! second** of the whole pipeline (trace generation + cache servicing)
+//! at 1 and 8 shards.
+//!
+//! Unlike `bench_shard`, which reports *modeled* flash-channel time,
+//! this benchmark measures how fast the simulator itself runs — the
+//! quantity that bounds every whole-lifetime replay (Figure 12) and
+//! figure sweep. The committed `BENCH_replay.json` pins the pre-PR
+//! baseline (measured before the replay fast path landed) and the
+//! fast/slow-path numbers of the machine that produced it.
+//!
+//! Usage: `bench_replay [--requests N] [--shards 1,8] [--batch N]
+//! [--seed N] [--repeat N] [--slow] [--smoke] [--floor PAGES_PER_SEC]
+//! [--out PATH]`
+//!
+//! `--slow` disables every fast-path gate (CDF sampling, StdRng, direct
+//! wear evaluation) so the two paths can be compared on one machine.
+//! `--floor` makes the run assert a single-shard pages/sec floor — the
+//! CI smoke step uses it to catch fast-path regressions.
+
+use std::time::Instant;
+
+use disk_trace::{DiskRequest, WorkloadSpec};
+use flash_obs::JsonValue;
+use flashcache_core::FlashCacheConfig;
+use nand_flash::{FlashConfig, FlashGeometry};
+
+use flashcache_engine::{pool, ShardedCache};
+
+struct Args {
+    shards: Vec<usize>,
+    requests: usize,
+    batch: usize,
+    seed: u64,
+    repeat: usize,
+    slow: bool,
+    smoke: bool,
+    floor: Option<f64>,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        shards: vec![1, 8],
+        requests: 200_000,
+        batch: 512,
+        seed: 0x5EED,
+        repeat: 1,
+        slow: false,
+        smoke: false,
+        floor: None,
+        out: "BENCH_replay.json".to_string(),
+    };
+    let mut requests_set = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--shards" => {
+                args.shards = val("--shards")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("shard count"))
+                    .collect();
+            }
+            "--requests" => {
+                args.requests = val("--requests").parse().expect("request count");
+                requests_set = true;
+            }
+            "--batch" => args.batch = val("--batch").parse().expect("batch size"),
+            "--seed" => args.seed = val("--seed").parse().expect("seed"),
+            "--repeat" => args.repeat = val("--repeat").parse().expect("repeat count"),
+            "--slow" => args.slow = true,
+            "--smoke" => args.smoke = true,
+            "--floor" => args.floor = Some(val("--floor").parse().expect("pages/sec floor")),
+            "--out" => args.out = val("--out"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    if args.smoke && !requests_set {
+        args.requests = 50_000;
+    }
+    args.shards.sort_unstable();
+    args.shards.dedup();
+    args
+}
+
+/// Pre-PR single-shard throughput on the reference machine, pages/sec
+/// (commit 5c77c54: StdRng + CDF binary-search sampling + per-read
+/// wear-model evaluation, best of repeated 200k-request runs). The
+/// committed speedup is measured against this number; `--slow` replays
+/// the same oracle configuration for a same-window ratio.
+const PRE_PR_BASELINE_PAGES_PER_SEC: f64 = 1_415_000.0;
+
+fn cache_config(slow: bool) -> FlashCacheConfig {
+    // Same shape as bench_shard: 512 blocks × 64 pages, big enough for
+    // real GC/eviction churn, small enough that the Zipf tail misses.
+    let mut flash = FlashConfig {
+        geometry: FlashGeometry {
+            blocks: 512,
+            pages_per_block: 64,
+            ..FlashGeometry::default()
+        },
+        ..FlashConfig::default()
+    };
+    if slow {
+        flash.fast_rng = false;
+        flash.wear.cache_evaluations = false;
+    }
+    FlashCacheConfig::builder()
+        .flash(flash)
+        .build()
+        .expect("bench cache config is valid")
+}
+
+fn main() {
+    let args = parse_args();
+
+    let mut spec = WorkloadSpec::alpha1();
+    spec.write_fraction = 0.05;
+    if args.smoke {
+        spec = spec.scaled(8);
+    }
+    if args.slow {
+        spec.fast_sampling = false;
+    }
+
+    println!(
+        "bench_replay: {} requests of {} ({}% writes), batch {}, {} path",
+        args.requests,
+        spec.name,
+        (spec.write_fraction * 100.0).round(),
+        args.batch,
+        if args.slow {
+            "slow (gates off)"
+        } else {
+            "fast"
+        },
+    );
+
+    let mut points: Vec<JsonValue> = Vec::new();
+    let mut single_shard_pps = None;
+    for &n in &args.shards {
+        // Best-of-N to shed scheduler noise; stats come from the last run.
+        let mut best_s = f64::INFINITY;
+        let mut pages = 0u64;
+        let mut stats = None;
+        for _ in 0..args.repeat.max(1) {
+            let mut engine =
+                ShardedCache::new(cache_config(args.slow), n).expect("shard count divides blocks");
+            engine.set_threads(pool::default_threads().min(n));
+            let mut generator = spec.generator(args.seed);
+            let mut buf: Vec<DiskRequest> = Vec::with_capacity(args.batch);
+            let wall = Instant::now();
+            let mut remaining = args.requests;
+            let mut run_pages = 0u64;
+            // Streaming replay: each batch is drawn from the generator
+            // and submitted without materializing the full trace.
+            while remaining > 0 {
+                let take = remaining.min(args.batch);
+                buf.clear();
+                buf.extend(generator.by_ref().take(take));
+                run_pages += buf.iter().map(|r| r.len as u64).sum::<u64>();
+                engine.submit(&buf);
+                remaining -= take;
+            }
+            let elapsed = wall.elapsed().as_secs_f64();
+            best_s = best_s.min(elapsed);
+            pages = run_pages;
+            stats = Some(engine.stats());
+        }
+        let stats = stats.expect("at least one run");
+        let pps = pages as f64 / best_s;
+        if n == 1 {
+            single_shard_pps = Some(pps);
+        }
+        println!(
+            "  shards={n}: {:.1} ms wall, {:.0} pages/s ({:.0} req/s), read hit {:.1}%",
+            best_s * 1e3,
+            pps,
+            args.requests as f64 / best_s,
+            100.0 * (1.0 - stats.read_miss_rate()),
+        );
+        points.push(JsonValue::Object(vec![
+            ("shards".into(), JsonValue::UInt(n as u64)),
+            (
+                "wall_ms".into(),
+                JsonValue::Number((best_s * 1e4).round() / 10.0),
+            ),
+            ("pages".into(), JsonValue::UInt(pages)),
+            ("pages_per_sec".into(), JsonValue::Number(pps.round())),
+            ("reads".into(), JsonValue::UInt(stats.reads)),
+            ("read_hits".into(), JsonValue::UInt(stats.read_hits)),
+            ("gc_runs".into(), JsonValue::UInt(stats.gc_runs)),
+            (
+                "internal_errors".into(),
+                JsonValue::UInt(stats.internal_errors),
+            ),
+        ]));
+    }
+
+    let speedup = single_shard_pps.map(|p| p / PRE_PR_BASELINE_PAGES_PER_SEC);
+    if let Some(s) = speedup {
+        println!(
+            "single-shard speedup vs pre-PR baseline ({:.2e} pages/s): {s:.2}x",
+            PRE_PR_BASELINE_PAGES_PER_SEC
+        );
+    }
+
+    let doc = JsonValue::Object(vec![
+        (
+            "workload".into(),
+            JsonValue::String(format!(
+                "{} (Zipf 0.8), {}% writes, {} pages footprint, streamed",
+                spec.name,
+                (spec.write_fraction * 100.0).round(),
+                spec.footprint_pages
+            )),
+        ),
+        ("requests".into(), JsonValue::UInt(args.requests as u64)),
+        ("batch".into(), JsonValue::UInt(args.batch as u64)),
+        ("seed".into(), JsonValue::UInt(args.seed)),
+        (
+            "path".into(),
+            JsonValue::String(if args.slow { "slow" } else { "fast" }.into()),
+        ),
+        (
+            "measure".into(),
+            JsonValue::String(
+                "wall-clock pages/sec of streamed trace generation + cache \
+                 servicing, best of --repeat runs"
+                    .into(),
+            ),
+        ),
+        (
+            "pre_pr_baseline_pages_per_sec".into(),
+            JsonValue::Number(PRE_PR_BASELINE_PAGES_PER_SEC),
+        ),
+        (
+            "single_shard_speedup_vs_baseline".into(),
+            JsonValue::Number(speedup.map_or(0.0, |s| (s * 100.0).round() / 100.0)),
+        ),
+        ("points".into(), JsonValue::Array(points)),
+    ]);
+    std::fs::write(&args.out, doc.render() + "\n").expect("write benchmark output");
+    println!("wrote {}", args.out);
+
+    if !args.slow {
+        // The fast-path gates must default on: a silent default flip is a
+        // perf regression the floor check would otherwise misattribute.
+        assert!(
+            WorkloadSpec::alpha1().fast_sampling,
+            "fast_sampling must default on"
+        );
+        let flash = FlashConfig::default();
+        assert!(flash.fast_rng, "fast_rng must default on");
+        assert!(
+            flash.wear.cache_evaluations,
+            "wear cache_evaluations must default on"
+        );
+    }
+    if let (Some(floor), Some(pps)) = (args.floor, single_shard_pps) {
+        assert!(
+            pps >= floor,
+            "single-shard replay fell to {pps:.0} pages/s (floor {floor:.0})"
+        );
+        println!("OK: single-shard {pps:.0} pages/s >= floor {floor:.0}");
+    }
+}

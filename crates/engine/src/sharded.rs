@@ -69,6 +69,22 @@ impl From<ConfigError> for EngineError {
 /// submission order.
 type ShardOps = Vec<(u32, u64, OpKind)>;
 
+/// Folds a later page's outcome into a multi-page request's merged
+/// outcome: latencies sum, `hit` requires every page to hit, and the
+/// tier degrades to [`ServiceTier::Disk`] if any page needs the disk.
+fn merge_outcome(slot: &mut AccessOutcome, out: AccessOutcome) {
+    slot.hit &= out.hit;
+    slot.latency_us += out.latency_us;
+    slot.background_us += out.background_us;
+    slot.needs_disk_read |= out.needs_disk_read;
+    slot.flushed_dirty += out.flushed_dirty;
+    slot.uncorrectable |= out.uncorrectable;
+    slot.bypassed |= out.bypassed;
+    if out.tier == ServiceTier::Disk {
+        slot.tier = ServiceTier::Disk;
+    }
+}
+
 /// splitmix64 finalizer: uncorrelates disk-page numbers before the
 /// modulo so striding access patterns spread across shards.
 #[inline]
@@ -220,6 +236,9 @@ impl ShardedCache {
     /// accumulates into [`modeled_time_us`](ShardedCache::modeled_time_us).
     pub fn submit(&mut self, batch: &[DiskRequest]) -> Vec<AccessOutcome> {
         let n = self.shards.len();
+        if n == 1 {
+            return self.submit_single(batch);
+        }
         let mut groups: Vec<ShardOps> = vec![Vec::new(); n];
         for (ri, req) in batch.iter().enumerate() {
             for page in req.pages() {
@@ -260,20 +279,48 @@ impl ShardedCache {
                     *slot = out;
                     seen[ri as usize] = true;
                 } else {
-                    slot.hit &= out.hit;
-                    slot.latency_us += out.latency_us;
-                    slot.background_us += out.background_us;
-                    slot.needs_disk_read |= out.needs_disk_read;
-                    slot.flushed_dirty += out.flushed_dirty;
-                    slot.uncorrectable |= out.uncorrectable;
-                    slot.bypassed |= out.bypassed;
-                    if out.tier == ServiceTier::Disk {
-                        slot.tier = ServiceTier::Disk;
-                    }
+                    merge_outcome(slot, out);
                 }
             }
         }
         self.makespan_us += makespan;
+        self.batches += 1;
+        merged
+    }
+
+    /// [`ShardedCache::submit`] specialized for one shard: no page
+    /// partitioning, no worker handoff, no request-index regrouping —
+    /// the batch streams straight through the single [`FlashCache`].
+    /// Outcomes, stats, and modeled times are identical to the general
+    /// path (one group, batch order); only the allocations go away,
+    /// which matters because `shards = 1` is the replay fast path's
+    /// single-threaded hot loop.
+    fn submit_single(&mut self, batch: &[DiskRequest]) -> Vec<AccessOutcome> {
+        let shard = &mut self.shards[0];
+        let gc_before = shard.stats().gc_time_us;
+        let mut busy = 0.0;
+        let mut merged = Vec::with_capacity(batch.len());
+        for req in batch {
+            let mut slot = AccessOutcome::default();
+            let mut seen = false;
+            for page in req.pages() {
+                let out = match req.op {
+                    OpKind::Read => shard.read(page),
+                    OpKind::Write => shard.write(page),
+                };
+                busy += out.latency_us + out.background_us;
+                if seen {
+                    merge_outcome(&mut slot, out);
+                } else {
+                    slot = out;
+                    seen = true;
+                }
+            }
+            merged.push(slot);
+        }
+        busy += shard.stats().gc_time_us - gc_before;
+        self.shard_busy_us[0] += busy;
+        self.makespan_us += busy;
         self.batches += 1;
         merged
     }
@@ -463,7 +510,8 @@ fn prefixed(i: usize, reg: &Registry) -> Registry {
         let suffix = name.strip_prefix("flash.").unwrap_or(name);
         let pname = format!("flash.shard.{i}.{suffix}");
         if let Some(v) = metric.as_counter() {
-            out.counter_add(&pname, v);
+            let id = out.handle(&pname);
+            out.add(id, v);
         } else if let Some(v) = metric.as_gauge() {
             out.gauge_set(&pname, v);
         } else if let Some(h) = metric.as_histogram() {

@@ -6,10 +6,11 @@
 use std::error::Error;
 use std::fmt;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::rngs::{SmallRng, StdRng};
+use rand::{RngCore, SeedableRng};
 
 use crate::geometry::{BlockId, CellMode, FlashGeometry, PageAddr};
+use crate::sampling::NormalSource;
 use crate::timing::{FlashPower, FlashTiming};
 use crate::wear::{PageWearState, WearConfig, WearModel};
 
@@ -156,6 +157,11 @@ pub struct FlashConfig {
     pub store_payloads: bool,
     /// RNG seed for quality sampling and error injection.
     pub seed: u64,
+    /// Replay fast-path gate: drive error injection with the
+    /// minimal-state [`SmallRng`] and sample build-time page qualities
+    /// through a pair-keeping [`NormalSource`]. Deterministic per seed
+    /// either way; off reproduces the pre-fast-path `StdRng` streams.
+    pub fast_rng: bool,
 }
 
 impl Default for FlashConfig {
@@ -167,6 +173,25 @@ impl Default for FlashConfig {
             wear: WearConfig::default(),
             store_payloads: false,
             seed: 0x1507_2008,
+            fast_rng: true,
+        }
+    }
+}
+
+/// The device's error-injection RNG: gated choice between the workspace
+/// default and the fast-path minimal-state generator.
+#[derive(Debug, Clone)]
+enum DeviceRng {
+    Std(StdRng),
+    Small(SmallRng),
+}
+
+impl RngCore for DeviceRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        match self {
+            DeviceRng::Std(r) => r.next_u64(),
+            DeviceRng::Small(r) => r.next_u64(),
         }
     }
 }
@@ -195,7 +220,7 @@ impl Default for FlashConfig {
 pub struct FlashDevice {
     config: FlashConfig,
     wear_model: WearModel,
-    rng: StdRng,
+    rng: DeviceRng,
     /// Per-block erase counts.
     erase_counts: Vec<u64>,
     /// Worst (slowest-erasing) mode programmed since the last erase.
@@ -226,11 +251,23 @@ impl FlashDevice {
     pub fn new(config: FlashConfig) -> Self {
         let geometry = config.geometry;
         let wear_model = WearModel::new(config.wear);
-        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut rng = if config.fast_rng {
+            DeviceRng::Small(SmallRng::seed_from_u64(config.seed))
+        } else {
+            DeviceRng::Std(StdRng::seed_from_u64(config.seed))
+        };
         let phys = geometry.total_physical_pages() as usize;
         let slots = geometry.total_slots() as usize;
+        let mut normals = NormalSource::new();
         let wear = (0..phys)
-            .map(|_| PageWearState::with_quality(wear_model.sample_quality(&mut rng)))
+            .map(|_| {
+                let q = if config.fast_rng {
+                    wear_model.sample_quality_with(&mut normals, &mut rng)
+                } else {
+                    wear_model.sample_quality(&mut rng)
+                };
+                PageWearState::with_quality(q)
+            })
             .collect();
         FlashDevice {
             wear_model,

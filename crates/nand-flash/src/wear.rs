@@ -16,7 +16,7 @@ use rand::Rng;
 use flash_reliability::CellLifetimeModel;
 
 use crate::geometry::CellMode;
-use crate::sampling::{binomial, poisson};
+use crate::sampling::{binomial, poisson, NormalSource, PoissonSource};
 
 /// Configuration of the wear/error model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,6 +33,15 @@ pub struct WearConfig {
     /// Uniform lifetime acceleration factor for tractable whole-lifetime
     /// simulations (Figure 12); 1.0 = real endurance.
     pub acceleration: f64,
+    /// Replay fast-path gate: memoize per-page wear evaluation between
+    /// erase-count changes, use the precomputed `10^-delta` quality
+    /// factor, and skip the lifetime-model transcendentals entirely
+    /// while a page sits below the failure onset (expected failures
+    /// < [`NEGLIGIBLE_FAILURES`]). Observed failure counts match the
+    /// direct evaluation except with probability ~1e-12 per skipped
+    /// draw; kept as a gate so differential tests can exercise the
+    /// slow oracle.
+    pub cache_evaluations: bool,
 }
 
 impl Default for WearConfig {
@@ -43,6 +52,7 @@ impl Default for WearConfig {
             cells_per_page: flash_reliability::CELLS_PER_PAGE as u32,
             transient_errors_per_read: 1e-4,
             acceleration: 1.0,
+            cache_evaluations: true,
         }
     }
 }
@@ -57,22 +67,41 @@ impl WearConfig {
     }
 }
 
+/// Expected-failure level per page below which the fast path treats a
+/// wear evaluation as exactly zero. A skipped Poisson draw at λ below
+/// this bound changes the observed failure count with probability
+/// < 1e-12, so even million-erase replays diverge from the direct
+/// oracle with probability ~1e-6.
+pub const NEGLIGIBLE_FAILURES: f64 = 1e-12;
+
 /// Runtime wear model shared by all pages of a device.
 #[derive(Debug, Clone, Copy)]
 pub struct WearModel {
     config: WearConfig,
     slc: CellLifetimeModel,
     mlc: CellLifetimeModel,
+    /// Transient-error draw with `exp(-λ)` hoisted out of the per-read
+    /// loop (λ is constant for the life of the model).
+    transient: PoissonSource,
+    /// Effective cycle count below which even the weaker (MLC) curve's
+    /// expected page failures stay under [`NEGLIGIBLE_FAILURES`] — the
+    /// fast path's transcendental-free early-out. Young blocks (the
+    /// common case in cache replay) never reach the lognormal CDF.
+    onset_effective: f64,
 }
 
 impl WearModel {
     /// Builds the model from a configuration.
     pub fn new(config: WearConfig) -> Self {
         let slc = config.slc_lifetime.accelerated(config.acceleration);
+        let mlc = slc.mlc();
+        let p = (NEGLIGIBLE_FAILURES / config.cells_per_page.max(1) as f64).clamp(1e-300, 0.5);
         WearModel {
             config,
             slc,
-            mlc: slc.mlc(),
+            mlc,
+            transient: PoissonSource::new(config.transient_errors_per_read),
+            onset_effective: mlc.quantile(p),
         }
     }
 
@@ -86,15 +115,32 @@ impl WearModel {
         self.config.spatial_sigma_decades * crate::sampling::normal(rng)
     }
 
+    /// [`WearModel::sample_quality`] drawing from a [`NormalSource`], so
+    /// bulk construction (one draw per physical page) keeps Box–Muller's
+    /// second variate instead of discarding it.
+    pub fn sample_quality_with<R: Rng + ?Sized>(
+        &self,
+        normals: &mut NormalSource,
+        rng: &mut R,
+    ) -> f64 {
+        self.config.spatial_sigma_decades * normals.sample(rng)
+    }
+
     /// Expected cumulative failed cells in `mode` after `erases` cycles
     /// for a page with quality offset `delta` decades.
     pub fn expected_failures(&self, mode: CellMode, erases: u64, delta: f64) -> f64 {
+        // A +delta-decade better page behaves like a younger page.
+        self.expected_failures_effective(mode, erases as f64 * 10f64.powf(-delta))
+    }
+
+    /// Expected cumulative failed cells at pre-scaled `effective` cycles
+    /// (`erases * 10^-delta`); lets callers reuse a precomputed quality
+    /// factor instead of paying `powf` per evaluation.
+    pub fn expected_failures_effective(&self, mode: CellMode, effective: f64) -> f64 {
         let model = match mode {
             CellMode::Slc => &self.slc,
             CellMode::Mlc => &self.mlc,
         };
-        // A +delta-decade better page behaves like a younger page.
-        let effective = erases as f64 * 10f64.powf(-delta);
         self.config.cells_per_page as f64 * model.failure_prob(effective)
     }
 
@@ -111,26 +157,51 @@ impl WearModel {
 }
 
 /// Per-physical-page wear state.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+///
+/// Lambdas are held in `f64` so that re-evaluating the model at an
+/// unchanged erase count reproduces the stored value *exactly* — the
+/// property that makes the fast path's erase-count memo bit-exact
+/// (with `f32` storage, round-off manufactured spurious tiny-λ Poisson
+/// draws on repeat reads).
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PageWearState {
     /// Quality offset in decades (positive = better than average).
     pub quality_delta: f32,
+    /// `10^-quality_delta`, precomputed so the per-read path avoids
+    /// `powf` (used when `WearConfig::cache_evaluations` is on).
+    quality_factor: f64,
+    /// Erase count the lambdas were last evaluated at.
+    last_erases: u64,
     /// Expected-failure budget already consumed, MLC curve.
-    lambda_mlc: f32,
+    lambda_mlc: f64,
     /// Expected-failure budget already consumed, SLC curve.
-    lambda_slc: f32,
+    lambda_slc: f64,
     /// Permanent cell failures visible in MLC mode.
     pub fail_mlc: u32,
     /// Permanent cell failures visible in SLC mode (subset of MLC).
     pub fail_slc: u32,
 }
 
+impl Default for PageWearState {
+    fn default() -> Self {
+        PageWearState::with_quality(0.0)
+    }
+}
+
 impl PageWearState {
     /// Creates a fresh page with the given quality offset.
     pub fn with_quality(delta: f64) -> Self {
+        // Round through f32 first so the precomputed factor matches what
+        // the direct path derives back from the stored `quality_delta`.
+        let delta = delta as f32;
         PageWearState {
-            quality_delta: delta as f32,
-            ..PageWearState::default()
+            quality_delta: delta,
+            quality_factor: 10f64.powf(-(delta as f64)),
+            last_erases: 0,
+            lambda_mlc: 0.0,
+            lambda_slc: 0.0,
+            fail_mlc: 0,
+            fail_slc: 0,
         }
     }
 
@@ -153,18 +224,59 @@ impl PageWearState {
         rng: &mut R,
     ) -> u32 {
         self.advance(model, erases, rng);
-        let transient = poisson(rng, model.config.transient_errors_per_read) as u32;
+        let transient = if model.config.cache_evaluations {
+            model.transient.sample(rng) as u32
+        } else {
+            poisson(rng, model.config.transient_errors_per_read) as u32
+        };
         let cap = model.config.cells_per_page;
         (self.permanent_failures(mode) + transient).min(cap)
     }
 
     /// Grows failure counts monotonically to match `erases` cycles.
+    ///
+    /// With `WearConfig::cache_evaluations` on, two shortcuts apply:
+    ///
+    /// * **Erase-count memo** — failures only grow when a block is
+    ///   erased, so re-reads at an unchanged (or lower) count return
+    ///   immediately. Bit-exact with the direct path, including RNG
+    ///   stream position: the direct evaluation draws nothing when the
+    ///   expected-failure budget has not grown (lambdas are stored in
+    ///   `f64`, so re-evaluation reproduces them exactly).
+    /// * **Failure onset** — below the effective cycle count where
+    ///   expected failures reach [`NEGLIGIBLE_FAILURES`], the lognormal
+    ///   CDF is not evaluated and no Poisson draw is made. The direct
+    ///   oracle burns one uniform on a λ < 1e-12 draw there, so the two
+    ///   gate settings consume *different RNG streams* below onset, but
+    ///   the drawn failure count differs only with probability ~1e-12
+    ///   per skip. Each gate setting remains fully deterministic.
     pub fn advance<R: Rng + ?Sized>(&mut self, model: &WearModel, erases: u64, rng: &mut R) {
-        let delta = self.quality_delta as f64;
-        let lm_new = model.expected_failures(CellMode::Mlc, erases, delta);
-        let ls_new = model.expected_failures(CellMode::Slc, erases, delta);
-        let lm_old = self.lambda_mlc as f64;
-        let ls_old = self.lambda_slc as f64;
+        if model.config.cache_evaluations {
+            if erases <= self.last_erases {
+                return;
+            }
+            self.last_erases = erases;
+            let effective = erases as f64 * self.quality_factor;
+            if effective < model.onset_effective {
+                return;
+            }
+            self.grow(model, effective, rng);
+        } else {
+            let effective = erases as f64 * 10f64.powf(-(self.quality_delta as f64));
+            if erases > self.last_erases {
+                self.last_erases = erases;
+            }
+            self.grow(model, effective, rng);
+        }
+    }
+
+    /// The monotone lambda/failure growth step shared by both gate
+    /// settings of [`PageWearState::advance`].
+    fn grow<R: Rng + ?Sized>(&mut self, model: &WearModel, effective: f64, rng: &mut R) {
+        let lm_new = model.expected_failures_effective(CellMode::Mlc, effective);
+        let ls_new = model.expected_failures_effective(CellMode::Slc, effective);
+        let lm_old = self.lambda_mlc;
+        let ls_old = self.lambda_slc;
         if lm_new > lm_old {
             let d_mlc = poisson(rng, lm_new - lm_old);
             if d_mlc > 0 {
@@ -180,8 +292,8 @@ impl PageWearState {
                 self.fail_mlc = (self.fail_mlc + d_mlc as u32).min(cap);
                 self.fail_slc = (self.fail_slc + d_slc as u32).min(self.fail_mlc);
             }
-            self.lambda_mlc = lm_new as f32;
-            self.lambda_slc = ls_new.max(ls_old) as f32;
+            self.lambda_mlc = lm_new;
+            self.lambda_slc = ls_new.max(ls_old);
         }
     }
 }

@@ -201,16 +201,23 @@ impl Hierarchy {
     pub fn export_metrics(&self) -> Registry {
         let mut reg = Registry::new();
         let r = &self.report;
-        reg.counter_add("hierarchy.requests", r.requests);
-        reg.counter_add("hierarchy.pages", r.pages);
-        reg.counter_add("hierarchy.dram_hit_pages", r.dram_hit_pages);
-        reg.counter_add("hierarchy.flash_hit_pages", r.flash_hit_pages);
-        reg.counter_add("hierarchy.disk_read_pages", r.disk_read_pages);
-        reg.counter_add("hierarchy.disk_write_pages", r.disk_write_pages);
-        reg.counter_add(
-            "hierarchy.total_latency_us",
-            r.total_latency_us.round() as u64,
-        );
+        let counters: &[(&str, u64)] = &[
+            ("hierarchy.requests", r.requests),
+            ("hierarchy.pages", r.pages),
+            ("hierarchy.dram_hit_pages", r.dram_hit_pages),
+            ("hierarchy.flash_hit_pages", r.flash_hit_pages),
+            ("hierarchy.disk_read_pages", r.disk_read_pages),
+            ("hierarchy.disk_write_pages", r.disk_write_pages),
+            (
+                "hierarchy.total_latency_us",
+                r.total_latency_us.round() as u64,
+            ),
+        ];
+        for (name, v) in counters {
+            // Handle-based export: resolve each name once, count O(1).
+            let id = reg.handle(name);
+            reg.add(id, *v);
+        }
         reg.histogram_merge("hierarchy.request_latency", &r.latency);
         reg.histogram_merge("hierarchy.dram_latency", &r.dram_latency);
         reg.histogram_merge("hierarchy.flash_latency", &r.flash_latency);

@@ -46,8 +46,26 @@ pub struct PopularitySampler {
     footprint: u64,
     /// Cumulative weights by rank (empty for Uniform).
     cdf: Vec<f64>,
+    /// Walker alias table with the rank→page permutation pre-applied
+    /// (empty for Uniform).
+    alias_table: Vec<AliasSlot>,
     /// rank -> page permutation (identity for Uniform).
     permutation: Vec<u32>,
+}
+
+/// One packed Walker alias row: the acceptance threshold plus both
+/// candidate *pages* (self and alias) with the rank→page permutation
+/// already applied. A draw therefore touches a single 16-byte slot —
+/// one cache line — instead of three separate multi-MB arrays
+/// (threshold, alias rank, permutation).
+#[derive(Debug, Clone, Copy)]
+struct AliasSlot {
+    /// Acceptance threshold: a fraction below it returns `page`.
+    prob: f64,
+    /// The permuted page of this row's own rank.
+    page: u32,
+    /// The permuted page of the row's alias rank.
+    alias_page: u32,
 }
 
 impl PopularitySampler {
@@ -66,33 +84,47 @@ impl PopularitySampler {
             footprint <= u32::MAX as u64,
             "footprint too large for the sampler"
         );
-        match law {
-            Popularity::Uniform => PopularitySampler {
-                law,
-                footprint,
-                cdf: Vec::new(),
-                permutation: Vec::new(),
-            },
-            Popularity::Zipf { alpha } => {
-                assert!(alpha >= 0.0, "alpha must be non-negative");
-                let cdf = build_cdf(footprint as usize, |i| ((i + 1) as f64).powf(-alpha));
-                PopularitySampler {
+        let weights: Vec<f64> = match law {
+            Popularity::Uniform => {
+                return PopularitySampler {
                     law,
                     footprint,
-                    cdf,
-                    permutation: build_permutation(footprint as usize, seed),
-                }
+                    cdf: Vec::new(),
+                    alias_table: Vec::new(),
+                    permutation: Vec::new(),
+                };
+            }
+            Popularity::Zipf { alpha } => {
+                assert!(alpha >= 0.0, "alpha must be non-negative");
+                (0..footprint as usize)
+                    .map(|i| ((i + 1) as f64).powf(-alpha))
+                    .collect()
             }
             Popularity::Exponential { lambda } => {
                 assert!(lambda > 0.0, "lambda must be positive");
-                let cdf = build_cdf(footprint as usize, |i| (-lambda * i as f64).exp());
-                PopularitySampler {
-                    law,
-                    footprint,
-                    cdf,
-                    permutation: build_permutation(footprint as usize, seed),
-                }
+                (0..footprint as usize)
+                    .map(|i| (-lambda * i as f64).exp())
+                    .collect()
             }
+        };
+        let (alias_prob, alias) = build_alias(&weights);
+        let permutation = build_permutation(footprint as usize, seed);
+        let alias_table = alias_prob
+            .into_iter()
+            .zip(&alias)
+            .enumerate()
+            .map(|(i, (prob, &a))| AliasSlot {
+                prob,
+                page: permutation[i],
+                alias_page: permutation[a as usize],
+            })
+            .collect();
+        PopularitySampler {
+            law,
+            footprint,
+            cdf: build_cdf(weights),
+            alias_table,
+            permutation,
         }
     }
 
@@ -106,8 +138,35 @@ impl PopularitySampler {
         self.footprint
     }
 
-    /// Draws one page number.
+    /// Draws one page number in O(1) via the Walker alias table.
+    ///
+    /// Consumes exactly one uniform per draw — the same as
+    /// [`PopularitySampler::sample_cdf`] — but replaces the O(log n)
+    /// binary search over the (cache-hostile, multi-MB) CDF with a
+    /// single indexed load of one packed [`AliasSlot`]: the uniform is
+    /// split into a table row and an acceptance fraction, and both
+    /// candidate pages ride in the same 16-byte slot.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match self.law {
+            Popularity::Uniform => rng.gen_range(0..self.footprint),
+            _ => {
+                let x = rng.gen::<f64>() * self.alias_table.len() as f64;
+                let i = (x as usize).min(self.alias_table.len() - 1);
+                let slot = &self.alias_table[i];
+                let frac = x - i as f64;
+                let page = if frac < slot.prob {
+                    slot.page
+                } else {
+                    slot.alias_page
+                };
+                page as u64
+            }
+        }
+    }
+
+    /// Draws one page number by inverse-CDF binary search — the slow
+    /// oracle the alias path is differentially tested against.
+    pub fn sample_cdf<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         match self.law {
             Popularity::Uniform => rng.gen_range(0..self.footprint),
             _ => {
@@ -175,12 +234,12 @@ impl PopularitySampler {
     }
 }
 
-fn build_cdf(n: usize, weight: impl Fn(usize) -> f64) -> Vec<f64> {
-    let mut cdf = Vec::with_capacity(n);
+fn build_cdf(weights: Vec<f64>) -> Vec<f64> {
+    let mut cdf = weights;
     let mut acc = 0.0;
-    for i in 0..n {
-        acc += weight(i);
-        cdf.push(acc);
+    for w in &mut cdf {
+        acc += *w;
+        *w = acc;
     }
     let total = acc;
     for w in &mut cdf {
@@ -191,6 +250,42 @@ fn build_cdf(n: usize, weight: impl Fn(usize) -> f64) -> Vec<f64> {
         *last = 1.0;
     }
     cdf
+}
+
+/// Builds a Walker alias table (Vose's stable construction): each row
+/// `i` keeps probability `prob[i]` of returning `i` itself and
+/// otherwise returns `alias[i]`, so a single uniform split into (row,
+/// fraction) samples the exact discrete distribution in O(1).
+fn build_alias(weights: &[f64]) -> (Vec<f64>, Vec<u32>) {
+    let n = weights.len();
+    let total: f64 = weights.iter().sum();
+    let scale = n as f64 / total;
+    let mut prob: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+    let mut alias: Vec<u32> = vec![0; n];
+    let mut small: Vec<u32> = Vec::new();
+    let mut large: Vec<u32> = Vec::new();
+    for (i, &p) in prob.iter().enumerate() {
+        if p < 1.0 {
+            small.push(i as u32);
+        } else {
+            large.push(i as u32);
+        }
+    }
+    while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+        small.pop();
+        alias[s as usize] = l;
+        // The large row donates the mass the small row lacks.
+        prob[l as usize] -= 1.0 - prob[s as usize];
+        if prob[l as usize] < 1.0 {
+            large.pop();
+            small.push(l);
+        }
+    }
+    // Leftovers are 1.0 up to round-off: always accept.
+    for &i in small.iter().chain(large.iter()) {
+        prob[i as usize] = 1.0;
+    }
+    (prob, alias)
 }
 
 /// Deterministic Fisher–Yates permutation of `0..n` from a seed.
@@ -275,6 +370,49 @@ mod tests {
         let hottest = h.iter().max_by_key(|(_, &c)| c).map(|(&p, _)| p).unwrap();
         // With a permutation the hottest page is almost surely not page 0.
         assert_ne!(hottest, 0);
+    }
+
+    #[test]
+    fn alias_and_cdf_agree_on_rank_masses() {
+        // Exact check, not statistical: summing each page's acceptance
+        // mass over the alias table must recover the probability of the
+        // rank that maps to it.
+        let s = PopularitySampler::new(Popularity::Zipf { alpha: 1.2 }, 64, 12);
+        let n = s.alias_table.len();
+        let mut mass = vec![0.0f64; n];
+        for slot in &s.alias_table {
+            mass[slot.page as usize] += slot.prob / n as f64;
+            mass[slot.alias_page as usize] += (1.0 - slot.prob) / n as f64;
+        }
+        for (rank, &page) in s.permutation.iter().enumerate() {
+            let m = mass[page as usize];
+            let p = s.rank_probability(rank);
+            assert!((m - p).abs() < 1e-12, "rank {rank}: alias {m} vs cdf {p}");
+        }
+    }
+
+    #[test]
+    fn alias_table_is_well_formed() {
+        let s = PopularitySampler::new(Popularity::Exponential { lambda: 0.1 }, 1_000, 13);
+        assert_eq!(s.alias_table.len(), 1_000);
+        for (i, slot) in s.alias_table.iter().enumerate() {
+            assert!((0.0..=1.0).contains(&slot.prob), "prob[{i}]={}", slot.prob);
+            assert!((slot.page as usize) < 1_000);
+            assert!((slot.alias_page as usize) < 1_000);
+        }
+    }
+
+    #[test]
+    fn cdf_oracle_matches_old_sampling() {
+        // The oracle still covers the range and skews like the law.
+        let s = PopularitySampler::new(Popularity::Zipf { alpha: 1.2 }, 10_000, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut h = HashMap::new();
+        for _ in 0..50_000 {
+            *h.entry(s.sample_cdf(&mut rng)).or_insert(0u64) += 1;
+        }
+        assert!(*h.values().max().unwrap() > 2_000);
+        assert!(h.keys().all(|&p| p < 10_000));
     }
 
     #[test]

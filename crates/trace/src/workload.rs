@@ -10,8 +10,8 @@
 //! stream, and the paper itself argues (§6.2) that its macro traces
 //! behave like tailed (Zipf/exponential) distributions.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::rngs::{SmallRng, StdRng};
+use rand::{Rng, RngCore, SeedableRng};
 
 use crate::popularity::{Popularity, PopularitySampler};
 use crate::request::{DiskRequest, OpKind, PAGE_BYTES};
@@ -46,6 +46,12 @@ pub struct WorkloadSpec {
     /// set — logs, checkpoints — is largely disjoint from the read-hot
     /// set. `1.0` = fully shared.
     pub rw_overlap: f64,
+    /// Replay fast-path gate: draw pages through the O(1) Walker alias
+    /// table with the minimal-state `SmallRng` instead of inverse-CDF
+    /// binary search over `StdRng`. Identical distribution and
+    /// per-seed determinism either way; off reproduces the
+    /// pre-fast-path request streams.
+    pub fast_sampling: bool,
 }
 
 const MIB: u64 = 1 << 20;
@@ -63,6 +69,7 @@ impl WorkloadSpec {
             popularity,
             mean_run_pages: 1.0,
             rw_overlap: 1.0,
+            fast_sampling: true,
         }
     }
 
@@ -109,6 +116,7 @@ impl WorkloadSpec {
             popularity: Popularity::Zipf { alpha: 1.2 },
             mean_run_pages: 4.0,
             rw_overlap: 0.2,
+            fast_sampling: true,
         }
     }
 
@@ -123,6 +131,7 @@ impl WorkloadSpec {
             popularity: Popularity::Zipf { alpha: 1.2 },
             mean_run_pages: 8.0,
             rw_overlap: 0.1,
+            fast_sampling: true,
         }
     }
 
@@ -138,6 +147,7 @@ impl WorkloadSpec {
             popularity: Popularity::Zipf { alpha: 0.8 },
             mean_run_pages: 8.0,
             rw_overlap: 0.5,
+            fast_sampling: true,
         }
     }
 
@@ -151,6 +161,7 @@ impl WorkloadSpec {
             popularity: Popularity::Zipf { alpha: 0.9 },
             mean_run_pages: 8.0,
             rw_overlap: 0.5,
+            fast_sampling: true,
         }
     }
 
@@ -167,6 +178,7 @@ impl WorkloadSpec {
             popularity: Popularity::Exponential { lambda: 3e-4 },
             mean_run_pages: 2.0,
             rw_overlap: 0.5,
+            fast_sampling: true,
         }
     }
 
@@ -184,6 +196,7 @@ impl WorkloadSpec {
             popularity: Popularity::Exponential { lambda: 1e-4 },
             mean_run_pages: 2.0,
             rw_overlap: 0.5,
+            fast_sampling: true,
         }
     }
 
@@ -236,6 +249,23 @@ impl WorkloadSpec {
     }
 }
 
+/// The generator's RNG, gated by `WorkloadSpec::fast_sampling`.
+#[derive(Debug)]
+enum ReplayRng {
+    Std(StdRng),
+    Small(SmallRng),
+}
+
+impl RngCore for ReplayRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        match self {
+            ReplayRng::Std(r) => r.next_u64(),
+            ReplayRng::Small(r) => r.next_u64(),
+        }
+    }
+}
+
 /// Infinite iterator of [`DiskRequest`]s following a [`WorkloadSpec`].
 #[derive(Debug)]
 pub struct TraceGenerator {
@@ -243,7 +273,7 @@ pub struct TraceGenerator {
     sampler: PopularitySampler,
     /// Independently permuted ranking for the disjoint share of writes.
     write_sampler: Option<PopularitySampler>,
-    rng: StdRng,
+    rng: ReplayRng,
 }
 
 impl TraceGenerator {
@@ -258,11 +288,17 @@ impl TraceGenerator {
                 seed ^ 0x57A7_E0F0_57A7_E0F0,
             )
         });
+        let state = seed.wrapping_mul(0xA24B_AED4_963E_E407);
+        let rng = if spec.fast_sampling {
+            ReplayRng::Small(SmallRng::seed_from_u64(state))
+        } else {
+            ReplayRng::Std(StdRng::seed_from_u64(state))
+        };
         TraceGenerator {
             spec,
             sampler,
             write_sampler,
-            rng: StdRng::seed_from_u64(seed.wrapping_mul(0xA24B_AED4_963E_E407)),
+            rng,
         }
     }
 
@@ -272,31 +308,57 @@ impl TraceGenerator {
     }
 
     /// Generates the next request.
+    ///
+    /// The RNG variant is matched once per request (not once per draw)
+    /// so the hot fast path runs a fully monomorphized `SmallRng`.
     pub fn next_request(&mut self) -> DiskRequest {
-        let op = if self.rng.gen::<f64>() < self.spec.write_fraction {
+        let fast = self.spec.fast_sampling;
+        match &mut self.rng {
+            ReplayRng::Small(r) => {
+                Self::gen_request(&self.spec, &self.sampler, &self.write_sampler, fast, r)
+            }
+            ReplayRng::Std(r) => {
+                Self::gen_request(&self.spec, &self.sampler, &self.write_sampler, fast, r)
+            }
+        }
+    }
+
+    fn gen_request<R: RngCore>(
+        spec: &WorkloadSpec,
+        sampler: &PopularitySampler,
+        write_sampler: &Option<PopularitySampler>,
+        fast: bool,
+        rng: &mut R,
+    ) -> DiskRequest {
+        let sample = |s: &PopularitySampler, rng: &mut R| {
+            if fast {
+                s.sample(rng)
+            } else {
+                s.sample_cdf(rng)
+            }
+        };
+        let op = if rng.gen::<f64>() < spec.write_fraction {
             OpKind::Write
         } else {
             OpKind::Read
         };
-        let page = match (&self.write_sampler, op) {
-            (Some(ws), OpKind::Write) if self.rng.gen::<f64>() >= self.spec.rw_overlap => {
-                ws.sample(&mut self.rng)
-            }
-            _ => self.sampler.sample(&mut self.rng),
+        let page = match (write_sampler, op) {
+            (Some(ws), OpKind::Write) if rng.gen::<f64>() >= spec.rw_overlap => sample(ws, rng),
+            _ => sample(sampler, rng),
         };
-        let len = self.sample_run_length(page);
+        let len = Self::sample_run_length(spec, page, rng);
         DiskRequest::new(page, len, op)
     }
 
-    fn sample_run_length(&mut self, page: u64) -> u32 {
-        let mean = self.spec.mean_run_pages;
-        let max = (self.spec.footprint_pages - page).min(256) as u32;
+    fn sample_run_length<R: RngCore>(spec: &WorkloadSpec, page: u64, rng: &mut R) -> u32 {
+        let mean = spec.mean_run_pages;
+        let max = (spec.footprint_pages - page).min(256) as u32;
         if mean <= 1.0 {
             return 1;
         }
         // Geometric with mean `mean`: success probability 1/mean.
         let p = 1.0 / mean;
-        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
         let len = (u.ln() / (1.0 - p).ln()).floor() as u32 + 1;
         len.clamp(1, max.max(1))
     }

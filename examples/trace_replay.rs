@@ -55,8 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(parsed, requests, "SPC round trip must be lossless");
     println!("round trip verified: {} records identical", parsed.len());
 
-    // 4. Replay the parsed trace through the full hierarchy — batched
-    //    across the flash shards when --shards/--batch ask for it.
+    // 4. Replay the trace through the full hierarchy — streamed
+    //    straight off the SPC reader in batches (the same streaming
+    //    iterator pattern `bench_replay` uses on the generator), so an
+    //    arbitrarily long trace file never has to fit in memory.
     let mut hierarchy = Hierarchy::try_new(HierarchyConfig {
         dram_bytes: 1 << 20,
         flash_shards: shards,
@@ -66,8 +68,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "
 replaying with {shards} flash shard(s), batches of {batch}"
     );
-    for chunk in parsed.chunks(batch) {
-        hierarchy.submit_batch(chunk);
+    let mut reader = SpcReader::new(BufReader::new(&spc_bytes[..]));
+    let mut buf: Vec<DiskRequest> = Vec::with_capacity(batch);
+    loop {
+        buf.clear();
+        for rec in reader.by_ref().take(batch) {
+            buf.push(rec?.to_request());
+        }
+        if buf.is_empty() {
+            break;
+        }
+        hierarchy.submit_batch(&buf);
     }
     hierarchy.drain();
     let report = hierarchy.report();

@@ -1,0 +1,205 @@
+//! Replay fast-path guarantees, end to end:
+//!
+//! * fixed-seed determinism — two identical runs produce byte-identical
+//!   metric snapshots and identical hierarchy reports, with the fast
+//!   gates on *and* with the slow oracles forced;
+//! * the O(1) alias sampler draws from the same distribution as the
+//!   binary-search CDF oracle (two-sample chi-square);
+//! * cached wear evaluation observes the same failure counts as the
+//!   direct evaluation at every erase-count crossing.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use flashcache::nand::{
+    CellMode, FlashConfig, FlashGeometry, PageWearState, WearConfig, WearModel,
+};
+use flashcache::sim::hierarchy::{Hierarchy, HierarchyConfig};
+use flashcache::trace::{Popularity, PopularitySampler};
+use flashcache::{FlashCacheConfig, WorkloadSpec};
+
+const REQUESTS: u64 = 20_000;
+
+/// A small, worn flash tier so GC and the wear model both fire.
+fn flash_config(fast: bool) -> FlashCacheConfig {
+    FlashCacheConfig {
+        flash: FlashConfig {
+            geometry: FlashGeometry {
+                blocks: 32,
+                pages_per_block: 16,
+                ..FlashGeometry::default()
+            },
+            wear: WearConfig {
+                cache_evaluations: fast,
+                ..WearConfig::default()
+            }
+            .accelerated(2e5),
+            fast_rng: fast,
+            ..FlashConfig::default()
+        },
+        ..FlashCacheConfig::default()
+    }
+}
+
+/// Replays a seeded workload and returns (metrics JSON, report text).
+fn replay(seed: u64, fast: bool) -> (String, String) {
+    let mut hierarchy = Hierarchy::new(HierarchyConfig {
+        dram_bytes: 256 * 2048,
+        flash: Some(flash_config(fast)),
+        ..HierarchyConfig::default()
+    });
+    let workload = WorkloadSpec {
+        fast_sampling: fast,
+        ..WorkloadSpec::financial1().scaled(512)
+    };
+    let mut generator = workload.generator(seed);
+    for _ in 0..REQUESTS {
+        hierarchy.submit(generator.next_request());
+    }
+    hierarchy.drain();
+    let metrics = hierarchy.export_metrics().to_json().render();
+    let report = format!("{:?}", hierarchy.report());
+    (metrics, report)
+}
+
+#[test]
+fn fast_path_replay_is_deterministic() {
+    let (metrics_a, report_a) = replay(7, true);
+    let (metrics_b, report_b) = replay(7, true);
+    assert_eq!(
+        metrics_a, metrics_b,
+        "fast-path metrics must be byte-identical"
+    );
+    assert_eq!(report_a, report_b, "fast-path reports must be identical");
+    // Different seeds must not collapse onto the same trajectory.
+    let (metrics_c, _) = replay(8, true);
+    assert_ne!(metrics_a, metrics_c, "seed must steer the run");
+}
+
+#[test]
+fn slow_oracle_replay_is_deterministic() {
+    let (metrics_a, report_a) = replay(7, false);
+    let (metrics_b, report_b) = replay(7, false);
+    assert_eq!(
+        metrics_a, metrics_b,
+        "slow-path metrics must be byte-identical"
+    );
+    assert_eq!(report_a, report_b, "slow-path reports must be identical");
+}
+
+/// Two-sample chi-square between the alias sampler and the CDF oracle.
+/// Pages are partitioned into fixed id-range buckets; under the null
+/// hypothesis (same law) the statistic is ~chi-square(buckets-1), mean
+/// 63 for 64 buckets. The seeds are fixed, so this is deterministic —
+/// the generous bound guards the distribution, not the noise.
+fn chi_square(law: Popularity) -> f64 {
+    const FOOTPRINT: u64 = 4096;
+    const BUCKETS: usize = 64;
+    const DRAWS: usize = 200_000;
+    let sampler = PopularitySampler::new(law, FOOTPRINT, 11);
+    let mut alias_rng = StdRng::seed_from_u64(101);
+    let mut cdf_rng = StdRng::seed_from_u64(202);
+    let per_bucket = FOOTPRINT as usize / BUCKETS;
+    let mut alias_counts = [0u64; BUCKETS];
+    let mut cdf_counts = [0u64; BUCKETS];
+    for _ in 0..DRAWS {
+        alias_counts[sampler.sample(&mut alias_rng) as usize / per_bucket] += 1;
+        cdf_counts[sampler.sample_cdf(&mut cdf_rng) as usize / per_bucket] += 1;
+    }
+    let mut stat = 0.0;
+    for (&a, &b) in alias_counts.iter().zip(&cdf_counts) {
+        let total = (a + b) as f64;
+        if total > 0.0 {
+            let d = a as f64 - b as f64;
+            stat += d * d / total;
+        }
+    }
+    stat
+}
+
+#[test]
+fn alias_sampler_matches_cdf_oracle_zipf() {
+    let stat = chi_square(Popularity::Zipf { alpha: 1.2 });
+    assert!(
+        stat < 150.0,
+        "zipf alias vs cdf chi-square too large: {stat}"
+    );
+}
+
+#[test]
+fn alias_sampler_matches_cdf_oracle_exponential() {
+    let stat = chi_square(Popularity::Exponential { lambda: 0.01 });
+    assert!(
+        stat < 150.0,
+        "exp alias vs cdf chi-square too large: {stat}"
+    );
+}
+
+/// Cached and direct wear evaluation observe the same permanent-failure
+/// counts at every erase-count crossing. The two gate settings consume
+/// different RNG *streams* below onset (the direct oracle burns a
+/// uniform on each negligible-lambda draw), so each crossing drives
+/// both pages with freshly equal-seeded RNGs — what must agree is the
+/// drawn failure count, and it does, from far below onset to deep wear.
+#[test]
+fn cached_wear_matches_direct_at_erase_crossings() {
+    let fast_model = WearModel::new(WearConfig::default().accelerated(1e4));
+    let slow_model = WearModel::new(
+        WearConfig {
+            cache_evaluations: false,
+            ..WearConfig::default()
+        }
+        .accelerated(1e4),
+    );
+    for quality in [-0.3f64, 0.0, 0.3] {
+        let mut fast_page = PageWearState::with_quality(quality);
+        let mut slow_page = PageWearState::with_quality(quality);
+        for (i, erases) in [1u64, 10, 50, 100, 200, 400, 800, 1_600, 3_200, 6_400]
+            .into_iter()
+            .enumerate()
+        {
+            let seed = 500 + i as u64;
+            fast_page.advance(&fast_model, erases, &mut StdRng::seed_from_u64(seed));
+            slow_page.advance(&slow_model, erases, &mut StdRng::seed_from_u64(seed));
+            assert_eq!(
+                fast_page.permanent_failures(CellMode::Mlc),
+                slow_page.permanent_failures(CellMode::Mlc),
+                "MLC failures diverge at {erases} erases (quality {quality})"
+            );
+            assert_eq!(
+                fast_page.permanent_failures(CellMode::Slc),
+                slow_page.permanent_failures(CellMode::Slc),
+                "SLC failures diverge at {erases} erases (quality {quality})"
+            );
+        }
+        assert!(
+            fast_page.fail_mlc > 0,
+            "schedule must reach real wear (quality {quality})"
+        );
+    }
+}
+
+/// Re-reads at an unchanged erase count are free in the cached path and
+/// must not perturb the observed counts.
+#[test]
+fn cached_wear_rereads_are_stable() {
+    let model = WearModel::new(WearConfig::default().accelerated(1e4));
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut page = PageWearState::with_quality(0.0);
+    page.advance(&model, 3_000, &mut rng);
+    let (mlc, slc) = (page.fail_mlc, page.fail_slc);
+    for _ in 0..1_000 {
+        page.advance(&model, 3_000, &mut rng);
+    }
+    assert_eq!((page.fail_mlc, page.fail_slc), (mlc, slc));
+}
+
+/// The fast-path gates must default on — the bench and CI smoke assume
+/// the shipped configuration is the fast one.
+#[test]
+fn fast_path_gates_default_on() {
+    assert!(WearConfig::default().cache_evaluations);
+    assert!(FlashConfig::default().fast_rng);
+    assert!(WorkloadSpec::financial1().fast_sampling);
+    assert!(WorkloadSpec::websearch1().fast_sampling);
+}

@@ -3,8 +3,8 @@
 //! This workspace builds in hermetic environments with no crates.io
 //! access, so the external `rand` dependency is replaced by this
 //! vendored implementation of exactly the surface the workspace uses:
-//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], the [`Rng`]
-//! convenience methods (`gen`, `gen_bool`, `gen_range`), and
+//! [`rngs::StdRng`], [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`],
+//! the [`Rng`] convenience methods (`gen`, `gen_bool`, `gen_range`), and
 //! [`seq::SliceRandom::shuffle`].
 //!
 //! The generator is xoshiro256++ seeded through SplitMix64 — fast,
@@ -150,6 +150,33 @@ mod tests {
         }
         let mut c = StdRng::seed_from_u64(8);
         assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn small_rng_deterministic_and_distinct_per_seed() {
+        use crate::rngs::SmallRng;
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        assert_ne!(
+            SmallRng::seed_from_u64(1).next_u64(),
+            SmallRng::seed_from_u64(2).next_u64()
+        );
+        // Streams are not the StdRng streams.
+        assert_ne!(
+            SmallRng::seed_from_u64(7).next_u64(),
+            StdRng::seed_from_u64(7).next_u64()
+        );
+    }
+
+    #[test]
+    fn small_rng_uniform_mean() {
+        use crate::rngs::SmallRng;
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mean: f64 = (0..20_000).map(|_| rng.gen::<f64>()).sum::<f64>() / 20_000.0;
+        assert!((0.45..0.55).contains(&mean), "mean {mean} far from 0.5");
     }
 
     #[test]

@@ -20,6 +20,35 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// A minimal-state generator for replay-style hot loops: SplitMix64.
+///
+/// Eight bytes of state, one addition and two multiplications per
+/// draw, and trivially seedable — the generator xoshiro itself uses
+/// for seeding. Statistical quality is ample for simulation sampling
+/// (passes BigCrush), but its single 64-bit state means shorter
+/// period (2^64) and no jump-ahead, so `StdRng` remains the default;
+/// `SmallRng` is opted into behind the replay fast-path gates.
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(state: u64) -> Self {
+        // One warm-up scramble so that small consecutive seeds do not
+        // produce nearly identical first outputs.
+        let mut s = state;
+        splitmix64(&mut s);
+        SmallRng { state: s }
+    }
+}
+
+impl RngCore for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+}
+
 impl SeedableRng for StdRng {
     fn seed_from_u64(state: u64) -> Self {
         let mut sm = state;
