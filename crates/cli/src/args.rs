@@ -46,6 +46,7 @@ const VALUE_KEYS: &[&str] = &[
     "trace-events",
     "shards",
     "batch",
+    "workers",
 ];
 
 impl Args {

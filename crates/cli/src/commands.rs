@@ -9,6 +9,7 @@ use flashcache::nand::FlashGeometry;
 use flashcache::obs;
 use flashcache::sim::hierarchy::{Hierarchy, HierarchyConfig};
 use flashcache::trace::spc::{write_spc, SpcReader};
+use flashcache::EngineConfig;
 use flashcache::ObsSink;
 use flashcache::{
     ControllerPolicy, DiskRequest, FlashCache, FlashCacheConfig, SplitPolicy, WorkloadSpec,
@@ -42,6 +43,8 @@ SIMULATE:
   --unified           use one shared region instead of the 90/10 split
   --shards N          hash-partition the flash cache into N shards (default 1)
   --batch N           submit requests in concurrent batches of N (default 1)
+  --workers N         worker threads for the shard runtime (default: host
+                      parallelism, capped by the shard count)
 
 SWEEP:
   --sizes-mb A,B,C    flash sizes to evaluate (default 8,16,32,64)
@@ -125,15 +128,21 @@ pub fn simulate(args: &super::Args) -> Result<(), String> {
     let flash_mb: u64 = args.num("flash-mb", 64u64).map_err(|e| e.to_string())?;
     let shards: usize = args.num("shards", 1usize).map_err(|e| e.to_string())?;
     let batch: usize = args.num("batch", 1usize).map_err(|e| e.to_string())?;
+    let workers: usize = args.num("workers", 0usize).map_err(|e| e.to_string())?;
     let flash = if flash_mb > 0 {
         Some(flash_config(flash_mb, args.flag("unified"))?)
     } else {
         None
     };
+    let engine_cfg = EngineConfig {
+        workers: (workers > 0).then_some(workers),
+        ..EngineConfig::default()
+    };
     let mut hierarchy = Hierarchy::try_new(HierarchyConfig {
         dram_bytes: dram_mb << 20,
         flash,
         flash_shards: shards,
+        engine: engine_cfg,
         ..HierarchyConfig::default()
     })
     .map_err(|e| e.to_string())?;

@@ -706,9 +706,9 @@ impl FlashCache {
             let st = self.fpst.get_mut(addr);
             st.valid = true;
             st.dirty = dirty;
-            st.disk_page = Some(disk_page);
             st.error_streak = 0;
         }
+        self.fpst.set_disk_page(addr, disk_page);
         self.fpst.set_access_count(addr, access);
         let bs = self.fbst.get_mut(addr.block);
         bs.valid_pages += 1;
@@ -726,7 +726,7 @@ impl FlashCache {
         debug_assert!(st.valid);
         st.valid = false;
         st.dirty = false;
-        if let Some(dp) = st.disk_page.take() {
+        if let Some(dp) = self.fpst.take_disk_page(addr) {
             self.fcht.remove(dp);
         }
         let region = self.region_kind_of(addr);
@@ -749,7 +749,7 @@ impl FlashCache {
         let was_dirty = st.dirty;
         st.valid = false;
         st.dirty = false;
-        if let Some(dp) = st.disk_page.take() {
+        if let Some(dp) = self.fpst.take_disk_page(addr) {
             self.fcht.remove(dp);
         }
         if was_dirty && flush {
@@ -790,7 +790,10 @@ impl FlashCache {
         }
         let kind = self.region_kind_of(addr);
         let st = *self.fpst.get(addr);
-        let disk_page = st.disk_page.ok_or(CacheError::MappingMissing { addr })?;
+        let disk_page = self
+            .fpst
+            .disk_page(addr)
+            .ok_or(CacheError::MappingMissing { addr })?;
         // Invalidate *before* allocating: allocation may trigger GC, which
         // must not relocate the page we are about to migrate ourselves.
         self.invalidate_for_overwrite(addr);

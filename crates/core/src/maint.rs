@@ -416,16 +416,17 @@ impl FlashCache {
             self.drop_valid_page(src, true);
             return Ok(false);
         };
-        let disk_page = st
-            .disk_page
+        let disk_page = self
+            .fpst
+            .disk_page(src)
             .ok_or(CacheError::MappingMissing { addr: src })?;
         // Re-home: clear the old mapping (no flush — data is moving).
         {
             let s = self.fpst.get_mut(src);
             s.valid = false;
             s.dirty = false;
-            s.disk_page = None;
         }
+        self.fpst.clear_disk_page(src);
         let region = self.fbst.get(src.block).region;
         let bs = self.fbst.get_mut(src.block);
         bs.valid_pages -= 1;
@@ -584,13 +585,14 @@ impl FlashCache {
             let want_slc = access >= self.config.hot_threshold && self.policy_allows_slc();
             match self.advance_slot(dst, &mut dst_slot, want_slc) {
                 Some(d_addr) => {
-                    let disk_page = st
-                        .disk_page
+                    let disk_page = self
+                        .fpst
+                        .disk_page(s_addr)
                         .ok_or(CacheError::MappingMissing { addr: s_addr })?;
                     let sp = self.fpst.get_mut(s_addr);
                     sp.valid = false;
                     sp.dirty = false;
-                    sp.disk_page = None;
+                    self.fpst.clear_disk_page(s_addr);
                     let region = self.fbst.get(src).region;
                     let bs = self.fbst.get_mut(src);
                     bs.valid_pages -= 1;
@@ -633,12 +635,13 @@ impl FlashCache {
         self.region_mut(region).invalid_pages -= invalid as u64;
         let spb = self.device.geometry().slots_per_block();
         for slot in 0..spb {
-            let st = self.fpst.get_mut(PageAddr::new(b, slot));
+            let addr = PageAddr::new(b, slot);
+            let st = self.fpst.get_mut(addr);
             st.valid = false;
             st.dirty = false;
-            st.disk_page = None;
             st.access_count = 0;
             st.error_streak = 0;
+            self.fpst.clear_disk_page(addr);
         }
         {
             let bs = self.fbst.get_mut(b);
@@ -717,8 +720,9 @@ impl FlashCache {
                 let st = self.fpst.get(addr);
                 if st.valid {
                     bv += 1;
-                    let dp = st
-                        .disk_page
+                    let dp = self
+                        .fpst
+                        .disk_page(addr)
                         .ok_or_else(|| format!("{addr}: valid without mapping"))?;
                     if self.fcht.lookup(dp) != Some(addr) {
                         return Err(format!("{addr}: FCHT does not point back"));

@@ -13,24 +13,10 @@ pub enum RegionKind {
     Write,
 }
 
-/// Marks a vacant [`FchtEntry`]. `slot` is bounded by
-/// `slots_per_block`, so no real geometry can mint this value.
-const FCHT_VACANT: u32 = u32::MAX;
-
-/// One bucket of the [`Fcht`]: key plus the packed flash location,
-/// 16 bytes so four buckets share a cache line.
-#[derive(Debug, Clone, Copy)]
-struct FchtEntry {
-    key: u64,
-    block: u32,
-    slot: u32,
-}
-
-const FCHT_EMPTY: FchtEntry = FchtEntry {
-    key: 0,
-    block: 0,
-    slot: FCHT_VACANT,
-};
+/// Control byte marking a vacant [`Fcht`] bucket. Occupied buckets
+/// store a 7-bit hash fragment (high bit clear), so the two cases never
+/// collide.
+const CTRL_EMPTY: u8 = 0x80;
 
 /// FlashCache hash table: disk page → flash page mapping.
 ///
@@ -39,15 +25,25 @@ const FCHT_EMPTY: FchtEntry = FchtEntry {
 /// question is moot for a software reproduction, so any fully
 /// associative map gives the same semantics. This one is tuned for the
 /// replay hot path, where the table far outgrows L2 and every probe is
-/// a DRAM access: a flat power-of-two array of 16-byte key+location
-/// entries (presence encoded in the location, so a lookup touches
-/// exactly one cache line), Fibonacci hashing on the high product
-/// bits, linear probing, and backward-shift deletion instead of
-/// tombstones so churn never degrades probe lengths.
+/// a DRAM access. The layout is struct-of-arrays: a byte-per-bucket
+/// control array (vacancy + a 7-bit hash fragment — 64 buckets per
+/// cache line), a key array, and a packed-location array. A probe
+/// streams the control bytes only; the 8-byte key is touched just on a
+/// fragment match (1/128 false-positive rate) and the location only on
+/// a true hit — instead of striding 16-byte AoS entries through the
+/// LLC. Fibonacci hashing on the high product bits, linear probing,
+/// and backward-shift deletion instead of tombstones keep churn from
+/// degrading probe lengths.
 #[derive(Debug)]
 pub struct Fcht {
-    entries: Vec<FchtEntry>,
-    /// `64 - log2(entries.len())`: maps a 64-bit hash to a bucket.
+    /// Per-bucket control byte: [`CTRL_EMPTY`] or the hash fragment.
+    ctrl: Vec<u8>,
+    /// Per-bucket key (disk page number); meaningful only when the
+    /// bucket's control byte is occupied.
+    keys: Vec<u64>,
+    /// Per-bucket packed flash location: `block << 32 | slot`.
+    locs: Vec<u64>,
+    /// `64 - log2(buckets)`: maps a 64-bit hash to a bucket.
     shift: u32,
     len: usize,
 }
@@ -78,7 +74,9 @@ impl Fcht {
             .next_power_of_two()
             .max(8);
         Fcht {
-            entries: vec![FCHT_EMPTY; buckets],
+            ctrl: vec![CTRL_EMPTY; buckets],
+            keys: vec![0; buckets],
+            locs: vec![0; buckets],
             shift: 64 - buckets.trailing_zeros(),
             len: 0,
         }
@@ -94,25 +92,54 @@ impl Fcht {
         self.len == 0
     }
 
+    /// The multiplicative hash all probe addressing derives from.
+    #[inline]
+    fn hash(key: u64) -> u64 {
+        key.wrapping_mul(FCHT_SEED)
+    }
+
+    /// 7-bit control fragment: middle product bits, disjoint from the
+    /// home-bucket bits for any realistic table size (< 2^25 buckets).
+    #[inline]
+    fn frag(h: u64) -> u8 {
+        ((h >> 32) as u8) & 0x7F
+    }
+
     /// Home bucket: high bits of the multiplicative hash, which is
     /// where the multiply concentrates the mixing.
     #[inline]
     fn home(&self, key: u64) -> usize {
-        (key.wrapping_mul(FCHT_SEED) >> self.shift) as usize
+        (Self::hash(key) >> self.shift) as usize
     }
 
-    /// Looks up the flash location of a disk page.
+    /// Packs a flash location into one `locs` word.
+    #[inline]
+    fn pack(addr: PageAddr) -> u64 {
+        (addr.block.0 as u64) << 32 | addr.slot as u64
+    }
+
+    /// Unpacks a `locs` word.
+    #[inline]
+    fn unpack(loc: u64) -> PageAddr {
+        PageAddr::new(BlockId((loc >> 32) as u32), loc as u32)
+    }
+
+    /// Looks up the flash location of a disk page. The probe loop reads
+    /// only control bytes until the fragment matches; keys and
+    /// locations stay untouched on the common miss/advance steps.
     #[inline]
     pub fn lookup(&self, disk_page: u64) -> Option<PageAddr> {
-        let mask = self.entries.len() - 1;
-        let mut i = self.home(disk_page);
+        let mask = self.ctrl.len() - 1;
+        let h = Self::hash(disk_page);
+        let frag = Self::frag(h);
+        let mut i = (h >> self.shift) as usize;
         loop {
-            let e = &self.entries[i];
-            if e.slot == FCHT_VACANT {
+            let c = self.ctrl[i];
+            if c == CTRL_EMPTY {
                 return None;
             }
-            if e.key == disk_page {
-                return Some(PageAddr::new(BlockId(e.block), e.slot));
+            if c == frag && self.keys[i] == disk_page {
+                return Some(Self::unpack(self.locs[i]));
             }
             i = (i + 1) & mask;
         }
@@ -120,27 +147,25 @@ impl Fcht {
 
     /// Installs or moves a mapping, returning any previous location.
     pub fn insert(&mut self, disk_page: u64, addr: PageAddr) -> Option<PageAddr> {
-        debug_assert_ne!(addr.slot, FCHT_VACANT, "slot id is reserved");
-        if (self.len + 1) * 8 > self.entries.len() * 7 {
+        if (self.len + 1) * 8 > self.ctrl.len() * 7 {
             self.grow();
         }
-        let mask = self.entries.len() - 1;
-        let mut i = self.home(disk_page);
+        let mask = self.ctrl.len() - 1;
+        let h = Self::hash(disk_page);
+        let frag = Self::frag(h);
+        let mut i = (h >> self.shift) as usize;
         loop {
-            let e = &mut self.entries[i];
-            if e.slot == FCHT_VACANT {
-                *e = FchtEntry {
-                    key: disk_page,
-                    block: addr.block.0,
-                    slot: addr.slot,
-                };
+            let c = self.ctrl[i];
+            if c == CTRL_EMPTY {
+                self.ctrl[i] = frag;
+                self.keys[i] = disk_page;
+                self.locs[i] = Self::pack(addr);
                 self.len += 1;
                 return None;
             }
-            if e.key == disk_page {
-                let old = PageAddr::new(BlockId(e.block), e.slot);
-                e.block = addr.block.0;
-                e.slot = addr.slot;
+            if c == frag && self.keys[i] == disk_page {
+                let old = Self::unpack(self.locs[i]);
+                self.locs[i] = Self::pack(addr);
                 return Some(old);
             }
             i = (i + 1) & mask;
@@ -149,19 +174,21 @@ impl Fcht {
 
     /// Removes a mapping.
     pub fn remove(&mut self, disk_page: u64) -> Option<PageAddr> {
-        let mask = self.entries.len() - 1;
-        let mut i = self.home(disk_page);
+        let mask = self.ctrl.len() - 1;
+        let h = Self::hash(disk_page);
+        let frag = Self::frag(h);
+        let mut i = (h >> self.shift) as usize;
         loop {
-            let e = &self.entries[i];
-            if e.slot == FCHT_VACANT {
+            let c = self.ctrl[i];
+            if c == CTRL_EMPTY {
                 return None;
             }
-            if e.key == disk_page {
+            if c == frag && self.keys[i] == disk_page {
                 break;
             }
             i = (i + 1) & mask;
         }
-        let removed = PageAddr::new(BlockId(self.entries[i].block), self.entries[i].slot);
+        let removed = Self::unpack(self.locs[i]);
         // Backward-shift deletion: walk the probe chain after the hole
         // and pull back every entry whose home bucket lies at or before
         // the hole, so chains stay contiguous without tombstones.
@@ -169,34 +196,40 @@ impl Fcht {
         let mut j = i;
         loop {
             j = (j + 1) & mask;
-            if self.entries[j].slot == FCHT_VACANT {
+            if self.ctrl[j] == CTRL_EMPTY {
                 break;
             }
-            let h = self.home(self.entries[j].key);
+            let h = self.home(self.keys[j]);
             if (j.wrapping_sub(h) & mask) >= (j.wrapping_sub(hole) & mask) {
-                self.entries[hole] = self.entries[j];
+                self.ctrl[hole] = self.ctrl[j];
+                self.keys[hole] = self.keys[j];
+                self.locs[hole] = self.locs[j];
                 hole = j;
             }
         }
-        self.entries[hole] = FCHT_EMPTY;
+        self.ctrl[hole] = CTRL_EMPTY;
         self.len -= 1;
         Some(removed)
     }
 
     fn grow(&mut self) {
-        let doubled = (self.entries.len() * 2).max(8);
-        let old = std::mem::replace(&mut self.entries, vec![FCHT_EMPTY; doubled]);
-        self.shift = 64 - self.entries.len().trailing_zeros();
-        let mask = self.entries.len() - 1;
-        for e in old {
-            if e.slot == FCHT_VACANT {
+        let doubled = (self.ctrl.len() * 2).max(8);
+        let old_ctrl = std::mem::replace(&mut self.ctrl, vec![CTRL_EMPTY; doubled]);
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; doubled]);
+        let old_locs = std::mem::replace(&mut self.locs, vec![0; doubled]);
+        self.shift = 64 - self.ctrl.len().trailing_zeros();
+        let mask = self.ctrl.len() - 1;
+        for (b, c) in old_ctrl.into_iter().enumerate() {
+            if c == CTRL_EMPTY {
                 continue;
             }
-            let mut i = self.home(e.key);
-            while self.entries[i].slot != FCHT_VACANT {
+            let mut i = self.home(old_keys[b]);
+            while self.ctrl[i] != CTRL_EMPTY {
                 i = (i + 1) & mask;
             }
-            self.entries[i] = e;
+            self.ctrl[i] = c;
+            self.keys[i] = old_keys[b];
+            self.locs[i] = old_locs[b];
         }
     }
 }
@@ -224,9 +257,6 @@ pub struct PageState {
     /// consistently" (§5.2.1) so a transient soft error cannot trigger a
     /// permanent descriptor change.
     pub error_streak: u8,
-    /// Disk page currently stored here (reverse mapping), if valid or
-    /// awaiting GC.
-    pub disk_page: Option<u64>,
 }
 
 impl PageState {
@@ -239,7 +269,6 @@ impl PageState {
             access_count: 0,
             access_epoch: 0,
             error_streak: 0,
-            disk_page: None,
         }
     }
 
@@ -250,11 +279,23 @@ impl PageState {
     }
 }
 
+/// Sentinel in [`Fpst::disk_pages`] for "no disk page stored here".
+const NO_DISK_PAGE: u64 = u64::MAX;
+
 /// Flash page status table: dense per-slot state.
+///
+/// The reverse mapping (flash slot → disk page) lives in a separate
+/// side-array rather than inside [`PageState`]: the hot paths (hit
+/// servicing, access-count decay, descriptor checks) only touch the
+/// small status fields, while the reverse map is consulted on GC and
+/// invalidation. Splitting it keeps the per-slot status stride small so
+/// table walks stream fewer cache lines.
 #[derive(Debug)]
 pub struct Fpst {
     geometry: FlashGeometry,
     pages: Vec<PageState>,
+    /// Per-slot reverse mapping; [`NO_DISK_PAGE`] when empty.
+    disk_pages: Vec<u64>,
     /// Current decay epoch: each page owes `decay_epoch - access_epoch`
     /// halvings of its access counter, applied lazily on the next
     /// touch. Advancing the epoch is O(1), replacing the old
@@ -266,12 +307,11 @@ impl Fpst {
     /// Builds the table for a device geometry with uniform initial
     /// configuration.
     pub fn new(geometry: FlashGeometry, initial_ecc: u8, initial_mode: CellMode) -> Self {
+        let slots = geometry.total_slots() as usize;
         Fpst {
             geometry,
-            pages: vec![
-                PageState::fresh(initial_ecc, initial_mode);
-                geometry.total_slots() as usize
-            ],
+            pages: vec![PageState::fresh(initial_ecc, initial_mode); slots],
+            disk_pages: vec![NO_DISK_PAGE; slots],
             decay_epoch: 0,
         }
     }
@@ -293,6 +333,40 @@ impl Fpst {
     pub fn get_mut(&mut self, addr: PageAddr) -> &mut PageState {
         let i = self.idx(addr);
         &mut self.pages[i]
+    }
+
+    /// Disk page stored at `addr` (reverse mapping), if any.
+    pub fn disk_page(&self, addr: PageAddr) -> Option<u64> {
+        let dp = self.disk_pages[self.idx(addr)];
+        if dp == NO_DISK_PAGE {
+            None
+        } else {
+            Some(dp)
+        }
+    }
+
+    /// Records `disk_page` as the content of slot `addr`.
+    pub fn set_disk_page(&mut self, addr: PageAddr, disk_page: u64) {
+        debug_assert_ne!(disk_page, NO_DISK_PAGE, "disk page id is reserved");
+        let i = self.idx(addr);
+        self.disk_pages[i] = disk_page;
+    }
+
+    /// Clears the reverse mapping of slot `addr`.
+    pub fn clear_disk_page(&mut self, addr: PageAddr) {
+        let i = self.idx(addr);
+        self.disk_pages[i] = NO_DISK_PAGE;
+    }
+
+    /// Clears and returns the reverse mapping of slot `addr`.
+    pub fn take_disk_page(&mut self, addr: PageAddr) -> Option<u64> {
+        let i = self.idx(addr);
+        let dp = std::mem::replace(&mut self.disk_pages[i], NO_DISK_PAGE);
+        if dp == NO_DISK_PAGE {
+            None
+        } else {
+            Some(dp)
+        }
     }
 
     /// Iterates (slot, state) pairs of one block.

@@ -5,23 +5,31 @@
 //! into [`ShardedCache::submit`] batches, with no intermediate
 //! full-trace materialization, and reports wall-clock **pages per
 //! second** of the whole pipeline (trace generation + cache servicing)
-//! at 1 and 8 shards.
+//! across a shard matrix (1, 2, 4 and 8 shards by default), one output
+//! point per shard count.
 //!
 //! Unlike `bench_shard`, which reports *modeled* flash-channel time,
 //! this benchmark measures how fast the simulator itself runs — the
 //! quantity that bounds every whole-lifetime replay (Figure 12) and
 //! figure sweep. The committed `BENCH_replay.json` pins the pre-PR
 //! baseline (measured before the replay fast path landed) and the
-//! fast/slow-path numbers of the machine that produced it.
+//! fast/slow-path numbers of the machine that produced it; each point
+//! records the worker count it ran with and the document records
+//! `host_cpus`, so scale-out numbers are read against the parallelism
+//! that was actually available.
 //!
-//! Usage: `bench_replay [--requests N] [--shards 1,8] [--batch N]
+//! Usage: `bench_replay [--requests N] [--shards 1,2,4,8] [--batch N]
 //! [--seed N] [--repeat N] [--slow] [--smoke] [--floor PAGES_PER_SEC]
-//! [--out PATH]`
+//! [--scaling-floor RATIO] [--out PATH]`
 //!
 //! `--slow` disables every fast-path gate (CDF sampling, StdRng, direct
 //! wear evaluation) so the two paths can be compared on one machine.
 //! `--floor` makes the run assert a single-shard pages/sec floor — the
 //! CI smoke step uses it to catch fast-path regressions.
+//! `--scaling-floor` asserts max-shard pages/sec >= RATIO x the
+//! single-shard number, catching scale-out regressions (use a ratio
+//! matched to the host's core count: ~1.0 just asserts sharding is not
+//! a slowdown, which is the honest ceiling on a single-CPU runner).
 
 use std::time::Instant;
 
@@ -41,12 +49,13 @@ struct Args {
     slow: bool,
     smoke: bool,
     floor: Option<f64>,
+    scaling_floor: Option<f64>,
     out: String,
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
-        shards: vec![1, 8],
+        shards: vec![1, 2, 4, 8],
         requests: 200_000,
         batch: 512,
         seed: 0x5EED,
@@ -54,6 +63,7 @@ fn parse_args() -> Args {
         slow: false,
         smoke: false,
         floor: None,
+        scaling_floor: None,
         out: "BENCH_replay.json".to_string(),
     };
     let mut requests_set = false;
@@ -80,6 +90,9 @@ fn parse_args() -> Args {
             "--slow" => args.slow = true,
             "--smoke" => args.smoke = true,
             "--floor" => args.floor = Some(val("--floor").parse().expect("pages/sec floor")),
+            "--scaling-floor" => {
+                args.scaling_floor = Some(val("--scaling-floor").parse().expect("scaling ratio"));
+            }
             "--out" => args.out = val("--out"),
             other => panic!("unknown flag {other}"),
         }
@@ -147,15 +160,18 @@ fn main() {
 
     let mut points: Vec<JsonValue> = Vec::new();
     let mut single_shard_pps = None;
+    let mut max_shard_point: Option<(usize, f64)> = None;
     for &n in &args.shards {
         // Best-of-N to shed scheduler noise; stats come from the last run.
         let mut best_s = f64::INFINITY;
         let mut pages = 0u64;
         let mut stats = None;
+        let mut workers = 1;
         for _ in 0..args.repeat.max(1) {
             let mut engine =
                 ShardedCache::new(cache_config(args.slow), n).expect("shard count divides blocks");
             engine.set_threads(pool::default_threads().min(n));
+            workers = engine.workers();
             let mut generator = spec.generator(args.seed);
             let mut buf: Vec<DiskRequest> = Vec::with_capacity(args.batch);
             let wall = Instant::now();
@@ -181,8 +197,11 @@ fn main() {
         if n == 1 {
             single_shard_pps = Some(pps);
         }
+        if max_shard_point.is_none_or(|(m, _)| n > m) {
+            max_shard_point = Some((n, pps));
+        }
         println!(
-            "  shards={n}: {:.1} ms wall, {:.0} pages/s ({:.0} req/s), read hit {:.1}%",
+            "  shards={n} workers={workers}: {:.1} ms wall, {:.0} pages/s ({:.0} req/s), read hit {:.1}%",
             best_s * 1e3,
             pps,
             args.requests as f64 / best_s,
@@ -190,6 +209,7 @@ fn main() {
         );
         points.push(JsonValue::Object(vec![
             ("shards".into(), JsonValue::UInt(n as u64)),
+            ("workers".into(), JsonValue::UInt(workers as u64)),
             (
                 "wall_ms".into(),
                 JsonValue::Number((best_s * 1e4).round() / 10.0),
@@ -227,6 +247,10 @@ fn main() {
         ("requests".into(), JsonValue::UInt(args.requests as u64)),
         ("batch".into(), JsonValue::UInt(args.batch as u64)),
         ("seed".into(), JsonValue::UInt(args.seed)),
+        (
+            "host_cpus".into(),
+            JsonValue::UInt(pool::default_threads() as u64),
+        ),
         (
             "path".into(),
             JsonValue::String(if args.slow { "slow" } else { "fast" }.into()),
@@ -272,5 +296,15 @@ fn main() {
             "single-shard replay fell to {pps:.0} pages/s (floor {floor:.0})"
         );
         println!("OK: single-shard {pps:.0} pages/s >= floor {floor:.0}");
+    }
+    if let (Some(ratio), Some(single), Some((n, max_pps))) =
+        (args.scaling_floor, single_shard_pps, max_shard_point)
+    {
+        assert!(
+            max_pps >= ratio * single,
+            "{n}-shard replay at {max_pps:.0} pages/s fell below {ratio}x the \
+             single-shard {single:.0} pages/s"
+        );
+        println!("OK: {n}-shard {max_pps:.0} pages/s >= {ratio}x single-shard {single:.0} pages/s");
     }
 }

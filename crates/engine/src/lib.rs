@@ -12,8 +12,10 @@
 //!   independent `FlashCache` shards (device geometry split N ways, so
 //!   total capacity is conserved);
 //! * a batched submission API ([`ShardedCache::submit`]) groups each
-//!   batch by owning shard and executes the shards on a scoped thread
-//!   pool ([`pool::par_map`]);
+//!   batch by owning shard and executes the shards on a persistent
+//!   runtime of pinned worker threads fed by SPSC rings (with the
+//!   per-batch scoped pool, [`pool::par_map`], kept as a config-gated
+//!   differential oracle — see [`EngineConfig`]);
 //! * results stay **paper-faithful and deterministic**: merged
 //!   [`CacheStats`](flashcache_core::CacheStats) /
 //!   [`Fgst`](flashcache_core::tables::Fgst) across shards, and
@@ -33,6 +35,8 @@
 #![warn(missing_debug_implementations)]
 
 pub mod pool;
+pub mod ring;
+mod runtime;
 pub mod sharded;
 
-pub use sharded::{EngineError, ShardedCache};
+pub use sharded::{EngineConfig, EngineError, ShardedCache};

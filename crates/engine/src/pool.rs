@@ -8,8 +8,13 @@
 //! `flashcache_bench::parallel`) for its embarrassingly parallel figure
 //! sweeps, where every point is an independent simulation with its own
 //! seed.
+//!
+//! Distribution is lock-free: workers claim indices from one atomic
+//! counter and write results into pre-split per-index slots, so figure
+//! sweeps never serialize on a queue or results mutex.
 
-use std::sync::Mutex;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Default worker count: the machine's available parallelism, 1 if it
 /// cannot be determined.
@@ -19,14 +24,24 @@ pub fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Per-index slots shared across workers without a lock. Safe because
+/// the claim counter hands each index to exactly one worker, and the
+/// scope join orders every slot write before the final collection.
+struct Slots<V>(Vec<UnsafeCell<Option<V>>>);
+
+// SAFETY: disjoint-index access only (see above).
+unsafe impl<V: Send> Sync for Slots<V> {}
+
 /// Maps `f` over `items` on up to `threads` worker threads, returning
 /// results in input order.
 ///
-/// Work is distributed dynamically (each worker pulls the next pending
-/// item), so uneven per-item cost — e.g. short-lived vs long-lived
-/// workloads in a lifetime sweep, or imbalanced shard groups in a cache
-/// batch — balances automatically. With `threads <= 1` or a single
-/// item, runs inline with no thread overhead.
+/// Work is distributed dynamically (each worker claims the next pending
+/// index from an atomic counter), so uneven per-item cost — e.g.
+/// short-lived vs long-lived workloads in a lifetime sweep, or
+/// imbalanced shard groups in a cache batch — balances automatically,
+/// and neither the claim nor the result write takes a lock. With
+/// `threads <= 1` or a single item, runs inline with no thread
+/// overhead.
 ///
 /// # Panics
 ///
@@ -42,29 +57,37 @@ where
     if threads <= 1 {
         return items.into_iter().map(f).collect();
     }
-    // Index-tagged LIFO work queue (reversed so items pop in order) and
-    // order-preserving result slots.
-    let queue: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().rev().collect());
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    let items: Slots<T> = Slots(
+        items
+            .into_iter()
+            .map(|t| UnsafeCell::new(Some(t)))
+            .collect(),
+    );
+    let results: Slots<R> = Slots((0..n).map(|_| UnsafeCell::new(None)).collect());
+    let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
+        // Shared by reference to the whole `Slots` wrappers (not their
+        // inner vectors), which is what carries the `Sync` promise.
+        let (items, results, next, f) = (&items, &results, &next, &f);
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let next = queue.lock().expect("queue poisoned").pop();
-                match next {
-                    Some((i, item)) => {
-                        let r = f(item);
-                        results.lock().expect("results poisoned")[i] = Some(r);
-                    }
-                    None => break,
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
                 }
+                // SAFETY: the fetch_add above hands index `i` to this
+                // worker exclusively, so no other thread touches either
+                // slot `i`.
+                let item = unsafe { (*items.0[i].get()).take() }.expect("item claimed once");
+                let r = f(item);
+                unsafe { *results.0[i].get() = Some(r) };
             });
         }
     });
     results
-        .into_inner()
-        .expect("results poisoned")
+        .0
         .into_iter()
-        .map(|r| r.expect("every item was processed"))
+        .map(|c| c.into_inner().expect("every item was processed"))
         .collect()
 }
 

@@ -1,0 +1,260 @@
+//! Bounded single-producer/single-consumer ring buffers.
+//!
+//! The persistent shard runtime ([`crate::runtime`]) moves requests and
+//! completions between the submitter and each worker over these rings:
+//! fixed power-of-two capacity, monotonic head/tail counters masked on
+//! access, and `Acquire`/`Release` pairs as the only synchronization —
+//! no locks, no allocation after construction. The two counters live on
+//! separate cache lines so the producer and consumer never false-share,
+//! and each side caches its last view of the peer counter so the common
+//! push/pop touches one shared line instead of two.
+//!
+//! The single-producer/single-consumer contract is enforced by the
+//! types: [`pair`] returns one non-cloneable [`Producer`] and one
+//! non-cloneable [`Consumer`], each usable from one thread at a time
+//! (`&mut self` operations, `Send` but not `Sync`).
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Pads a counter to its own cache line so head and tail never share.
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+struct Inner<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// `capacity - 1`; capacity is a power of two.
+    mask: usize,
+    /// Next slot the consumer will read (monotonic, not masked).
+    head: CachePadded<AtomicUsize>,
+    /// Next slot the producer will write (monotonic, not masked).
+    tail: CachePadded<AtomicUsize>,
+}
+
+// SAFETY: the buffer cells are only touched by the producer (slots in
+// [head, tail)) or the consumer (slot at head), never both at once: a
+// slot becomes visible to the consumer only through the Release store
+// of `tail`, and is handed back to the producer only through the
+// Release store of `head`.
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // Exclusive access: drop any items still in flight.
+        let head = *self.head.0.get_mut();
+        let tail = *self.tail.0.get_mut();
+        for i in head..tail {
+            unsafe { (*self.buf[i & self.mask].get()).assume_init_drop() };
+        }
+    }
+}
+
+/// The sending half of a bounded SPSC ring.
+pub struct Producer<T> {
+    inner: Arc<Inner<T>>,
+    /// Last observed consumer position; refreshed only when the ring
+    /// looks full, so steady-state pushes never load the shared head.
+    cached_head: usize,
+}
+
+/// The receiving half of a bounded SPSC ring.
+pub struct Consumer<T> {
+    inner: Arc<Inner<T>>,
+    /// Last observed producer position; refreshed only when the ring
+    /// looks empty.
+    cached_tail: usize,
+}
+
+impl<T> fmt::Debug for Producer<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Producer")
+            .field("capacity", &(self.inner.mask + 1))
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T> fmt::Debug for Consumer<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Consumer")
+            .field("capacity", &(self.inner.mask + 1))
+            .finish_non_exhaustive()
+    }
+}
+
+/// Creates a connected producer/consumer pair with room for at least
+/// `capacity` items (rounded up to a power of two, minimum 2).
+pub fn pair<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    let cap = capacity.next_power_of_two().max(2);
+    let buf = (0..cap)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect();
+    let inner = Arc::new(Inner {
+        buf,
+        mask: cap - 1,
+        head: CachePadded(AtomicUsize::new(0)),
+        tail: CachePadded(AtomicUsize::new(0)),
+    });
+    (
+        Producer {
+            inner: Arc::clone(&inner),
+            cached_head: 0,
+        },
+        Consumer {
+            inner,
+            cached_tail: 0,
+        },
+    )
+}
+
+impl<T> Producer<T> {
+    /// Pushes `item`, or hands it back if the ring is full.
+    #[inline]
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        let inner = &*self.inner;
+        let tail = inner.tail.0.load(Ordering::Relaxed);
+        if tail.wrapping_sub(self.cached_head) > inner.mask {
+            self.cached_head = inner.head.0.load(Ordering::Acquire);
+            if tail.wrapping_sub(self.cached_head) > inner.mask {
+                return Err(item);
+            }
+        }
+        // SAFETY: the slot at `tail` is outside [head, tail) so the
+        // consumer does not touch it; we are the only producer.
+        unsafe { (*inner.buf[tail & inner.mask].get()).write(item) };
+        inner.tail.0.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Ring capacity (always a power of two).
+    pub fn capacity(&self) -> usize {
+        self.inner.mask + 1
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Pops the oldest item, or `None` if the ring is empty.
+    #[inline]
+    pub fn pop(&mut self) -> Option<T> {
+        let inner = &*self.inner;
+        let head = inner.head.0.load(Ordering::Relaxed);
+        if head == self.cached_tail {
+            self.cached_tail = inner.tail.0.load(Ordering::Acquire);
+            if head == self.cached_tail {
+                return None;
+            }
+        }
+        // SAFETY: head < tail, so the slot holds an initialized item the
+        // producer published with a Release store; we are the only
+        // consumer.
+        let item = unsafe { (*inner.buf[head & inner.mask].get()).assume_init_read() };
+        inner.head.0.store(head.wrapping_add(1), Ordering::Release);
+        Some(item)
+    }
+
+    /// `true` if no item is currently available. A `false` answer is
+    /// authoritative (the item stays until this consumer pops it); a
+    /// `true` answer can race with a concurrent push.
+    pub fn is_empty(&mut self) -> bool {
+        let inner = &*self.inner;
+        let head = inner.head.0.load(Ordering::Relaxed);
+        if head != self.cached_tail {
+            return false;
+        }
+        self.cached_tail = inner.tail.0.load(Ordering::Acquire);
+        head == self.cached_tail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_in_order() {
+        let (mut tx, mut rx) = pair::<u32>(4);
+        assert!(rx.is_empty());
+        for i in 0..4 {
+            tx.push(i).unwrap();
+        }
+        assert_eq!(tx.push(99), Err(99), "ring is full");
+        for i in 0..4 {
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn capacity_rounds_up() {
+        let (tx, _rx) = pair::<u8>(5);
+        assert_eq!(tx.capacity(), 8);
+        let (tx, _rx) = pair::<u8>(0);
+        assert_eq!(tx.capacity(), 2);
+    }
+
+    #[test]
+    fn wraps_many_times() {
+        let (mut tx, mut rx) = pair::<usize>(8);
+        for i in 0..10_000 {
+            while tx.push(i).is_err() {}
+            assert_eq!(rx.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn drops_items_left_in_ring() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let (mut tx, mut rx) = pair::<Counted>(4);
+        for _ in 0..3 {
+            tx.push(Counted).unwrap();
+        }
+        drop(rx.pop());
+        let before = DROPS.load(Ordering::Relaxed);
+        assert_eq!(before, 1);
+        drop(tx);
+        drop(rx);
+        assert_eq!(DROPS.load(Ordering::Relaxed), 3, "in-flight items drop");
+    }
+
+    #[test]
+    fn cross_thread_stream() {
+        let (mut tx, mut rx) = pair::<u64>(16);
+        let n = 100_000u64;
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..n {
+                    let mut v = i;
+                    loop {
+                        match tx.push(v) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                v = back;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            });
+            let mut expect = 0u64;
+            while expect < n {
+                if let Some(v) = rx.pop() {
+                    assert_eq!(v, expect);
+                    expect += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        });
+    }
+}

@@ -1,0 +1,383 @@
+//! Persistent shard worker runtime.
+//!
+//! [`Runtime`] owns N long-lived worker threads, each servicing a fixed
+//! subset of the engine's [`FlashCache`] shards for the runtime's whole
+//! lifetime — the multi-channel overlap model: channels make progress
+//! continuously instead of in per-batch lockstep. Per shard there is
+//! one bounded SPSC request ring (submitter → worker) and one bounded
+//! SPSC completion ring (worker → submitter); the hot path spawns no
+//! threads, takes no locks and allocates nothing.
+//!
+//! # Quiescence contract
+//!
+//! Workers touch a shard only between popping a request for it and
+//! pushing the matching completion. [`ShardedCache::submit`]
+//! (`crate::sharded`) never returns before every pushed request's
+//! completion has been popped, and the completion-ring `Release`/
+//! `Acquire` pair orders the worker's shard writes before the
+//! submitter's subsequent reads. Outside of `submit`, therefore, no
+//! worker holds a reference into the slab, which is what makes
+//! [`ShardSlab::shards`]/[`ShardSlab::shards_mut`] sound and lets the
+//! engine keep its plain `&[FlashCache]` accessors.
+//!
+//! # Panic hygiene
+//!
+//! Each operation runs under `catch_unwind`: a panicking shard is
+//! poisoned (subsequent operations degrade without touching it), the
+//! panic is counted in [`Runtime::internal_errors`], and a degraded
+//! disk-bound completion keeps the request/completion counts matched —
+//! the submitter never deadlocks on a lost completion.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use disk_trace::OpKind;
+use flash_obs::ServiceTier;
+use flashcache_core::{AccessOutcome, FlashCache};
+
+use crate::ring::{self, Consumer, Producer};
+
+/// One queued operation: (request index, disk page, op).
+pub(crate) type Req = (u32, u64, OpKind);
+
+/// One completed operation: (request index, outcome).
+pub(crate) type Done = (u32, AccessOutcome);
+
+/// Per-shard ring capacity. The submitter drains completions whenever a
+/// request ring fills, so capacity only bounds in-flight burst size,
+/// not batch size.
+const RING_CAPACITY: usize = 1024;
+
+/// Empty sweeps a worker spins through before parking.
+const SPIN_SWEEPS: u32 = 256;
+
+/// Park timeout bounding the cost of a lost wakeup.
+const PARK_TIMEOUT: Duration = Duration::from_micros(200);
+
+/// The engine's shards, shared between the submitter and the workers.
+///
+/// The vector's length never changes after construction (callers get
+/// `&mut [FlashCache]`, never the `Vec`), so raw element pointers
+/// handed to workers stay valid for the slab's lifetime.
+pub(crate) struct ShardSlab(std::cell::UnsafeCell<Vec<FlashCache>>);
+
+// SAFETY: access is serialized by the quiescence contract above — the
+// submitter only dereferences outside `submit`'s push/drain window, and
+// each worker only within it, for its own disjoint shards.
+unsafe impl Sync for ShardSlab {}
+
+impl fmt::Debug for ShardSlab {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardSlab").finish_non_exhaustive()
+    }
+}
+
+impl ShardSlab {
+    pub(crate) fn new(shards: Vec<FlashCache>) -> Arc<Self> {
+        Arc::new(ShardSlab(std::cell::UnsafeCell::new(shards)))
+    }
+
+    /// # Safety
+    ///
+    /// Caller must hold the quiescence contract: no worker is inside an
+    /// operation (true whenever `submit` is not between its first push
+    /// and final drain).
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn shards_mut(&self) -> &mut [FlashCache] {
+        unsafe { (*self.0.get()).as_mut_slice() }
+    }
+
+    /// # Safety
+    ///
+    /// Same contract as [`ShardSlab::shards_mut`].
+    pub(crate) unsafe fn shards(&self) -> &[FlashCache] {
+        unsafe { (*self.0.get()).as_slice() }
+    }
+}
+
+/// One shard as seen from its worker thread.
+struct WorkerShard {
+    /// Raw pointer into the slab; valid for the worker's lifetime
+    /// because the runtime holds the slab `Arc` and the vector never
+    /// reallocates.
+    cache: *mut FlashCache,
+    req: Consumer<Req>,
+    done: Producer<Done>,
+    /// Set when an operation on this shard panicked; later operations
+    /// degrade without touching the (possibly inconsistent) shard.
+    poisoned: bool,
+}
+
+/// Moves the raw shard pointers into the worker thread.
+struct WorkerCtx {
+    shards: Vec<WorkerShard>,
+    shutdown: Arc<AtomicBool>,
+    sleeping: Arc<AtomicBool>,
+    errors: Arc<AtomicU64>,
+    panic_page: Option<u64>,
+}
+
+// SAFETY: the pointers target slab elements owned (at runtime, by ring
+// handoff) exclusively by this worker; the slab outlives the thread via
+// the runtime's `Arc`.
+unsafe impl Send for WorkerCtx {}
+
+/// Persistent worker threads plus the submitter-side ring endpoints.
+pub(crate) struct Runtime {
+    /// Per-shard request producers, in shard order.
+    req: Vec<Producer<Req>>,
+    /// Per-shard completion consumers, in shard order.
+    done: Vec<Consumer<Done>>,
+    /// Shard index → worker index.
+    shard_worker: Vec<usize>,
+    /// Per-worker "parked or about to park" flags.
+    sleeping: Vec<Arc<AtomicBool>>,
+    handles: Vec<JoinHandle<()>>,
+    shutdown: Arc<AtomicBool>,
+    errors: Arc<AtomicU64>,
+    workers: usize,
+    /// Keeps the shard storage alive as long as any worker holds
+    /// pointers into it.
+    _slab: Arc<ShardSlab>,
+}
+
+impl fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Runtime")
+            .field("workers", &self.workers)
+            .field("shards", &self.shard_worker.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Runtime {
+    /// Spawns `workers` threads over the slab's shards (shard `s` is
+    /// owned by worker `s % workers`).
+    pub(crate) fn spawn(slab: &Arc<ShardSlab>, workers: usize, panic_page: Option<u64>) -> Runtime {
+        // SAFETY: construction happens before any worker exists.
+        let n = unsafe { slab.shards() }.len();
+        let workers = workers.max(1).min(n.max(1));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let errors = Arc::new(AtomicU64::new(0));
+        let mut req = Vec::with_capacity(n);
+        let mut done = Vec::with_capacity(n);
+        let mut shard_worker = Vec::with_capacity(n);
+        let mut ctxs: Vec<WorkerCtx> = (0..workers)
+            .map(|_| WorkerCtx {
+                shards: Vec::new(),
+                shutdown: Arc::clone(&shutdown),
+                sleeping: Arc::new(AtomicBool::new(false)),
+                errors: Arc::clone(&errors),
+                panic_page,
+            })
+            .collect();
+        // SAFETY: the vec is fully built and will not reallocate again.
+        let base = unsafe { slab.shards_mut() }.as_mut_ptr();
+        for s in 0..n {
+            let (req_tx, req_rx) = ring::pair::<Req>(RING_CAPACITY);
+            let (done_tx, done_rx) = ring::pair::<Done>(RING_CAPACITY);
+            req.push(req_tx);
+            done.push(done_rx);
+            let w = s % workers;
+            shard_worker.push(w);
+            ctxs[w].shards.push(WorkerShard {
+                // SAFETY: s < n, in bounds.
+                cache: unsafe { base.add(s) },
+                req: req_rx,
+                done: done_tx,
+                poisoned: false,
+            });
+        }
+        let sleeping = ctxs.iter().map(|c| Arc::clone(&c.sleeping)).collect();
+        let handles = ctxs
+            .into_iter()
+            .enumerate()
+            .map(|(w, ctx)| {
+                std::thread::Builder::new()
+                    .name(format!("flashcache-shard-worker-{w}"))
+                    .spawn(move || worker_loop(ctx))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        Runtime {
+            req,
+            done,
+            shard_worker,
+            sleeping,
+            handles,
+            shutdown,
+            errors,
+            workers,
+            _slab: Arc::clone(slab),
+        }
+    }
+
+    /// Worker threads backing this runtime.
+    pub(crate) fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Operations degraded by worker panics so far.
+    pub(crate) fn internal_errors(&self) -> u64 {
+        self.errors.load(Ordering::Acquire)
+    }
+
+    /// Tries to enqueue one operation for shard `s`, handing it back if
+    /// the shard's request ring is full (caller drains completions and
+    /// retries — that is what guarantees progress).
+    #[inline]
+    pub(crate) fn push(&mut self, s: usize, item: Req) -> Result<(), Req> {
+        self.req[s].push(item)
+    }
+
+    /// Unparks the worker owning shard `s` if it is (about to go)
+    /// sleeping. Cheap when the worker is busy: one relaxed load.
+    #[inline]
+    pub(crate) fn wake(&self, s: usize) {
+        let w = self.shard_worker[s];
+        if self.sleeping[w].load(Ordering::Relaxed)
+            && self.sleeping[w].swap(false, Ordering::AcqRel)
+        {
+            self.handles[w].thread().unpark();
+        }
+    }
+
+    /// Pops every currently available completion into `bufs` (one
+    /// buffer per shard, in arrival = per-shard submission order) and
+    /// returns how many were moved.
+    pub(crate) fn drain(&mut self, bufs: &mut [Vec<Done>]) -> usize {
+        let mut moved = 0;
+        for (s, ring) in self.done.iter_mut().enumerate() {
+            while let Some(d) = ring.pop() {
+                bufs[s].push(d);
+                moved += 1;
+            }
+        }
+        moved
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        for (w, h) in self.handles.iter().enumerate() {
+            self.sleeping[w].store(false, Ordering::Release);
+            h.thread().unpark();
+        }
+        for h in self.handles.drain(..) {
+            // A worker that somehow died panicking already did its
+            // damage; joining must not double-panic the engine.
+            let _ = h.join();
+        }
+    }
+}
+
+/// Outcome reported for an operation whose shard panicked: the access
+/// bypasses the cache and the caller goes to disk, mirroring the
+/// degraded outcome `FlashCache::read`/`write` produce for internal
+/// [`CacheError`]s.
+fn degraded(op: OpKind) -> AccessOutcome {
+    AccessOutcome {
+        hit: false,
+        tier: ServiceTier::Disk,
+        needs_disk_read: matches!(op, OpKind::Read),
+        bypassed: true,
+        ..AccessOutcome::default()
+    }
+}
+
+fn worker_loop(mut ctx: WorkerCtx) {
+    let mut idle_sweeps = 0u32;
+    loop {
+        let mut serviced = 0usize;
+        for sh in ctx.shards.iter_mut() {
+            while let Some((ri, page, op)) = sh.req.pop() {
+                serviced += 1;
+                let out = service(sh, page, op, ctx.panic_page, &ctx.errors);
+                let mut item = (ri, out);
+                // The submitter drains completions whenever it stalls,
+                // so a full ring always makes progress; yielding lets
+                // it run when cores are scarce.
+                loop {
+                    match sh.done.push(item) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            item = back;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+        }
+        if serviced > 0 {
+            idle_sweeps = 0;
+            continue;
+        }
+        if ctx.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        idle_sweeps += 1;
+        if idle_sweeps < SPIN_SWEEPS {
+            // Brief pure spin for low latency, then yield so a starved
+            // submitter can run on core-scarce hosts.
+            if idle_sweeps < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+            continue;
+        }
+        // Park protocol: announce first, then re-check for work pushed
+        // concurrently; the timeout bounds any remaining lost-wakeup
+        // window.
+        ctx.sleeping.store(true, Ordering::SeqCst);
+        let work_waiting = ctx.shards.iter_mut().any(|sh| !sh.req.is_empty())
+            || ctx.shutdown.load(Ordering::Acquire);
+        if work_waiting {
+            ctx.sleeping.store(false, Ordering::SeqCst);
+        } else {
+            std::thread::park_timeout(PARK_TIMEOUT);
+            ctx.sleeping.store(false, Ordering::SeqCst);
+        }
+        idle_sweeps = 0;
+    }
+}
+
+/// Runs one operation on the worker's shard, converting a panic into a
+/// degraded completion and poisoning the shard.
+fn service(
+    sh: &mut WorkerShard,
+    page: u64,
+    op: OpKind,
+    panic_page: Option<u64>,
+    errors: &AtomicU64,
+) -> AccessOutcome {
+    if sh.poisoned {
+        errors.fetch_add(1, Ordering::AcqRel);
+        return degraded(op);
+    }
+    // SAFETY: ring handoff gives this worker exclusive access to the
+    // shard for the duration of the operation (quiescence contract).
+    let cache = unsafe { &mut *sh.cache };
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        if panic_page == Some(page) {
+            panic!("injected worker panic (test hook)");
+        }
+        match op {
+            OpKind::Read => cache.read(page),
+            OpKind::Write => cache.write(page),
+        }
+    }));
+    match result {
+        Ok(out) => out,
+        Err(_) => {
+            sh.poisoned = true;
+            errors.fetch_add(1, Ordering::AcqRel);
+            degraded(op)
+        }
+    }
+}

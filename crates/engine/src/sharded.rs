@@ -11,9 +11,39 @@ use flashcache_core::{
 };
 
 use crate::pool;
+use crate::runtime::{Done, Runtime, ShardSlab};
 
 /// Golden-ratio increment decorrelating per-shard RNG seeds.
 const SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Execution policy of a [`ShardedCache`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Service batches on the persistent shard runtime (pinned worker
+    /// threads fed by SPSC rings) instead of the per-batch scoped
+    /// thread pool. Default `true`; turning it off keeps the scoped
+    /// pool as a differential oracle. Either way results are
+    /// byte-identical — only wall-clock time changes.
+    pub persistent_workers: bool,
+    /// Worker-thread override. `None` uses the machine's available
+    /// parallelism (capped by the shard count).
+    pub workers: Option<usize>,
+    /// Test hook: a worker panics when servicing this disk page,
+    /// exercising the poisoning/degraded-completion path. Only honored
+    /// by the persistent runtime.
+    #[doc(hidden)]
+    pub panic_page: Option<u64>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            persistent_workers: true,
+            workers: None,
+            panic_page: None,
+        }
+    }
+}
 
 /// A sharded-engine construction error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -130,10 +160,23 @@ fn mix(page: u64) -> u64 {
 /// ```
 #[derive(Debug)]
 pub struct ShardedCache {
-    shards: Vec<FlashCache>,
-    /// Worker threads used per batch (capped by the shard count in
-    /// [`pool::par_map`]).
+    /// Persistent worker runtime (spawned lazily on the first batch
+    /// that can use it). Declared before `slab` so workers join before
+    /// the shard storage can possibly drop.
+    runtime: Option<Runtime>,
+    slab: Arc<ShardSlab>,
+    /// Shard count (the slab's length, cached).
+    n: usize,
+    engine: EngineConfig,
+    /// Worker threads used per batch (capped by the shard count).
     threads: usize,
+    /// Reused per-batch partition buffers (inline/scoped paths).
+    groups: Vec<ShardOps>,
+    /// Reused per-batch completion buffers (runtime path), one per
+    /// shard in per-shard submission order.
+    done_bufs: Vec<Vec<Done>>,
+    /// Reused per-batch GC-time snapshots (runtime path).
+    gc_before: Vec<f64>,
     /// Accumulated per-shard flash busy time over batched submissions,
     /// µs (foreground + background + GC).
     shard_busy_us: Vec<f64>,
@@ -149,7 +192,8 @@ pub struct ShardedCache {
 
 impl ShardedCache {
     /// Builds `shards` independent caches, splitting the configured
-    /// device's blocks evenly among them.
+    /// device's blocks evenly among them, with the default
+    /// [`EngineConfig`] (persistent workers on, auto-sized).
     ///
     /// Shard `i` derives its RNG seed as `base + i * stride` (shard 0 =
     /// base), so different shards sample independent error/quality
@@ -163,6 +207,19 @@ impl ShardedCache {
     /// * [`EngineError::Config`] if the derived per-shard configuration
     ///   fails validation (e.g. fewer than 4 blocks per shard).
     pub fn new(config: FlashCacheConfig, shards: usize) -> Result<Self, EngineError> {
+        Self::with_engine_config(config, shards, EngineConfig::default())
+    }
+
+    /// [`ShardedCache::new`] with an explicit execution policy.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShardedCache::new`].
+    pub fn with_engine_config(
+        config: FlashCacheConfig,
+        shards: usize,
+        engine: EngineConfig,
+    ) -> Result<Self, EngineError> {
         if shards == 0 {
             return Err(EngineError::InvalidShardCount { shards });
         }
@@ -180,10 +237,17 @@ impl ShardedCache {
                 .wrapping_add((i as u64).wrapping_mul(SEED_STRIDE));
             built.push(FlashCache::new(c)?);
         }
+        let threads = engine.workers.unwrap_or_else(pool::default_threads).max(1);
         Ok(ShardedCache {
+            runtime: None,
+            slab: ShardSlab::new(built),
+            n: shards,
+            engine,
+            threads,
+            groups: vec![Vec::new(); shards],
+            done_bufs: vec![Vec::new(); shards],
+            gc_before: Vec::with_capacity(shards),
             shard_busy_us: vec![0.0; shards],
-            shards: built,
-            threads: pool::default_threads(),
             makespan_us: 0.0,
             batches: 0,
             obs_flushed: false,
@@ -192,33 +256,52 @@ impl ShardedCache {
 
     /// Sets the worker-thread cap for batched submission (default: the
     /// machine's available parallelism). Thread count never affects
-    /// results, only wall-clock time.
+    /// results, only wall-clock time. On the persistent runtime a
+    /// change takes effect at the next batch (the old workers are
+    /// joined and a fresh set spawned).
     pub fn set_threads(&mut self, threads: usize) {
         self.threads = threads.max(1);
+        if let Some(rt) = &self.runtime {
+            if rt.workers() != self.resolved_workers() {
+                self.runtime = None;
+            }
+        }
+    }
+
+    /// Worker threads a multi-shard batch would use right now.
+    pub fn workers(&self) -> usize {
+        self.resolved_workers()
+    }
+
+    fn resolved_workers(&self) -> usize {
+        self.threads.min(self.n)
     }
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.n
     }
 
     /// The shards, in partition order.
     pub fn shards(&self) -> &[FlashCache] {
-        &self.shards
+        // SAFETY: outside `submit` every worker is quiescent (see the
+        // runtime module's quiescence contract), so no `&mut` aliases.
+        unsafe { self.slab.shards() }
     }
 
     /// Mutable access to the shards (e.g. to drive one shard directly
     /// in a test).
     pub fn shards_mut(&mut self) -> &mut [FlashCache] {
-        &mut self.shards
+        // SAFETY: as in `shards`, plus `&mut self` excludes submitters.
+        unsafe { self.slab.shards_mut() }
     }
 
     /// The shard that owns `disk_page`.
     pub fn shard_of(&self, disk_page: u64) -> usize {
-        if self.shards.len() == 1 {
+        if self.n == 1 {
             0
         } else {
-            (mix(disk_page) % self.shards.len() as u64) as usize
+            (mix(disk_page) % self.n as u64) as usize
         }
     }
 
@@ -234,11 +317,32 @@ impl ShardedCache {
     ///
     /// The batch's *modeled* duration — the busiest shard's flash time —
     /// accumulates into [`modeled_time_us`](ShardedCache::modeled_time_us).
+    ///
+    /// Three execution paths produce byte-identical results (only
+    /// wall-clock time differs): the persistent shard runtime when
+    /// [`EngineConfig::persistent_workers`] is on and more than one
+    /// worker resolves; an allocation-light inline loop when only one
+    /// worker resolves (single-core hosts); and the per-batch scoped
+    /// pool when the gate is off (the differential oracle).
     pub fn submit(&mut self, batch: &[DiskRequest]) -> Vec<AccessOutcome> {
-        let n = self.shards.len();
-        if n == 1 {
+        if self.n == 1 {
             return self.submit_single(batch);
         }
+        if self.engine.persistent_workers {
+            if self.resolved_workers() > 1 {
+                self.ensure_runtime();
+                return self.submit_runtime(batch);
+            }
+            return self.submit_inline(batch);
+        }
+        self.submit_scoped(batch)
+    }
+
+    /// The pre-runtime submission path: partition, scatter onto a
+    /// per-batch scoped thread pool, reassemble. Kept verbatim as the
+    /// differential oracle for `persistent_workers = false`.
+    fn submit_scoped(&mut self, batch: &[DiskRequest]) -> Vec<AccessOutcome> {
+        let n = self.n;
         let mut groups: Vec<ShardOps> = vec![Vec::new(); n];
         for (ri, req) in batch.iter().enumerate() {
             for page in req.pages() {
@@ -250,7 +354,10 @@ impl ShardedCache {
                 groups[s].push((ri as u32, page, req.op));
             }
         }
-        let work: Vec<(&mut FlashCache, ShardOps)> = self.shards.iter_mut().zip(groups).collect();
+        // SAFETY: no runtime batch is in flight (`&mut self`), so the
+        // slab is quiescent.
+        let shards = unsafe { self.slab.shards_mut() };
+        let work: Vec<(&mut FlashCache, ShardOps)> = shards.iter_mut().zip(groups).collect();
         let results = pool::par_map(work, self.threads, |(shard, ops)| {
             let gc_before = shard.stats().gc_time_us;
             let mut busy = 0.0;
@@ -288,6 +395,153 @@ impl ShardedCache {
         merged
     }
 
+    /// Single-worker inline path: same partition, same per-shard op
+    /// order, same arithmetic order as the scoped path — but reusing
+    /// the engine's partition buffers and running shards in place, so a
+    /// one-core host pays no scatter/reassembly allocations.
+    fn submit_inline(&mut self, batch: &[DiskRequest]) -> Vec<AccessOutcome> {
+        let n = self.n;
+        for g in &mut self.groups {
+            g.clear();
+        }
+        for (ri, req) in batch.iter().enumerate() {
+            for page in req.pages() {
+                let s = (mix(page) % n as u64) as usize;
+                self.groups[s].push((ri as u32, page, req.op));
+            }
+        }
+        // SAFETY: `&mut self` and no in-flight runtime batch.
+        let shards = unsafe { self.slab.shards_mut() };
+        let mut merged = vec![AccessOutcome::default(); batch.len()];
+        let mut seen = vec![false; batch.len()];
+        let mut makespan = 0.0f64;
+        for (si, ops) in self.groups.iter().enumerate() {
+            let shard = &mut shards[si];
+            let gc_before = shard.stats().gc_time_us;
+            let mut busy = 0.0;
+            for &(ri, page, op) in ops {
+                let out = match op {
+                    OpKind::Read => shard.read(page),
+                    OpKind::Write => shard.write(page),
+                };
+                busy += out.latency_us + out.background_us;
+                let slot = &mut merged[ri as usize];
+                if !seen[ri as usize] {
+                    *slot = out;
+                    seen[ri as usize] = true;
+                } else {
+                    merge_outcome(slot, out);
+                }
+            }
+            busy += shard.stats().gc_time_us - gc_before;
+            self.shard_busy_us[si] += busy;
+            makespan = makespan.max(busy);
+        }
+        self.makespan_us += makespan;
+        self.batches += 1;
+        merged
+    }
+
+    /// Spawns (or respawns) the persistent runtime for the current
+    /// worker resolution.
+    fn ensure_runtime(&mut self) {
+        let workers = self.resolved_workers();
+        let stale = self
+            .runtime
+            .as_ref()
+            .is_some_and(|rt| rt.workers() != workers);
+        if stale {
+            self.runtime = None;
+        }
+        if self.runtime.is_none() {
+            self.runtime = Some(Runtime::spawn(&self.slab, workers, self.engine.panic_page));
+        }
+    }
+
+    /// Persistent-runtime path: stream operations into the per-shard
+    /// request rings (draining completions whenever one fills, which is
+    /// what makes backpressure deadlock-free), then drain until every
+    /// pushed operation has completed. Completions arrive per shard in
+    /// submission order, so the merge below replays exactly the scoped
+    /// path's shard-major order — and the per-shard busy sums run in
+    /// the same arithmetic order, keeping modeled times bit-identical.
+    fn submit_runtime(&mut self, batch: &[DiskRequest]) -> Vec<AccessOutcome> {
+        let n = self.n;
+        self.gc_before.clear();
+        {
+            // SAFETY: quiescent — the previous batch fully drained.
+            let shards = unsafe { self.slab.shards() };
+            self.gc_before
+                .extend(shards.iter().map(|s| s.stats().gc_time_us));
+        }
+        let ShardedCache {
+            runtime, done_bufs, ..
+        } = self;
+        for b in done_bufs.iter_mut() {
+            b.clear();
+        }
+        let rt = runtime.as_mut().expect("runtime spawned");
+        let mut total_pushed = 0usize;
+        let mut total_done = 0usize;
+        for (ri, req) in batch.iter().enumerate() {
+            for page in req.pages() {
+                let s = (mix(page) % n as u64) as usize;
+                let mut item = (ri as u32, page, req.op);
+                loop {
+                    match rt.push(s, item) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            item = back;
+                            rt.wake(s);
+                            let moved = rt.drain(done_bufs);
+                            total_done += moved;
+                            if moved == 0 {
+                                // One CPU: the owning worker cannot run
+                                // until we yield our timeslice.
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+                rt.wake(s);
+                total_pushed += 1;
+            }
+        }
+        while total_done < total_pushed {
+            let moved = rt.drain(done_bufs);
+            if moved == 0 {
+                std::thread::yield_now();
+            }
+            total_done += moved;
+        }
+        // Quiescent again: every completion's Release/Acquire pair
+        // ordered the workers' shard writes before these reads.
+        let mut merged = vec![AccessOutcome::default(); batch.len()];
+        let mut seen = vec![false; batch.len()];
+        let mut makespan = 0.0f64;
+        // SAFETY: drained above.
+        let shards = unsafe { self.slab.shards() };
+        for (si, outs) in self.done_bufs.iter().enumerate() {
+            let mut busy = 0.0;
+            for &(ri, ref out) in outs {
+                busy += out.latency_us + out.background_us;
+                let slot = &mut merged[ri as usize];
+                if !seen[ri as usize] {
+                    *slot = *out;
+                    seen[ri as usize] = true;
+                } else {
+                    merge_outcome(slot, *out);
+                }
+            }
+            busy += shards[si].stats().gc_time_us - self.gc_before[si];
+            self.shard_busy_us[si] += busy;
+            makespan = makespan.max(busy);
+        }
+        self.makespan_us += makespan;
+        self.batches += 1;
+        merged
+    }
+
     /// [`ShardedCache::submit`] specialized for one shard: no page
     /// partitioning, no worker handoff, no request-index regrouping —
     /// the batch streams straight through the single [`FlashCache`].
@@ -296,7 +550,7 @@ impl ShardedCache {
     /// which matters because `shards = 1` is the replay fast path's
     /// single-threaded hot loop.
     fn submit_single(&mut self, batch: &[DiskRequest]) -> Vec<AccessOutcome> {
-        let shard = &mut self.shards[0];
+        let shard = &mut self.shards_mut()[0];
         let gc_before = shard.stats().gc_time_us;
         let mut busy = 0.0;
         let mut merged = Vec::with_capacity(batch.len());
@@ -329,13 +583,13 @@ impl ShardedCache {
     /// contribute to the modeled batch times).
     pub fn read(&mut self, disk_page: u64) -> AccessOutcome {
         let s = self.shard_of(disk_page);
-        self.shards[s].read(disk_page)
+        self.shards_mut()[s].read(disk_page)
     }
 
     /// Writes one page through its owning shard (serial path).
     pub fn write(&mut self, disk_page: u64) -> AccessOutcome {
         let s = self.shard_of(disk_page);
-        self.shards[s].write(disk_page)
+        self.shards_mut()[s].write(disk_page)
     }
 
     /// Fallible single-page read exposing the typed [`CacheError`].
@@ -345,7 +599,7 @@ impl ShardedCache {
     /// Propagates the owning shard's [`CacheError`].
     pub fn try_read(&mut self, disk_page: u64) -> Result<AccessOutcome, CacheError> {
         let s = self.shard_of(disk_page);
-        self.shards[s].try_read(disk_page)
+        self.shards_mut()[s].try_read(disk_page)
     }
 
     /// Fallible single-page write exposing the typed [`CacheError`].
@@ -355,49 +609,55 @@ impl ShardedCache {
     /// Propagates the owning shard's [`CacheError`].
     pub fn try_write(&mut self, disk_page: u64) -> Result<AccessOutcome, CacheError> {
         let s = self.shard_of(disk_page);
-        self.shards[s].try_write(disk_page)
+        self.shards_mut()[s].try_write(disk_page)
     }
 
     /// Marks every dirty page clean across all shards and returns the
     /// total disk writes owed (the periodic write-back flush of §5.1).
     pub fn flush_writes(&mut self) -> u64 {
-        self.shards.iter_mut().map(|s| s.flush_writes()).sum()
+        self.shards_mut().iter_mut().map(|s| s.flush_writes()).sum()
     }
 
-    /// Merged statistics: the field-wise sum of every shard's counters.
+    /// Merged statistics: the field-wise sum of every shard's counters,
+    /// plus any operations the persistent runtime degraded after a
+    /// worker panic (counted as `internal_errors`, since the poisoned
+    /// shard itself can no longer account for them).
     pub fn stats(&self) -> CacheStats {
         let mut total = CacheStats::default();
-        for s in &self.shards {
+        for s in self.shards() {
             total.merge(&s.stats());
+        }
+        if let Some(rt) = &self.runtime {
+            total.internal_errors += rt.internal_errors();
         }
         total
     }
 
     /// Per-shard statistics, in partition order.
     pub fn shard_stats(&self) -> Vec<CacheStats> {
-        self.shards.iter().map(|s| s.stats()).collect()
+        self.shards().iter().map(|s| s.stats()).collect()
     }
 
     /// Merged flash global status table (traffic-weighted across
     /// shards; exactly shard 0's table when there is one shard).
     pub fn fgst(&self) -> Fgst {
-        let parts: Vec<Fgst> = self.shards.iter().map(|s| s.fgst()).collect();
+        let parts: Vec<Fgst> = self.shards().iter().map(|s| s.fgst()).collect();
         Fgst::merged(&parts)
     }
 
     /// Pages cached across all shards.
     pub fn cached_pages(&self) -> u64 {
-        self.shards.iter().map(|s| s.cached_pages()).sum()
+        self.shards().iter().map(|s| s.cached_pages()).sum()
     }
 
     /// Usable (non-retired) slots across all shards.
     pub fn usable_slots(&self) -> u64 {
-        self.shards.iter().map(|s| s.usable_slots()).sum()
+        self.shards().iter().map(|s| s.usable_slots()).sum()
     }
 
     /// `true` once every shard's device is worn out.
     pub fn is_dead(&self) -> bool {
-        self.shards.iter().all(|s| s.is_dead())
+        self.shards().iter().all(|s| s.is_dead())
     }
 
     /// Accumulated modeled time of all batched submissions, µs: the sum
@@ -429,7 +689,7 @@ impl ShardedCache {
     /// Attaches an observability sink to every shard (replacing any
     /// process-global sink picked up at construction).
     pub fn attach_sink(&mut self, sink: Arc<ObsSink>) {
-        for s in &mut self.shards {
+        for s in self.shards_mut() {
             s.attach_sink(Arc::clone(&sink));
         }
         self.obs_flushed = false;
@@ -444,20 +704,19 @@ impl ShardedCache {
     /// [`FlashCache::export_metrics`], preserving the N = 1 degeneracy.
     pub fn export_metrics(&self) -> Registry {
         let mut reg = Registry::new();
-        for (i, s) in self.shards.iter().enumerate() {
+        for (i, s) in self.shards().iter().enumerate() {
             let shard_reg = s.export_metrics();
             reg.merge(&shard_reg);
-            if self.shards.len() > 1 {
+            if self.n > 1 {
                 reg.merge(&prefixed(i, &shard_reg));
             }
         }
-        if self.shards.len() > 1 {
+        if self.n > 1 {
             // Registry::merge overwrites gauges (last shard wins);
             // recompute them over the whole ensemble.
             reg.gauge_set("flash.cached_pages", self.cached_pages() as f64);
             reg.gauge_set("flash.usable_slots", self.usable_slots() as f64);
-            let slc = self.shards.iter().map(|s| s.slc_fraction()).sum::<f64>()
-                / self.shards.len() as f64;
+            let slc = self.shards().iter().map(|s| s.slc_fraction()).sum::<f64>() / self.n as f64;
             reg.gauge_set("flash.slc_fraction", slc);
             reg.gauge_set("flash.miss_rate", self.fgst().miss_rate);
         }
@@ -470,7 +729,7 @@ impl ShardedCache {
     /// re-arms it.
     pub fn flush_obs(&mut self) {
         self.flush_prefixed();
-        for s in &mut self.shards {
+        for s in self.shards_mut() {
             s.flush_obs();
         }
     }
@@ -481,10 +740,10 @@ impl ShardedCache {
     /// counts, and with one shard nothing is emitted at all (keeping
     /// N = 1 observability bit-identical to a bare cache).
     fn flush_prefixed(&mut self) {
-        if self.obs_flushed || self.shards.len() <= 1 {
+        if self.obs_flushed || self.n <= 1 {
             return;
         }
-        for (i, s) in self.shards.iter().enumerate() {
+        for (i, s) in self.shards().iter().enumerate() {
             if let Some(sink) = s.sink() {
                 sink.merge_registry(&prefixed(i, &s.export_metrics()));
             }

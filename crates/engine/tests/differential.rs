@@ -8,6 +8,12 @@
 //! existing single-cache experiment adopt the engine without changing
 //! its numbers.
 //!
+//! The execution-invariance tests extend that contract across the
+//! engine's execution paths: for every shard count, submission results
+//! must be byte-identical whether batches run on the persistent shard
+//! runtime (any worker count) or the scoped-pool oracle
+//! (`persistent_workers = false`).
+//!
 //! The proptest then pins the N>1 aggregation: merged [`CacheStats`]
 //! totals equal the fieldwise sum of the per-shard stats for arbitrary
 //! seeds and shard counts.
@@ -17,7 +23,7 @@ use std::sync::Arc;
 use disk_trace::{DiskRequest, OpKind, WorkloadSpec};
 use flash_obs::ObsSink;
 use flashcache_core::{AccessOutcome, FlashCache, FlashCacheConfig, ServiceTier};
-use flashcache_engine::ShardedCache;
+use flashcache_engine::{EngineConfig, ShardedCache};
 use nand_flash::{FlashConfig, FlashGeometry};
 use proptest::prelude::*;
 
@@ -130,6 +136,112 @@ fn serial_entry_points_match_bare_cache() {
         }
     }
     assert_eq!(engine.stats(), bare.stats());
+}
+
+/// Everything observable about one engine run: per-request outcomes,
+/// merged stats, per-shard state snapshots, modeled times, and the
+/// flushed observability registry.
+#[allow(clippy::type_complexity)]
+fn run_variant(
+    shards: usize,
+    persistent: bool,
+    workers: usize,
+) -> (
+    Vec<AccessOutcome>,
+    flashcache_core::CacheStats,
+    Vec<flashcache_core::snapshot::CacheSnapshot>,
+    flash_obs::Registry,
+    f64,
+    f64,
+) {
+    let engine_cfg = EngineConfig {
+        persistent_workers: persistent,
+        workers: Some(workers),
+        ..EngineConfig::default()
+    };
+    let mut engine = ShardedCache::with_engine_config(config(), shards, engine_cfg)
+        .expect("128 blocks divide by 1/2/4/8");
+    let sink = Arc::new(ObsSink::with_capacity(256));
+    engine.attach_sink(Arc::clone(&sink));
+    let reqs = trace(0x1AC3, 4_000);
+    let mut outs = Vec::with_capacity(reqs.len());
+    for chunk in reqs.chunks(64) {
+        outs.extend(engine.submit(chunk));
+    }
+    let stats = engine.stats();
+    let snaps = engine.shards().iter().map(|s| s.snapshot()).collect();
+    let modeled = engine.modeled_time_us();
+    let serial = engine.serial_time_us();
+    engine.flush_obs();
+    drop(engine);
+    (outs, stats, snaps, sink.registry(), modeled, serial)
+}
+
+/// Satellite invariance contract: identical results for every worker
+/// count {1, 2, 8} and for `persistent_workers` on/off, at every shard
+/// count — the execution substrate must never leak into the physics.
+#[test]
+fn results_invariant_across_workers_and_execution_paths() {
+    for shards in [1usize, 2, 4, 8] {
+        let baseline = run_variant(shards, false, 1);
+        for workers in [1usize, 2, 8] {
+            for persistent in [false, true] {
+                let got = run_variant(shards, persistent, workers);
+                let label = format!("shards={shards} persistent={persistent} workers={workers}");
+                assert_eq!(baseline.0, got.0, "outcomes diverged: {label}");
+                assert_eq!(baseline.1, got.1, "stats diverged: {label}");
+                assert_eq!(baseline.2, got.2, "snapshots diverged: {label}");
+                assert_eq!(baseline.3, got.3, "obs registry diverged: {label}");
+                assert_eq!(baseline.4, got.4, "modeled time diverged: {label}");
+                assert_eq!(baseline.5, got.5, "serial time diverged: {label}");
+            }
+        }
+    }
+}
+
+/// Satellite panic hygiene: a worker panic mid-batch must not deadlock
+/// the submitter — the poisoned shard degrades its operations to
+/// disk-bound bypasses, every request still gets an outcome, and the
+/// failures surface in `internal_errors`.
+#[test]
+fn worker_panic_degrades_without_deadlock() {
+    // Find a page owned by a nonzero shard so other shards keep working.
+    let probe = ShardedCache::new(config(), 4).expect("4 shards");
+    let poison_page = (0u64..1000).find(|&p| probe.shard_of(p) != 0).unwrap();
+    let poisoned_shard = probe.shard_of(poison_page);
+    drop(probe);
+
+    let engine_cfg = EngineConfig {
+        persistent_workers: true,
+        workers: Some(2),
+        panic_page: Some(poison_page),
+    };
+    let mut engine = ShardedCache::with_engine_config(config(), 4, engine_cfg).expect("4 shards");
+    let batch: Vec<DiskRequest> = (0..256u64).map(DiskRequest::read).collect();
+    let outs = engine.submit(&batch);
+    assert_eq!(outs.len(), batch.len(), "every request completes");
+    let poisoned = outs[poison_page as usize];
+    assert!(poisoned.bypassed, "panicked op degrades to a bypass");
+    assert!(poisoned.needs_disk_read, "degraded read goes to disk");
+    assert!(!poisoned.hit);
+    let errors_after_first = engine.stats().internal_errors;
+    assert!(errors_after_first >= 1, "panic surfaces in internal_errors");
+
+    // The poisoned shard keeps degrading; the other shards keep
+    // servicing — and nothing deadlocks on repeated submission.
+    let outs2 = engine.submit(&batch);
+    assert_eq!(outs2.len(), batch.len());
+    assert!(
+        engine.stats().internal_errors > errors_after_first,
+        "later ops on the poisoned shard degrade too"
+    );
+    let healthy_hits = batch
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| engine.shard_of(*i as u64) != poisoned_shard)
+        .filter(|(i, _)| outs2[*i].hit)
+        .count();
+    assert!(healthy_hits > 0, "unpoisoned shards still serve hits");
 }
 
 proptest! {

@@ -54,5 +54,5 @@ pub use flashcache_core::{
     AccessOutcome, CacheError, CacheSnapshot, CacheStats, ConfigError, ControllerPolicy,
     FlashCache, FlashCacheConfig, FlashCacheConfigBuilder, PrimaryDiskCache, SplitPolicy,
 };
-pub use flashcache_engine::{EngineError, ShardedCache};
+pub use flashcache_engine::{EngineConfig, EngineError, ShardedCache};
 pub use flashcache_sim::{Hierarchy, HierarchyConfig, ServerConfig};

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use disk_trace::{DiskRequest, OpKind, PAGE_BYTES};
 use flash_obs::{EventRing, ObsSink, Registry, ServiceTier, Snapshot};
 use flashcache_core::{FlashCache, FlashCacheConfig, PrimaryDiskCache};
-use flashcache_engine::{EngineError, ShardedCache};
+use flashcache_engine::{EngineConfig, EngineError, ShardedCache};
 use storage_model::{ActivityTracker, DramModel, DramPowerBreakdown, HddModel};
 
 use crate::metrics::LatencyHistogram;
@@ -34,6 +34,9 @@ pub struct HierarchyConfig {
     /// Shards the flash cache is hash-partitioned into (1 = the
     /// unsharded baseline; see [`ShardedCache`]).
     pub flash_shards: usize,
+    /// Execution configuration of the sharded engine: persistent shard
+    /// runtime on/off and worker thread count.
+    pub engine: EngineConfig,
 }
 
 impl Default for HierarchyConfig {
@@ -45,6 +48,7 @@ impl Default for HierarchyConfig {
             hdd: HddModel::travelstar(),
             flush_interval: 1024,
             flash_shards: 1,
+            engine: EngineConfig::default(),
         }
     }
 }
@@ -171,7 +175,11 @@ impl Hierarchy {
     pub fn try_new(config: HierarchyConfig) -> Result<Self, EngineError> {
         let pdc_pages = (config.dram_bytes / PAGE_BYTES).max(1) as usize;
         let flash = match config.flash.clone() {
-            Some(c) => Some(ShardedCache::new(c, config.flash_shards.max(1))?),
+            Some(c) => Some(ShardedCache::with_engine_config(
+                c,
+                config.flash_shards.max(1),
+                config.engine.clone(),
+            )?),
             None => None,
         };
         Ok(Hierarchy {
