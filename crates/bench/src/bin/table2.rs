@@ -1,7 +1,7 @@
 //! Table 2: performance and power of DRAM, SLC/MLC NAND and HDD.
 
 use flashcache_bench::RunArgs;
-use nand_flash::{CellMode, FlashPower, FlashTiming};
+use nand_flash::{FlashPower, FlashTiming};
 use storage_model::{DramModel, HddModel};
 
 fn main() {
@@ -29,18 +29,18 @@ fn main() {
         "1Gb NAND-SLC",
         format!("{:.0}mW", p.active_mw),
         format!("{:.0}uW", p.idle_uw_per_gbit),
-        format!("{:.0}us", t.read_us(CellMode::Slc)),
-        format!("{:.0}us", t.program_us(CellMode::Slc)),
-        format!("{:.1}ms", t.erase_us(CellMode::Slc) / 1000.0)
+        format!("{:.0}us", t.slc_read_us),
+        format!("{:.0}us", t.slc_program_us),
+        format!("{:.1}ms", t.slc_erase_us / 1000.0)
     );
     println!(
         "{:<16}{:>14}{:>14}{:>14}{:>14}{:>14}",
         "4Gb NAND-MLC",
         "N/A",
         "N/A",
-        format!("{:.0}us", t.read_us(CellMode::Mlc)),
-        format!("{:.0}us", t.program_us(CellMode::Mlc)),
-        format!("{:.1}ms", t.erase_us(CellMode::Mlc) / 1000.0)
+        format!("{:.0}us", t.mlc_read_us),
+        format!("{:.0}us", t.mlc_program_us),
+        format!("{:.1}ms", t.mlc_erase_us / 1000.0)
     );
     println!(
         "{:<16}{:>14}{:>14}{:>14}{:>14}{:>14}",

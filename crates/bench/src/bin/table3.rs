@@ -3,7 +3,7 @@
 use flash_ecc::EccLatencyModel;
 use flashcache_bench::RunArgs;
 use flashcache_sim::ServerConfig;
-use nand_flash::{CellMode, FlashTiming};
+use nand_flash::FlashTiming;
 use storage_model::{DramModel, HddModel};
 
 fn main() {
@@ -24,9 +24,9 @@ fn main() {
     );
     println!(
         "NAND flash:       256MB..2GB; read {:.0}us(SLC)/{:.0}us(MLC); write {:.0}us/{:.0}us; erase {:.1}ms/{:.1}ms",
-        t.read_us(CellMode::Slc), t.read_us(CellMode::Mlc),
-        t.program_us(CellMode::Slc), t.program_us(CellMode::Mlc),
-        t.erase_us(CellMode::Slc) / 1000.0, t.erase_us(CellMode::Mlc) / 1000.0,
+        t.slc_read_us, t.mlc_read_us,
+        t.slc_program_us, t.mlc_program_us,
+        t.slc_erase_us / 1000.0, t.mlc_erase_us / 1000.0,
     );
     println!(
         "BCH code latency: {:.0}us (t=3) .. {:.0}us (t=26)",

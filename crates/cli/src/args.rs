@@ -47,6 +47,10 @@ const VALUE_KEYS: &[&str] = &[
     "shards",
     "batch",
     "workers",
+    "channels",
+    "planes",
+    "writeback-us",
+    "queue-depth",
 ];
 
 impl Args {

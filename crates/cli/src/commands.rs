@@ -6,6 +6,7 @@ use std::sync::Arc;
 
 use flashcache::nand::FlashConfig;
 use flashcache::nand::FlashGeometry;
+use flashcache::nand::{ChannelConfig, TimingBackend};
 use flashcache::obs;
 use flashcache::sim::hierarchy::{Hierarchy, HierarchyConfig};
 use flashcache::trace::spc::{write_spc, SpcReader};
@@ -46,6 +47,14 @@ SIMULATE:
   --workers N         worker threads for the shard runtime (default: host
                       parallelism, capped by the shard count)
 
+DEVICE PARALLELISM (simulate, sweep, lifetime — any of these flags
+switches flash timing to the event-driven backend):
+  --channels N        independent NAND channels (default 1)
+  --planes N          planes per channel (default 1)
+  --queue-depth N     outstanding ops admitted per channel (default 4)
+  --writeback-us T    write-buffer flush delay in µs; rewrites within the
+                      window coalesce (default 0 = write-through)
+
 SWEEP:
   --sizes-mb A,B,C    flash sizes to evaluate (default 8,16,32,64)
 
@@ -78,11 +87,47 @@ fn load_workload(args: &super::Args) -> Result<WorkloadSpec, String> {
     Ok(if scale > 1 { spec.scaled(scale) } else { spec })
 }
 
-fn flash_config(flash_mb: u64, unified: bool) -> Result<FlashCacheConfig, String> {
-    let builder = FlashCacheConfig::builder().flash(FlashConfig {
+/// Reads the device-parallelism options. Returns `None` when no channel
+/// flag was given (keep the closed-form oracle backend); otherwise the
+/// built [`ChannelConfig`] that switches the device to the event-driven
+/// backend.
+fn channel_config(args: &super::Args) -> Result<Option<ChannelConfig>, String> {
+    let given = ["channels", "planes", "writeback-us", "queue-depth"]
+        .iter()
+        .any(|k| args.get(k).is_some());
+    if !given {
+        return Ok(None);
+    }
+    let channels: u32 = args.num("channels", 1u32).map_err(|e| e.to_string())?;
+    let planes: u32 = args.num("planes", 1u32).map_err(|e| e.to_string())?;
+    let queue_depth: u32 = args.num("queue-depth", 4u32).map_err(|e| e.to_string())?;
+    let writeback_us: f64 = args
+        .num("writeback-us", 0.0f64)
+        .map_err(|e| e.to_string())?;
+    ChannelConfig::builder()
+        .channels(channels)
+        .planes(planes)
+        .queue_depth(queue_depth)
+        .writeback_us(writeback_us)
+        .build()
+        .map(Some)
+        .map_err(|e| e.to_string())
+}
+
+fn flash_config(
+    flash_mb: u64,
+    unified: bool,
+    channel: Option<ChannelConfig>,
+) -> Result<FlashCacheConfig, String> {
+    let mut flash = FlashConfig {
         geometry: FlashGeometry::for_mlc_capacity(flash_mb << 20),
         ..FlashConfig::default()
-    });
+    };
+    if let Some(channel) = channel {
+        flash.channel = channel;
+        flash.timing_backend = TimingBackend::EventDriven;
+    }
+    let builder = FlashCacheConfig::builder().flash(flash);
     let builder = if unified {
         builder.unified()
     } else {
@@ -129,8 +174,9 @@ pub fn simulate(args: &super::Args) -> Result<(), String> {
     let shards: usize = args.num("shards", 1usize).map_err(|e| e.to_string())?;
     let batch: usize = args.num("batch", 1usize).map_err(|e| e.to_string())?;
     let workers: usize = args.num("workers", 0usize).map_err(|e| e.to_string())?;
+    let channel = channel_config(args)?;
     let flash = if flash_mb > 0 {
-        Some(flash_config(flash_mb, args.flag("unified"))?)
+        Some(flash_config(flash_mb, args.flag("unified"), channel)?)
     } else {
         None
     };
@@ -265,11 +311,12 @@ pub fn sweep(args: &super::Args) -> Result<(), String> {
         "{:>10}{:>16}{:>16}{:>14}{:>14}",
         "flash", "unified miss", "split miss", "unified GC", "split GC"
     );
+    let channel = channel_config(args)?;
     for &mb in &sizes {
         let mut row = Vec::new();
         for unified in [true, false] {
-            let mut cache =
-                FlashCache::new(flash_config(mb, unified)?).map_err(|e| format!("{mb}MB: {e}"))?;
+            let mut cache = FlashCache::new(flash_config(mb, unified, channel)?)
+                .map_err(|e| format!("{mb}MB: {e}"))?;
             let mut generator = workload.generator(seed);
             let mut done = 0u64;
             while done < requests {
@@ -344,7 +391,7 @@ pub fn lifetime(args: &super::Args) -> Result<(), String> {
     for (name, policy) in policies {
         let flash_bytes =
             (workload.footprint_pages * flashcache::trace::PAGE_BYTES / 2).max(8 * 256 * 1024);
-        let mut config = flash_config(flash_bytes >> 20, false)?;
+        let mut config = flash_config(flash_bytes >> 20, false, channel_config(args)?)?;
         config.flash.geometry = FlashGeometry::for_mlc_capacity(flash_bytes);
         config.controller = policy;
         if let ControllerPolicy::FixedEcc { strength } = policy {

@@ -12,7 +12,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use flash_obs::{Event, ObsSink, Registry, ServiceTier};
-use nand_flash::{BlockId, CellMode, FlashDevice, PageAddr};
+use nand_flash::{BlockId, CellMode, FlashDevice, OpContext, PageAddr};
 
 use crate::config::{ConfigError, ControllerPolicy, FlashCacheConfig, SplitPolicy};
 use crate::error::CacheError;
@@ -30,7 +30,13 @@ pub struct AccessOutcome {
     pub tier: ServiceTier,
     /// Critical-path latency contributed by flash + ECC, µs. On a miss
     /// this is near zero; the caller adds its disk model's penalty.
+    /// Includes `queue_wait_us`.
     pub latency_us: f64,
+    /// Device queueing delay inside `latency_us`, µs. Exactly zero
+    /// under the closed-form timing backend; under the event-driven
+    /// backend it is the time the flash read spent waiting out
+    /// in-flight channel traffic.
+    pub queue_wait_us: f64,
     /// Off-critical-path flash work this access triggered (fills,
     /// migrations), µs. GC/eviction work is tracked separately in
     /// [`CacheStats::gc_time_us`].
@@ -273,6 +279,7 @@ impl FlashCache {
             ("nand.erases", d.erases),
             ("nand.bit_errors", d.bit_errors),
             ("nand.busy_us", d.busy_us.round() as u64),
+            ("nand.wait_us", d.wait_us.round() as u64),
             ("nand.energy_uj", (d.energy_mj * 1000.0).round() as u64),
         ];
         for (name, v) in n {
@@ -318,6 +325,12 @@ impl FlashCache {
     /// The underlying device (for power/wear inspection).
     pub fn device(&self) -> &FlashDevice {
         &self.device
+    }
+
+    /// Mutable access to the underlying device (for draining the event
+    /// timeline at end of run).
+    pub fn device_mut(&mut self) -> &mut FlashDevice {
+        &mut self.device
     }
 
     /// Global status table snapshot.
@@ -513,14 +526,16 @@ impl FlashCache {
             let live_t = self.live_strength[self.gidx(addr)];
             let out = self
                 .device
-                .read_page(addr)
+                .read_page_with(addr, OpContext::foreground().with_lba(disk_page))
                 .map_err(|source| CacheError::TableCorruption { addr, source })?;
             self.stats.flash_reads += 1;
             self.fbst.get_mut(addr.block).last_access = self.tick;
             self.reclaim_touch(addr.block);
             let ecc_us = self.config.ecc_latency.decode_us(live_t as usize);
             self.stats.ecc_us += ecc_us;
-            let latency = out.latency_us + ecc_us;
+            // Adding the wait term last keeps the closed-form sum
+            // bit-identical (wait is exactly 0.0 there).
+            let latency = out.latency_us + ecc_us + out.wait_us;
             if out.raw_bit_errors > live_t as u32 {
                 // Cached copy lost: detected by CRC after failed BCH.
                 self.stats.uncorrectable_reads += 1;
@@ -559,6 +574,7 @@ impl FlashCache {
                     hit: true,
                     tier: ServiceTier::Flash,
                     latency_us: latency,
+                    queue_wait_us: out.wait_us,
                     ..AccessOutcome::default()
                 }));
             }
@@ -569,6 +585,7 @@ impl FlashCache {
                 hit: false,
                 tier: ServiceTier::Disk,
                 latency_us: latency,
+                queue_wait_us: out.wait_us,
                 needs_disk_read: true,
                 uncorrectable: true,
                 bypassed: !filled,
@@ -696,7 +713,12 @@ impl FlashCache {
         let strength = self.fpst.get(addr).ecc_strength;
         let out = self
             .device
-            .program_page(addr, mode, None)
+            .program_page_with(
+                addr,
+                mode,
+                None,
+                OpContext::background().with_lba(disk_page),
+            )
             .map_err(|source| CacheError::ProgramRejected { addr, source })?;
         self.stats.flash_programs += 1;
         let gi = self.gidx(addr);
@@ -845,8 +867,8 @@ impl FlashCache {
                 let d_code = self.config.ecc_latency.decode_us(cfg_t as usize + 1)
                     - self.config.ecc_latency.decode_us(cfg_t as usize);
                 let d_tcs = freq * d_code;
-                let timing = self.config.flash.timing;
-                let d_slc = timing.read_us(CellMode::Slc) - timing.read_us(CellMode::Mlc);
+                let model = self.device.timing_model();
+                let d_slc = model.read_us(CellMode::Slc) - model.read_us(CellMode::Mlc);
                 let d_miss = if self.usable_slots == 0 {
                     0.0
                 } else {

@@ -8,7 +8,7 @@
 //! the paper's "all GCs are performed in the background".
 
 use flash_obs::Event;
-use nand_flash::{BlockId, CellMode, PageAddr};
+use nand_flash::{BlockId, CellMode, OpContext, PageAddr};
 
 use crate::cache::{FlashCache, OpenBlock};
 use crate::config::ControllerPolicy;
@@ -394,7 +394,7 @@ impl FlashCache {
             + src.slot as usize];
         let out = self
             .device
-            .read_page(src)
+            .read_page_with(src, OpContext::background())
             .map_err(|source| CacheError::TableCorruption { addr: src, source })?;
         self.stats.flash_reads += 1;
         *gc_us += out.latency_us + self.config.ecc_latency.decode_us(live_t as usize);
@@ -559,13 +559,13 @@ impl FlashCache {
             let st = *self.fpst.get(s_addr);
             let live_t =
                 self.live_strength[s_addr.block.0 as usize * spb as usize + s_addr.slot as usize];
-            let out =
-                self.device
-                    .read_page(s_addr)
-                    .map_err(|source| CacheError::TableCorruption {
-                        addr: s_addr,
-                        source,
-                    })?;
+            let out = self
+                .device
+                .read_page_with(s_addr, OpContext::background())
+                .map_err(|source| CacheError::TableCorruption {
+                    addr: s_addr,
+                    source,
+                })?;
             self.stats.flash_reads += 1;
             *gc_us += out.latency_us + self.config.ecc_latency.decode_us(live_t as usize);
             if out.raw_bit_errors > live_t as u32 {
@@ -651,7 +651,7 @@ impl FlashCache {
         }
         let out = self
             .device
-            .erase_block(b)
+            .erase_block_with(b, OpContext::background())
             .map_err(|source| CacheError::BlockOp { block: b, source })?;
         self.stats.erases += 1;
         self.emit(Event::BlockErased {

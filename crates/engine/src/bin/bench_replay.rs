@@ -20,7 +20,7 @@
 //!
 //! Usage: `bench_replay [--requests N] [--shards 1,2,4,8] [--batch N]
 //! [--seed N] [--repeat N] [--slow] [--smoke] [--floor PAGES_PER_SEC]
-//! [--scaling-floor RATIO] [--out PATH]`
+//! [--scaling-floor RATIO] [--channels 1,4,8] [--out PATH]`
 //!
 //! `--slow` disables every fast-path gate (CDF sampling, StdRng, direct
 //! wear evaluation) so the two paths can be compared on one machine.
@@ -30,18 +30,27 @@
 //! single-shard number, catching scale-out regressions (use a ratio
 //! matched to the host's core count: ~1.0 just asserts sharding is not
 //! a slowdown, which is the honest ceiling on a single-CPU runner).
+//!
+//! `--channels 1,4,8` switches to the **device-parallelism matrix**:
+//! single-shard replays on the event-driven NAND backend, one point per
+//! channel count, reporting *modeled* NAND pages/sec — pages divided by
+//! the drained device makespan. These numbers are deterministic (the
+//! event scheduler is RNG-free), so the run always asserts that the
+//! widest configuration's modeled throughput is at least the 1-channel
+//! number, and the default output moves to `BENCH_channels.json`.
 
 use std::time::Instant;
 
 use disk_trace::{DiskRequest, WorkloadSpec};
 use flash_obs::JsonValue;
 use flashcache_core::FlashCacheConfig;
-use nand_flash::{FlashConfig, FlashGeometry};
+use nand_flash::{ChannelConfig, FlashConfig, FlashGeometry, TimingBackend};
 
 use flashcache_engine::{pool, ShardedCache};
 
 struct Args {
     shards: Vec<usize>,
+    channels: Vec<u32>,
     requests: usize,
     batch: usize,
     seed: u64,
@@ -56,6 +65,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         shards: vec![1, 2, 4, 8],
+        channels: Vec::new(),
         requests: 200_000,
         batch: 512,
         seed: 0x5EED,
@@ -67,6 +77,7 @@ fn parse_args() -> Args {
         out: "BENCH_replay.json".to_string(),
     };
     let mut requests_set = false;
+    let mut out_set = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         let mut val = |name: &str| {
@@ -78,6 +89,12 @@ fn parse_args() -> Args {
                 args.shards = val("--shards")
                     .split(',')
                     .map(|s| s.trim().parse().expect("shard count"))
+                    .collect();
+            }
+            "--channels" => {
+                args.channels = val("--channels")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("channel count"))
                     .collect();
             }
             "--requests" => {
@@ -93,15 +110,23 @@ fn parse_args() -> Args {
             "--scaling-floor" => {
                 args.scaling_floor = Some(val("--scaling-floor").parse().expect("scaling ratio"));
             }
-            "--out" => args.out = val("--out"),
+            "--out" => {
+                args.out = val("--out");
+                out_set = true;
+            }
             other => panic!("unknown flag {other}"),
         }
     }
     if args.smoke && !requests_set {
         args.requests = 50_000;
     }
+    if !args.channels.is_empty() && !out_set {
+        args.out = "BENCH_channels.json".to_string();
+    }
     args.shards.sort_unstable();
     args.shards.dedup();
+    args.channels.sort_unstable();
+    args.channels.dedup();
     args
 }
 
@@ -133,6 +158,133 @@ fn cache_config(slow: bool) -> FlashCacheConfig {
         .expect("bench cache config is valid")
 }
 
+/// Planes per channel and queue depth used by every point of the
+/// `--channels` matrix, so channel count is the only variable.
+const MATRIX_PLANES: u32 = 2;
+const MATRIX_QUEUE_DEPTH: u32 = 8;
+
+fn channel_cache_config(channels: u32) -> FlashCacheConfig {
+    let channel = ChannelConfig::builder()
+        .channels(channels)
+        .planes(MATRIX_PLANES)
+        .queue_depth(MATRIX_QUEUE_DEPTH)
+        .build()
+        .expect("matrix channel config is valid");
+    FlashCacheConfig::builder()
+        .flash(FlashConfig {
+            geometry: FlashGeometry {
+                blocks: 512,
+                pages_per_block: 64,
+                ..FlashGeometry::default()
+            },
+            timing_backend: TimingBackend::EventDriven,
+            channel,
+            ..FlashConfig::default()
+        })
+        .build()
+        .expect("bench cache config is valid")
+}
+
+/// The `--channels` matrix: one single-shard replay per channel count on
+/// the event-driven backend, reporting modeled NAND pages/sec (pages
+/// over the drained device makespan). Modeled time is deterministic, so
+/// the closing assertion (widest config >= 1-channel throughput) holds
+/// on any machine.
+fn run_channel_matrix(args: &Args, spec: &WorkloadSpec) {
+    let mut points: Vec<JsonValue> = Vec::new();
+    let mut by_channels: Vec<(u32, f64)> = Vec::new();
+    for &ch in &args.channels {
+        let mut engine =
+            ShardedCache::new(channel_cache_config(ch), 1).expect("single shard is always valid");
+        let mut generator = spec.generator(args.seed);
+        let mut buf: Vec<DiskRequest> = Vec::with_capacity(args.batch);
+        let wall = Instant::now();
+        let mut remaining = args.requests;
+        let mut pages = 0u64;
+        while remaining > 0 {
+            let take = remaining.min(args.batch);
+            buf.clear();
+            buf.extend(generator.by_ref().take(take));
+            pages += buf.iter().map(|r| r.len as u64).sum::<u64>();
+            engine.submit(&buf);
+            remaining -= take;
+        }
+        let wall_s = wall.elapsed().as_secs_f64();
+        let makespan_us = engine.device_makespan_us();
+        let modeled_pps = pages as f64 / (makespan_us / 1e6);
+        by_channels.push((ch, modeled_pps));
+        println!(
+            "  channels={ch}: device makespan {:.1} ms, {:.0} modeled pages/s ({:.1} ms wall)",
+            makespan_us / 1e3,
+            modeled_pps,
+            wall_s * 1e3,
+        );
+        points.push(JsonValue::Object(vec![
+            ("channels".into(), JsonValue::UInt(u64::from(ch))),
+            ("planes".into(), JsonValue::UInt(u64::from(MATRIX_PLANES))),
+            (
+                "queue_depth".into(),
+                JsonValue::UInt(u64::from(MATRIX_QUEUE_DEPTH)),
+            ),
+            ("pages".into(), JsonValue::UInt(pages)),
+            (
+                "device_makespan_ms".into(),
+                JsonValue::Number((makespan_us / 1e3 * 10.0).round() / 10.0),
+            ),
+            (
+                "modeled_pages_per_sec".into(),
+                JsonValue::Number(modeled_pps.round()),
+            ),
+            (
+                "wall_ms".into(),
+                JsonValue::Number((wall_s * 1e4).round() / 10.0),
+            ),
+        ]));
+    }
+
+    let doc = JsonValue::Object(vec![
+        (
+            "workload".into(),
+            JsonValue::String(format!(
+                "{} (Zipf 0.8), {}% writes, {} pages footprint, streamed",
+                spec.name,
+                (spec.write_fraction * 100.0).round(),
+                spec.footprint_pages
+            )),
+        ),
+        ("requests".into(), JsonValue::UInt(args.requests as u64)),
+        ("batch".into(), JsonValue::UInt(args.batch as u64)),
+        ("seed".into(), JsonValue::UInt(args.seed)),
+        (
+            "measure".into(),
+            JsonValue::String(
+                "modeled NAND pages/sec = pages / drained device makespan on \
+                 the event-driven backend; deterministic (RNG-free scheduler)"
+                    .into(),
+            ),
+        ),
+        ("points".into(), JsonValue::Array(points)),
+    ]);
+    std::fs::write(&args.out, doc.render() + "\n").expect("write benchmark output");
+    println!("wrote {}", args.out);
+
+    if let (Some(&(_, base_pps)), Some(&(wide, wide_pps))) = (
+        by_channels.iter().find(|&&(ch, _)| ch == 1),
+        by_channels.last().filter(|&&(ch, _)| ch > 1),
+    ) {
+        assert!(
+            wide_pps >= base_pps,
+            "{wide}-channel modeled throughput {wide_pps:.0} pages/s fell below \
+             the 1-channel {base_pps:.0} pages/s"
+        );
+        println!(
+            "OK: {wide}-channel modeled {wide_pps:.0} pages/s >= 1-channel {base_pps:.0} pages/s \
+             ({:.2}x)",
+            wide_pps / base_pps
+        );
+    }
+}
+
 fn main() {
     let args = parse_args();
 
@@ -143,6 +295,19 @@ fn main() {
     }
     if args.slow {
         spec.fast_sampling = false;
+    }
+
+    if !args.channels.is_empty() {
+        println!(
+            "bench_replay: {} requests of {} ({}% writes), batch {}, channel matrix {:?}",
+            args.requests,
+            spec.name,
+            (spec.write_fraction * 100.0).round(),
+            args.batch,
+            args.channels,
+        );
+        run_channel_matrix(&args, &spec);
+        return;
     }
 
     println!(

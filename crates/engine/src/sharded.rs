@@ -105,6 +105,7 @@ type ShardOps = Vec<(u32, u64, OpKind)>;
 fn merge_outcome(slot: &mut AccessOutcome, out: AccessOutcome) {
     slot.hit &= out.hit;
     slot.latency_us += out.latency_us;
+    slot.queue_wait_us += out.queue_wait_us;
     slot.background_us += out.background_us;
     slot.needs_disk_read |= out.needs_disk_read;
     slot.flushed_dirty += out.flushed_dirty;
@@ -674,6 +675,20 @@ impl ShardedCache {
     /// what a single serial channel would have spent.
     pub fn serial_time_us(&self) -> f64 {
         self.shard_busy_us.iter().sum()
+    }
+
+    /// Drains every shard device's event timeline (flushing buffered
+    /// writes) and returns the largest device makespan, µs. Under the
+    /// closed-form backend this is the busiest shard's busy-time sum;
+    /// under the event-driven backend it is the channel-level completion
+    /// time, where multi-channel overlap shows up as a shorter makespan
+    /// for the same op mix.
+    pub fn device_makespan_us(&mut self) -> f64 {
+        let mut makespan: f64 = 0.0;
+        for s in self.shards_mut() {
+            makespan = makespan.max(s.device_mut().drain_timing());
+        }
+        makespan
     }
 
     /// Accumulated busy time of each shard, µs, in partition order.

@@ -11,6 +11,7 @@ use rand::{RngCore, SeedableRng};
 
 use crate::geometry::{BlockId, CellMode, FlashGeometry, PageAddr};
 use crate::sampling::NormalSource;
+use crate::sched::{build_model, ChannelConfig, OpClass, OpRequest, TimingBackend, TimingModel};
 use crate::timing::{FlashPower, FlashTiming};
 use crate::wear::{PageWearState, WearConfig, WearModel};
 
@@ -89,11 +90,52 @@ enum SlotState {
     Unusable,
 }
 
+/// Caller context for a device operation, threaded into the timing
+/// model: foreground ops block and advance the modeled clock, while
+/// background work (GC traffic, cache fills, write-buffer flushes)
+/// consumes device time that later foreground ops wait out. The
+/// logical address, when known, enables write-buffer coalescing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpContext {
+    /// Logical (disk) address the op serves, when known.
+    pub lba: Option<u64>,
+    /// Whether the op is background work.
+    pub background: bool,
+}
+
+impl OpContext {
+    /// A foreground (blocking) operation.
+    pub fn foreground() -> Self {
+        OpContext {
+            lba: None,
+            background: false,
+        }
+    }
+
+    /// A background (non-blocking) operation.
+    pub fn background() -> Self {
+        OpContext {
+            lba: None,
+            background: true,
+        }
+    }
+
+    /// Tags the operation with the logical address it serves.
+    #[must_use]
+    pub fn with_lba(mut self, lba: u64) -> Self {
+        self.lba = Some(lba);
+        self
+    }
+}
+
 /// Result of a page read.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReadOutcome {
     /// Raw latency of the array access, µs (ECC time is the controller's).
     pub latency_us: f64,
+    /// Queueing delay before service, µs (zero under the closed-form
+    /// backend).
+    pub wait_us: f64,
     /// Energy consumed, millijoules.
     pub energy_mj: f64,
     /// Raw bit errors present in the page as read.
@@ -109,6 +151,9 @@ pub struct ReadOutcome {
 pub struct ProgramOutcome {
     /// Program latency, µs.
     pub latency_us: f64,
+    /// Queueing delay before service, µs (zero under the closed-form
+    /// backend).
+    pub wait_us: f64,
     /// Energy consumed, millijoules.
     pub energy_mj: f64,
 }
@@ -118,6 +163,9 @@ pub struct ProgramOutcome {
 pub struct EraseOutcome {
     /// Erase latency, µs.
     pub latency_us: f64,
+    /// Queueing delay before service, µs (zero under the closed-form
+    /// backend).
+    pub wait_us: f64,
     /// Energy consumed, millijoules.
     pub energy_mj: f64,
     /// The block's total erase count after this erase.
@@ -137,6 +185,9 @@ pub struct FlashStats {
     pub bit_errors: u64,
     /// Total µs spent in operations.
     pub busy_us: f64,
+    /// Total µs spent queued before service (zero under the
+    /// closed-form backend).
+    pub wait_us: f64,
     /// Total energy in millijoules.
     pub energy_mj: f64,
 }
@@ -162,6 +213,10 @@ pub struct FlashConfig {
     /// through a pair-keeping [`NormalSource`]. Deterministic per seed
     /// either way; off reproduces the pre-fast-path `StdRng` streams.
     pub fast_rng: bool,
+    /// Which timing implementation the device resolves at construction.
+    pub timing_backend: TimingBackend,
+    /// Channel/plane/queue parameters for the event-driven backend.
+    pub channel: ChannelConfig,
 }
 
 impl Default for FlashConfig {
@@ -174,6 +229,8 @@ impl Default for FlashConfig {
             store_payloads: false,
             seed: 0x1507_2008,
             fast_rng: true,
+            timing_backend: TimingBackend::default(),
+            channel: ChannelConfig::default(),
         }
     }
 }
@@ -220,6 +277,9 @@ impl RngCore for DeviceRng {
 pub struct FlashDevice {
     config: FlashConfig,
     wear_model: WearModel,
+    /// The device-timing model, resolved once from
+    /// `config.timing_backend`; all op latencies flow through it.
+    model: Box<dyn TimingModel + Send>,
     rng: DeviceRng,
     /// Per-block erase counts.
     erase_counts: Vec<u64>,
@@ -271,6 +331,7 @@ impl FlashDevice {
             .collect();
         FlashDevice {
             wear_model,
+            model: build_model(config.timing_backend, config.timing, config.channel),
             rng,
             erase_counts: vec![0; geometry.blocks as usize],
             block_worst_mode: vec![None; geometry.blocks as usize],
@@ -300,6 +361,26 @@ impl FlashDevice {
     /// Aggregate operation statistics.
     pub fn stats(&self) -> FlashStats {
         self.stats
+    }
+
+    /// The device-timing model, for latency-table queries and trace
+    /// inspection.
+    pub fn timing_model(&self) -> &dyn TimingModel {
+        self.model.as_ref()
+    }
+
+    /// Current modeled device clock, µs. Under the closed-form backend
+    /// this is the running sum of service times; under the event
+    /// backend it is the foreground completion time.
+    pub fn modeled_time_us(&self) -> f64 {
+        self.model.now_us()
+    }
+
+    /// Drains the event timeline (flushing any buffered writes) and
+    /// returns the makespan at which all channels and planes fall
+    /// idle, µs.
+    pub fn drain_timing(&mut self) -> f64 {
+        self.model.drain()
     }
 
     /// Resets the operation statistics (wear state is untouched).
@@ -368,6 +449,24 @@ impl FlashDevice {
         mode: CellMode,
         data: Option<&[u8]>,
     ) -> Result<ProgramOutcome, FlashOpError> {
+        self.program_page_with(addr, mode, data, OpContext::foreground())
+    }
+
+    /// Programs one 2KB slot with an explicit [`OpContext`]: background
+    /// ops contend for channel time without advancing the foreground
+    /// clock, and LBA-tagged background writes may coalesce in the
+    /// event backend's write buffer.
+    ///
+    /// # Errors
+    ///
+    /// Same discipline as [`FlashDevice::program_page`].
+    pub fn program_page_with(
+        &mut self,
+        addr: PageAddr,
+        mode: CellMode,
+        data: Option<&[u8]>,
+        ctx: OpContext,
+    ) -> Result<ProgramOutcome, FlashOpError> {
         self.check_addr(addr)?;
         if let Some(d) = data {
             let expected = self.config.geometry.page_data_bytes as usize;
@@ -418,13 +517,22 @@ impl FlashDevice {
             (Some(CellMode::Mlc), _) | (_, CellMode::Mlc) => CellMode::Mlc,
             _ => CellMode::Slc,
         });
-        let latency_us = self.config.timing.program_us(mode);
+        let t = self.model.op(&OpRequest {
+            class: OpClass::Program,
+            mode,
+            block: addr.block.0,
+            lba: ctx.lba,
+            background: ctx.background,
+        });
+        let latency_us = t.service_us;
         let energy_mj = self.config.power.op_energy_mj(latency_us);
         self.stats.programs += 1;
         self.stats.busy_us += latency_us;
+        self.stats.wait_us += t.wait_us;
         self.stats.energy_mj += energy_mj;
         Ok(ProgramOutcome {
             latency_us,
+            wait_us: t.wait_us,
             energy_mj,
         })
     }
@@ -436,6 +544,21 @@ impl FlashDevice {
     /// [`FlashOpError::NotProgrammed`] if the slot holds no data;
     /// [`FlashOpError::OutOfRange`] for bad addresses.
     pub fn read_page(&mut self, addr: PageAddr) -> Result<ReadOutcome, FlashOpError> {
+        self.read_page_with(addr, OpContext::foreground())
+    }
+
+    /// Reads one programmed slot with an explicit [`OpContext`];
+    /// foreground reads observe queue wait behind in-flight background
+    /// traffic under the event backend.
+    ///
+    /// # Errors
+    ///
+    /// Same discipline as [`FlashDevice::read_page`].
+    pub fn read_page_with(
+        &mut self,
+        addr: PageAddr,
+        ctx: OpContext,
+    ) -> Result<ReadOutcome, FlashOpError> {
         self.check_addr(addr)?;
         let si = self.slot_index(addr);
         if self.slots[si] != SlotState::Programmed {
@@ -446,11 +569,19 @@ impl FlashDevice {
         let erases = self.erase_counts[addr.block.0 as usize];
         let raw_bit_errors =
             self.wear[pi].observe_read_errors(&self.wear_model, mode, erases, &mut self.rng);
-        let latency_us = self.config.timing.read_us(mode);
+        let t = self.model.op(&OpRequest {
+            class: OpClass::Read,
+            mode,
+            block: addr.block.0,
+            lba: ctx.lba,
+            background: ctx.background,
+        });
+        let latency_us = t.service_us;
         let energy_mj = self.config.power.op_energy_mj(latency_us);
         self.stats.reads += 1;
         self.stats.bit_errors += raw_bit_errors as u64;
         self.stats.busy_us += latency_us;
+        self.stats.wait_us += t.wait_us;
         self.stats.energy_mj += energy_mj;
         let data = self
             .payloads
@@ -459,6 +590,7 @@ impl FlashDevice {
             .map(|d| d.to_vec());
         Ok(ReadOutcome {
             latency_us,
+            wait_us: t.wait_us,
             energy_mj,
             raw_bit_errors,
             mode,
@@ -492,6 +624,21 @@ impl FlashDevice {
     ///
     /// [`FlashOpError::BlockOutOfRange`] for bad block ids.
     pub fn erase_block(&mut self, block: BlockId) -> Result<EraseOutcome, FlashOpError> {
+        self.erase_block_with(block, OpContext::foreground())
+    }
+
+    /// Erases a block with an explicit [`OpContext`]; background erases
+    /// (GC) contend for plane time without advancing the foreground
+    /// clock.
+    ///
+    /// # Errors
+    ///
+    /// [`FlashOpError::BlockOutOfRange`] for bad block ids.
+    pub fn erase_block_with(
+        &mut self,
+        block: BlockId,
+        ctx: OpContext,
+    ) -> Result<EraseOutcome, FlashOpError> {
         if block.0 >= self.config.geometry.blocks {
             return Err(FlashOpError::BlockOutOfRange(block));
         }
@@ -511,13 +658,22 @@ impl FlashDevice {
         }
         self.erase_counts[b] += 1;
         let worst = self.block_worst_mode[b].take().unwrap_or(CellMode::Slc);
-        let latency_us = self.config.timing.erase_us(worst);
+        let t = self.model.op(&OpRequest {
+            class: OpClass::Erase,
+            mode: worst,
+            block: block.0,
+            lba: ctx.lba,
+            background: ctx.background,
+        });
+        let latency_us = t.service_us;
         let energy_mj = self.config.power.op_energy_mj(latency_us);
         self.stats.erases += 1;
         self.stats.busy_us += latency_us;
+        self.stats.wait_us += t.wait_us;
         self.stats.energy_mj += energy_mj;
         Ok(EraseOutcome {
             latency_us,
+            wait_us: t.wait_us,
             energy_mj,
             erase_count: self.erase_counts[b],
         })

@@ -9,6 +9,8 @@
 //!
 //! * [`geometry`] — blocks, physical pages, slots, capacity math;
 //! * [`timing`] — per-operation latency and energy constants;
+//! * [`sched`] — the device-timing API: the [`TimingModel`] trait, the
+//!   closed-form oracle, and the event-driven channel/plane scheduler;
 //! * [`wear`] — permanent/transient bit-error injection as erase counts
 //!   grow, with MLC-vs-SLC endurance coupling;
 //! * [`device`] — the [`FlashDevice`] state machine tying it together;
@@ -38,14 +40,20 @@
 pub mod device;
 pub mod geometry;
 pub mod sampling;
+pub mod sched;
 pub mod timing;
 pub mod verified;
 pub mod wear;
 
 pub use device::{
-    EraseOutcome, FlashConfig, FlashDevice, FlashOpError, FlashStats, ProgramOutcome, ReadOutcome,
+    EraseOutcome, FlashConfig, FlashDevice, FlashOpError, FlashStats, OpContext, ProgramOutcome,
+    ReadOutcome,
 };
 pub use geometry::{BlockId, CellMode, FlashGeometry, PageAddr};
+pub use sched::{
+    ChannelConfig, ChannelConfigBuilder, ChannelConfigError, ClosedForm, EventDriven, OpClass,
+    OpRequest, OpTiming, TimingBackend, TimingModel, TraceEntry, TraceKind,
+};
 pub use timing::{FlashPower, FlashTiming};
 pub use verified::{VerifiedError, VerifiedFlash, VerifiedRead};
 pub use wear::{PageWearState, WearConfig, WearModel};

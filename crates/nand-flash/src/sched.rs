@@ -1,0 +1,1004 @@
+//! Device-timing API and deterministic discrete-event NAND scheduler.
+//!
+//! This module fronts all operation timing behind the [`TimingModel`]
+//! trait, resolved once at device construction:
+//!
+//! * [`ClosedForm`] — the original Table 2/3 arithmetic: every op costs
+//!   its table latency, no queueing, wait is always zero. Bit-for-bit
+//!   identical to the pre-trait free-function sums.
+//! * [`EventDriven`] — a discrete-event scheduler with per-channel bus
+//!   arbitration, per-plane cell occupancy, bounded queue depth, and a
+//!   coalescing write buffer, in the spirit of FTL-SIM's event loop and
+//!   the multi-channel interleaving literature.
+//!
+//! Events live in a binary heap keyed on `(time, seq)` — ties broken by
+//! submission sequence — so replaying the same op stream always pops
+//! events in the same order and the event trace is byte-reproducible.
+//!
+//! # Oracle contract
+//!
+//! With [`ChannelConfig::is_serial`] (1 channel, 1 plane, queue depth 1,
+//! zero transfer time, zero writeback delay) every operation — fore- or
+//! background — blocks and advances the clock, every stall term is
+//! exactly `0.0`, and the reported `(wait, service)` pairs are
+//! byte-identical to [`ClosedForm`]. Differential tests pin this.
+//!
+//! # Scheduling disciplines
+//!
+//! * Channel of a block: `block % channels`; plane within the channel:
+//!   `(block / channels) % planes` — consecutive blocks stripe across
+//!   channels first, then planes.
+//! * Reads occupy the plane for the cell access, then the channel bus
+//!   for the transfer out. Programs transfer over the bus first, then
+//!   occupy the plane for the cell program. Erases occupy only the
+//!   plane. Cell phases on different planes overlap; the bus serializes
+//!   per channel.
+//! * At most `queue_depth` ops may be outstanding per channel; excess
+//!   submissions stall until a slot frees (FIFO admission).
+//! * Background programs carrying an LBA are held in a write buffer for
+//!   `writeback_us`; a rewrite of the same LBA inside the window
+//!   supersedes the pending flush (generation counter), so only the
+//!   last version occupies the NAND. Foreground ops arriving before a
+//!   flush deadline are dispatched ahead of it.
+//! * Background ops (GC traffic, fills, buffered flushes) consume
+//!   channel and plane time without advancing the foreground clock, so
+//!   later foreground ops observe genuine queue wait.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, HashMap};
+use std::error::Error;
+use std::fmt;
+
+use crate::geometry::CellMode;
+use crate::timing::FlashTiming;
+
+/// Which timing implementation a device resolves at construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimingBackend {
+    /// Closed-form per-op sums (the original model, and the oracle).
+    #[default]
+    ClosedForm,
+    /// Discrete-event scheduler with channel/plane parallelism.
+    EventDriven,
+}
+
+/// Channel-level geometry and scheduling parameters for the
+/// event-driven backend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelConfig {
+    /// Independent channels (each with its own bus).
+    pub channels: u32,
+    /// Planes per channel (cell ops on different planes overlap).
+    pub planes: u32,
+    /// Outstanding ops admitted per channel before submissions stall.
+    pub queue_depth: u32,
+    /// Write-buffer hold time before a background program is flushed to
+    /// the NAND, µs. Zero disables buffering.
+    pub writeback_us: f64,
+    /// Bus transfer time per page op, µs. Zero makes the bus free.
+    pub xfer_us: f64,
+    /// Maximum retained event-trace entries (0 disables tracing).
+    pub trace_capacity: u32,
+}
+
+impl Default for ChannelConfig {
+    fn default() -> Self {
+        ChannelConfig {
+            channels: 1,
+            planes: 1,
+            queue_depth: 1,
+            writeback_us: 0.0,
+            xfer_us: 0.0,
+            trace_capacity: 0,
+        }
+    }
+}
+
+/// Invalid [`ChannelConfig`] description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelConfigError(String);
+
+impl ChannelConfigError {
+    fn new(msg: String) -> Self {
+        ChannelConfigError(msg)
+    }
+}
+
+impl fmt::Display for ChannelConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid channel config: {}", self.0)
+    }
+}
+
+impl Error for ChannelConfigError {}
+
+impl ChannelConfig {
+    /// Starts a fluent builder seeded with the serial default; call
+    /// [`ChannelConfigBuilder::build`] to validate and obtain the
+    /// finished config.
+    ///
+    /// ```
+    /// use nand_flash::sched::ChannelConfig;
+    ///
+    /// let cfg = ChannelConfig::builder()
+    ///     .channels(4)
+    ///     .planes(2)
+    ///     .queue_depth(8)
+    ///     .writeback_us(500.0)
+    ///     .build()
+    ///     .expect("valid channel config");
+    /// assert_eq!(cfg.channels, 4);
+    /// assert!(!cfg.is_serial());
+    /// ```
+    pub fn builder() -> ChannelConfigBuilder {
+        ChannelConfigBuilder {
+            config: ChannelConfig::default(),
+        }
+    }
+
+    /// Validates invariants, returning a description of the first
+    /// violation.
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelConfigError`] describing the violated constraint.
+    pub fn validate(&self) -> Result<(), ChannelConfigError> {
+        if self.channels == 0 {
+            return Err(ChannelConfigError::new("channels must be >= 1".into()));
+        }
+        if self.planes == 0 {
+            return Err(ChannelConfigError::new("planes must be >= 1".into()));
+        }
+        if self.queue_depth == 0 {
+            return Err(ChannelConfigError::new("queue_depth must be >= 1".into()));
+        }
+        if !self.writeback_us.is_finite() || self.writeback_us < 0.0 {
+            return Err(ChannelConfigError::new(format!(
+                "writeback_us must be finite and >= 0, got {}",
+                self.writeback_us
+            )));
+        }
+        if !self.xfer_us.is_finite() || self.xfer_us < 0.0 {
+            return Err(ChannelConfigError::new(format!(
+                "xfer_us must be finite and >= 0, got {}",
+                self.xfer_us
+            )));
+        }
+        Ok(())
+    }
+
+    /// Whether this configuration mimics serial execution: one channel,
+    /// one plane, depth one, free bus, no write buffering. In this mode
+    /// the event backend is the closed-form oracle, byte for byte.
+    pub fn is_serial(&self) -> bool {
+        self.channels == 1
+            && self.planes == 1
+            && self.queue_depth <= 1
+            && self.writeback_us == 0.0
+            && self.xfer_us == 0.0
+    }
+}
+
+/// Fluent constructor for [`ChannelConfig`], obtained from
+/// [`ChannelConfig::builder`]. Follows the `FlashCacheConfig::builder`
+/// style: each setter overrides one field,
+/// [`build`](ChannelConfigBuilder::build) validates.
+#[derive(Debug, Clone)]
+pub struct ChannelConfigBuilder {
+    config: ChannelConfig,
+}
+
+impl ChannelConfigBuilder {
+    /// Sets the channel count.
+    pub fn channels(mut self, channels: u32) -> Self {
+        self.config.channels = channels;
+        self
+    }
+
+    /// Sets planes per channel.
+    pub fn planes(mut self, planes: u32) -> Self {
+        self.config.planes = planes;
+        self
+    }
+
+    /// Sets the per-channel outstanding-op limit.
+    pub fn queue_depth(mut self, queue_depth: u32) -> Self {
+        self.config.queue_depth = queue_depth;
+        self
+    }
+
+    /// Sets the write-buffer hold time, µs.
+    pub fn writeback_us(mut self, writeback_us: f64) -> Self {
+        self.config.writeback_us = writeback_us;
+        self
+    }
+
+    /// Sets the per-op bus transfer time, µs.
+    pub fn xfer_us(mut self, xfer_us: f64) -> Self {
+        self.config.xfer_us = xfer_us;
+        self
+    }
+
+    /// Sets the event-trace retention limit.
+    pub fn trace_capacity(mut self, trace_capacity: u32) -> Self {
+        self.config.trace_capacity = trace_capacity;
+        self
+    }
+
+    /// Validates and returns the finished configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelConfigError`] for zero channel/plane/depth counts or
+    /// negative/non-finite times.
+    pub fn build(self) -> Result<ChannelConfig, ChannelConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+/// Operation class, as the scheduler sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpClass {
+    /// Page read: cell access then bus transfer out.
+    Read,
+    /// Page program: bus transfer in then cell program.
+    Program,
+    /// Block erase: cell only.
+    Erase,
+}
+
+/// One operation submitted to a [`TimingModel`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpRequest {
+    /// What the op does.
+    pub class: OpClass,
+    /// Cell mode (for erase: the block's worst programmed mode).
+    pub mode: CellMode,
+    /// Target block, used for channel/plane placement.
+    pub block: u32,
+    /// Logical (disk) address, when known — enables write-buffer
+    /// coalescing for background programs.
+    pub lba: Option<u64>,
+    /// Background ops (GC, fills, flushes) consume device time without
+    /// advancing the foreground clock.
+    pub background: bool,
+}
+
+/// The timing verdict for one operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpTiming {
+    /// Queueing delay before service began, µs. Exactly `0.0` under
+    /// [`ClosedForm`] and under serial-mimic [`EventDriven`].
+    pub wait_us: f64,
+    /// Device service time (cell phase plus bus transfer), µs.
+    pub service_us: f64,
+}
+
+/// Trace record kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// An op was placed on channel/plane resources.
+    Dispatch,
+    /// An op's completion event fired.
+    Complete,
+    /// A buffered write flushed to the NAND.
+    WbFlush,
+    /// A buffered write was superseded by a rewrite and never flushed.
+    WbCoalesce,
+}
+
+/// One entry of the bounded event trace. Times are stored as raw `f64`
+/// bits so equality is byte-exact across runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Event time as `f64::to_bits`.
+    pub t_bits: u64,
+    /// Global event sequence number.
+    pub seq: u64,
+    /// What happened.
+    pub kind: TraceKind,
+    /// Channel involved.
+    pub channel: u32,
+}
+
+/// The redesigned device-timing API: a single object, resolved at
+/// device construction, that prices every operation.
+///
+/// Implementations must be deterministic: the same op sequence yields
+/// the same timings, clock, and trace.
+pub trait TimingModel: fmt::Debug + Send {
+    /// Prices one operation and advances internal state.
+    fn op(&mut self, req: &OpRequest) -> OpTiming;
+    /// Table read latency in `mode`, µs (no queueing).
+    fn read_us(&self, mode: CellMode) -> f64;
+    /// Table program latency in `mode`, µs (no queueing).
+    fn program_us(&self, mode: CellMode) -> f64;
+    /// Table erase latency for a block whose worst mode is `mode`, µs.
+    fn erase_us(&self, mode: CellMode) -> f64;
+    /// Current modeled clock, µs.
+    fn now_us(&self) -> f64;
+    /// Runs all pending events (including scheduled write-buffer
+    /// flushes) and returns the makespan: the time at which every
+    /// resource falls idle. Advances the clock to it.
+    fn drain(&mut self) -> f64;
+    /// The retained event trace (empty unless tracing is enabled).
+    fn trace(&self) -> &[TraceEntry];
+}
+
+/// Builds the configured timing model.
+pub fn build_model(
+    backend: TimingBackend,
+    timing: FlashTiming,
+    channel: ChannelConfig,
+) -> Box<dyn TimingModel + Send> {
+    match backend {
+        TimingBackend::ClosedForm => Box::new(ClosedForm::new(timing)),
+        TimingBackend::EventDriven => Box::new(EventDriven::new(timing, channel)),
+    }
+}
+
+fn table_read(t: &FlashTiming, mode: CellMode) -> f64 {
+    match mode {
+        CellMode::Slc => t.slc_read_us,
+        CellMode::Mlc => t.mlc_read_us,
+    }
+}
+
+fn table_program(t: &FlashTiming, mode: CellMode) -> f64 {
+    match mode {
+        CellMode::Slc => t.slc_program_us,
+        CellMode::Mlc => t.mlc_program_us,
+    }
+}
+
+fn table_erase(t: &FlashTiming, mode: CellMode) -> f64 {
+    match mode {
+        CellMode::Slc => t.slc_erase_us,
+        CellMode::Mlc => t.mlc_erase_us,
+    }
+}
+
+/// The original arithmetic model: wait is always zero, service is the
+/// Table 2/3 latency, the clock is the running sum of service times.
+#[derive(Debug, Clone)]
+pub struct ClosedForm {
+    timing: FlashTiming,
+    clock_us: f64,
+}
+
+impl ClosedForm {
+    /// A closed-form model over the given latency table.
+    pub fn new(timing: FlashTiming) -> Self {
+        ClosedForm {
+            timing,
+            clock_us: 0.0,
+        }
+    }
+}
+
+impl TimingModel for ClosedForm {
+    fn op(&mut self, req: &OpRequest) -> OpTiming {
+        let service_us = match req.class {
+            OpClass::Read => table_read(&self.timing, req.mode),
+            OpClass::Program => table_program(&self.timing, req.mode),
+            OpClass::Erase => table_erase(&self.timing, req.mode),
+        };
+        self.clock_us += service_us;
+        OpTiming {
+            wait_us: 0.0,
+            service_us,
+        }
+    }
+
+    fn read_us(&self, mode: CellMode) -> f64 {
+        table_read(&self.timing, mode)
+    }
+
+    fn program_us(&self, mode: CellMode) -> f64 {
+        table_program(&self.timing, mode)
+    }
+
+    fn erase_us(&self, mode: CellMode) -> f64 {
+        table_erase(&self.timing, mode)
+    }
+
+    fn now_us(&self) -> f64 {
+        self.clock_us
+    }
+
+    fn drain(&mut self) -> f64 {
+        self.clock_us
+    }
+
+    fn trace(&self) -> &[TraceEntry] {
+        &[]
+    }
+}
+
+/// Total-ordered `f64` for heap keys.
+#[derive(Debug, Clone, Copy)]
+struct OrdF64(f64);
+
+impl PartialEq for OrdF64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum EvKind {
+    Complete {
+        channel: u32,
+    },
+    WbFlush {
+        lba: u64,
+        generation: u64,
+        mode: CellMode,
+        block: u32,
+    },
+}
+
+/// Heap event, min-ordered on `(time, seq)` via `Reverse`.
+#[derive(Debug, Clone, Copy)]
+struct Ev {
+    t: f64,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Ev {}
+
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.t.total_cmp(&other.t).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// Discrete-event NAND scheduler with channel/plane parallelism.
+///
+/// See the module docs for the scheduling disciplines and the oracle
+/// contract. The scheduler is RNG-free: determinism is structural.
+#[derive(Debug)]
+pub struct EventDriven {
+    timing: FlashTiming,
+    cfg: ChannelConfig,
+    serial: bool,
+    now_us: f64,
+    seq: u64,
+    events: BinaryHeap<Reverse<Ev>>,
+    /// Per-channel time at which the bus falls idle.
+    bus_free_us: Vec<f64>,
+    /// Per-plane (channel-major) time at which the cell array falls idle.
+    plane_free_us: Vec<f64>,
+    /// Per-channel completion times of outstanding ops (queue-depth
+    /// admission window).
+    outstanding: Vec<BinaryHeap<Reverse<OrdF64>>>,
+    /// Write buffer: LBA → generation of the pending flush.
+    wb_pending: HashMap<u64, u64>,
+    wb_generation: u64,
+    trace: Vec<TraceEntry>,
+}
+
+impl EventDriven {
+    /// An event-driven model over the given latency table and channel
+    /// configuration.
+    pub fn new(timing: FlashTiming, cfg: ChannelConfig) -> Self {
+        let channels = cfg.channels.max(1) as usize;
+        let planes = channels * cfg.planes.max(1) as usize;
+        EventDriven {
+            timing,
+            serial: cfg.is_serial(),
+            now_us: 0.0,
+            seq: 0,
+            events: BinaryHeap::new(),
+            bus_free_us: vec![0.0; channels],
+            plane_free_us: vec![0.0; planes],
+            outstanding: (0..channels).map(|_| BinaryHeap::new()).collect(),
+            wb_pending: HashMap::new(),
+            wb_generation: 0,
+            trace: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// The channel configuration in force.
+    pub fn channel_config(&self) -> &ChannelConfig {
+        &self.cfg
+    }
+
+    /// Pending (not yet flushed or coalesced) write-buffer entries.
+    pub fn buffered_writes(&self) -> usize {
+        self.wb_pending.len()
+    }
+
+    fn push_trace(&mut self, kind: TraceKind, t: f64, seq: u64, channel: u32) {
+        if self.trace.len() < self.cfg.trace_capacity as usize {
+            self.trace.push(TraceEntry {
+                t_bits: t.to_bits(),
+                seq,
+                kind,
+                channel,
+            });
+        }
+    }
+
+    fn push_event(&mut self, t: f64, kind: EvKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(Ev { t, seq, kind }));
+    }
+
+    fn channel_of(&self, block: u32) -> usize {
+        (block % self.cfg.channels) as usize
+    }
+
+    fn plane_of(&self, block: u32) -> usize {
+        let ch = self.channel_of(block);
+        ch * self.cfg.planes as usize + ((block / self.cfg.channels) % self.cfg.planes) as usize
+    }
+
+    /// Places one op on the channel/plane timeline starting no earlier
+    /// than `arrival_us`, returning `(wait, service, end)`.
+    ///
+    /// Wait is accumulated as a sum of individual stall terms (each a
+    /// `max(ready, free) - ready`), never as `end - arrival - service`:
+    /// in serial mode every term is exactly `0.0`, which keeps the
+    /// oracle comparison byte-exact.
+    fn dispatch(&mut self, class: OpClass, mode: CellMode, block: u32, arrival_us: f64) -> OpSpan {
+        let ch = self.channel_of(block);
+        let plane = self.plane_of(block);
+        // FIFO queue-depth admission: completed ops leave the window,
+        // then stall until the window has room.
+        let depth = self.cfg.queue_depth.max(1) as usize;
+        let q = &mut self.outstanding[ch];
+        while matches!(q.peek(), Some(&Reverse(OrdF64(t))) if t <= arrival_us) {
+            q.pop();
+        }
+        let mut admit_us = arrival_us;
+        while q.len() >= depth {
+            let Reverse(OrdF64(t)) = q.pop().expect("len >= depth > 0");
+            if t > admit_us {
+                admit_us = t;
+            }
+        }
+        let mut wait_us = admit_us - arrival_us;
+        let xfer = self.cfg.xfer_us;
+        let (service_us, end);
+        match class {
+            OpClass::Read => {
+                let cell = table_read(&self.timing, mode);
+                let cell_start = if self.plane_free_us[plane] > admit_us {
+                    self.plane_free_us[plane]
+                } else {
+                    admit_us
+                };
+                wait_us += cell_start - admit_us;
+                let cell_end = cell_start + cell;
+                let bus_start = if self.bus_free_us[ch] > cell_end {
+                    self.bus_free_us[ch]
+                } else {
+                    cell_end
+                };
+                wait_us += bus_start - cell_end;
+                end = bus_start + xfer;
+                self.bus_free_us[ch] = end;
+                self.plane_free_us[plane] = end;
+                service_us = cell + xfer;
+            }
+            OpClass::Program => {
+                let cell = table_program(&self.timing, mode);
+                let bus_start = if self.bus_free_us[ch] > admit_us {
+                    self.bus_free_us[ch]
+                } else {
+                    admit_us
+                };
+                wait_us += bus_start - admit_us;
+                let bus_end = bus_start + xfer;
+                self.bus_free_us[ch] = bus_end;
+                let cell_start = if self.plane_free_us[plane] > bus_end {
+                    self.plane_free_us[plane]
+                } else {
+                    bus_end
+                };
+                wait_us += cell_start - bus_end;
+                end = cell_start + cell;
+                self.plane_free_us[plane] = end;
+                service_us = xfer + cell;
+            }
+            OpClass::Erase => {
+                let cell = table_erase(&self.timing, mode);
+                let cell_start = if self.plane_free_us[plane] > admit_us {
+                    self.plane_free_us[plane]
+                } else {
+                    admit_us
+                };
+                wait_us += cell_start - admit_us;
+                end = cell_start + cell;
+                self.plane_free_us[plane] = end;
+                service_us = cell;
+            }
+        }
+        self.outstanding[ch].push(Reverse(OrdF64(end)));
+        let seq = self.seq;
+        self.push_trace(TraceKind::Dispatch, end, seq, ch as u32);
+        self.push_event(end, EvKind::Complete { channel: ch as u32 });
+        OpSpan {
+            wait_us,
+            service_us,
+            end_us: end,
+        }
+    }
+
+    /// Fires every event due at or before `t_us`.
+    fn run_until(&mut self, t_us: f64) {
+        while matches!(self.events.peek(), Some(&Reverse(ev)) if ev.t <= t_us) {
+            let Reverse(ev) = self.events.pop().expect("peeked non-empty");
+            self.fire(ev);
+        }
+    }
+
+    fn fire(&mut self, ev: Ev) {
+        match ev.kind {
+            EvKind::Complete { channel } => {
+                self.push_trace(TraceKind::Complete, ev.t, ev.seq, channel);
+            }
+            EvKind::WbFlush {
+                lba,
+                generation,
+                mode,
+                block,
+            } => {
+                if self.wb_pending.get(&lba) == Some(&generation) {
+                    self.wb_pending.remove(&lba);
+                    self.push_trace(
+                        TraceKind::WbFlush,
+                        ev.t,
+                        ev.seq,
+                        self.channel_of(block) as u32,
+                    );
+                    self.dispatch(OpClass::Program, mode, block, ev.t);
+                } else {
+                    self.push_trace(
+                        TraceKind::WbCoalesce,
+                        ev.t,
+                        ev.seq,
+                        self.channel_of(block) as u32,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Internal dispatch result.
+#[derive(Debug, Clone, Copy)]
+struct OpSpan {
+    wait_us: f64,
+    service_us: f64,
+    end_us: f64,
+}
+
+impl TimingModel for EventDriven {
+    fn op(&mut self, req: &OpRequest) -> OpTiming {
+        let arrival_us = self.now_us;
+        self.run_until(arrival_us);
+        let blocking = self.serial || !req.background;
+        if !blocking && req.class == OpClass::Program && self.cfg.writeback_us > 0.0 {
+            if let Some(lba) = req.lba {
+                // Buffer the write: the NAND occupancy happens at flush
+                // time (or never, if a rewrite supersedes it), but the
+                // service cost is reported now so device stats stay
+                // monotone and backend-independent.
+                self.wb_generation += 1;
+                self.wb_pending.insert(lba, self.wb_generation);
+                self.push_event(
+                    arrival_us + self.cfg.writeback_us,
+                    EvKind::WbFlush {
+                        lba,
+                        generation: self.wb_generation,
+                        mode: req.mode,
+                        block: req.block,
+                    },
+                );
+                return OpTiming {
+                    wait_us: 0.0,
+                    service_us: table_program(&self.timing, req.mode) + self.cfg.xfer_us,
+                };
+            }
+        }
+        let span = self.dispatch(req.class, req.mode, req.block, arrival_us);
+        if blocking {
+            self.run_until(span.end_us);
+            self.now_us = span.end_us;
+        }
+        OpTiming {
+            wait_us: span.wait_us,
+            service_us: span.service_us,
+        }
+    }
+
+    fn read_us(&self, mode: CellMode) -> f64 {
+        table_read(&self.timing, mode)
+    }
+
+    fn program_us(&self, mode: CellMode) -> f64 {
+        table_program(&self.timing, mode)
+    }
+
+    fn erase_us(&self, mode: CellMode) -> f64 {
+        table_erase(&self.timing, mode)
+    }
+
+    fn now_us(&self) -> f64 {
+        self.now_us
+    }
+
+    fn drain(&mut self) -> f64 {
+        // Fire everything still scheduled — buffered writes flush at
+        // their writeback deadlines and their dispatches enqueue further
+        // completion events, all consumed here in (time, seq) order.
+        while let Some(Reverse(ev)) = self.events.pop() {
+            self.fire(ev);
+        }
+        let mut makespan = self.now_us;
+        for &t in &self.bus_free_us {
+            if t > makespan {
+                makespan = t;
+            }
+        }
+        for &t in &self.plane_free_us {
+            if t > makespan {
+                makespan = t;
+            }
+        }
+        self.now_us = makespan;
+        makespan
+    }
+
+    fn trace(&self) -> &[TraceEntry] {
+        &self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fg(class: OpClass, mode: CellMode, block: u32) -> OpRequest {
+        OpRequest {
+            class,
+            mode,
+            block,
+            lba: None,
+            background: false,
+        }
+    }
+
+    fn bg(class: OpClass, mode: CellMode, block: u32, lba: Option<u64>) -> OpRequest {
+        OpRequest {
+            class,
+            mode,
+            block,
+            lba,
+            background: true,
+        }
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert!(ChannelConfig::builder().channels(0).build().is_err());
+        assert!(ChannelConfig::builder().planes(0).build().is_err());
+        assert!(ChannelConfig::builder().queue_depth(0).build().is_err());
+        assert!(ChannelConfig::builder().writeback_us(-1.0).build().is_err());
+        assert!(ChannelConfig::builder().xfer_us(f64::NAN).build().is_err());
+        let cfg = ChannelConfig::builder()
+            .channels(4)
+            .planes(2)
+            .queue_depth(8)
+            .writeback_us(500.0)
+            .xfer_us(40.0)
+            .trace_capacity(64)
+            .build()
+            .unwrap();
+        assert_eq!((cfg.channels, cfg.planes, cfg.queue_depth), (4, 2, 8));
+        assert!(!cfg.is_serial());
+        assert!(ChannelConfig::default().is_serial());
+    }
+
+    #[test]
+    fn serial_event_model_matches_closed_form_bitwise() {
+        let timing = FlashTiming::default();
+        let mut oracle = ClosedForm::new(timing);
+        let mut event = EventDriven::new(timing, ChannelConfig::default());
+        let ops = [
+            fg(OpClass::Read, CellMode::Slc, 0),
+            bg(OpClass::Program, CellMode::Mlc, 1, Some(42)),
+            fg(OpClass::Read, CellMode::Mlc, 1),
+            bg(OpClass::Erase, CellMode::Mlc, 0, None),
+            bg(OpClass::Program, CellMode::Slc, 2, Some(42)),
+            fg(OpClass::Read, CellMode::Slc, 2),
+        ];
+        for op in &ops {
+            let a = oracle.op(op);
+            let b = event.op(op);
+            assert_eq!(a.wait_us.to_bits(), b.wait_us.to_bits());
+            assert_eq!(a.service_us.to_bits(), b.service_us.to_bits());
+        }
+        assert_eq!(oracle.drain().to_bits(), event.drain().to_bits());
+        assert_eq!(oracle.now_us().to_bits(), event.now_us().to_bits());
+    }
+
+    #[test]
+    fn channels_overlap_background_work() {
+        let timing = FlashTiming::default();
+        let cfg = ChannelConfig::builder()
+            .channels(4)
+            .queue_depth(8)
+            .build()
+            .unwrap();
+        let mut event = EventDriven::new(timing, cfg);
+        // Four background programs striped across four channels overlap;
+        // serially they would cost 4 * 200µs.
+        for block in 0..4 {
+            event.op(&bg(OpClass::Program, CellMode::Slc, block, None));
+        }
+        let makespan = event.drain();
+        assert_eq!(makespan, 200.0, "four channels run four programs in one");
+
+        let mut serial = EventDriven::new(timing, ChannelConfig::default());
+        for block in 0..4 {
+            serial.op(&bg(OpClass::Program, CellMode::Slc, block, None));
+        }
+        assert_eq!(serial.drain(), 800.0);
+    }
+
+    #[test]
+    fn background_traffic_delays_foreground_reads() {
+        let timing = FlashTiming::default();
+        let cfg = ChannelConfig::builder()
+            .channels(1)
+            .queue_depth(8)
+            .xfer_us(0.0)
+            .build()
+            .unwrap();
+        let mut event = EventDriven::new(timing, cfg);
+        // A background erase occupies the sole plane...
+        event.op(&bg(OpClass::Erase, CellMode::Mlc, 0, None));
+        // ...so a foreground read on the same plane waits out the erase.
+        let t = event.op(&fg(OpClass::Read, CellMode::Slc, 0));
+        assert_eq!(t.wait_us, 3300.0);
+        assert_eq!(t.service_us, 25.0);
+    }
+
+    #[test]
+    fn queue_depth_throttles_admission() {
+        let timing = FlashTiming::default();
+        let deep = ChannelConfig::builder()
+            .channels(1)
+            .planes(4)
+            .queue_depth(4)
+            .build()
+            .unwrap();
+        let shallow = ChannelConfig::builder()
+            .channels(1)
+            .planes(4)
+            .queue_depth(1)
+            .build()
+            .unwrap();
+        // Four erases on four planes: deep queue overlaps them, a
+        // depth-1 queue serializes admission.
+        let mut a = EventDriven::new(timing, deep);
+        let mut b = EventDriven::new(timing, shallow);
+        for block in 0..4 {
+            a.op(&bg(OpClass::Erase, CellMode::Slc, block, None));
+            b.op(&bg(OpClass::Erase, CellMode::Slc, block, None));
+        }
+        assert_eq!(a.drain(), 1500.0);
+        assert_eq!(b.drain(), 4.0 * 1500.0);
+    }
+
+    #[test]
+    fn write_buffer_coalesces_rewrites() {
+        let timing = FlashTiming::default();
+        let cfg = ChannelConfig::builder()
+            .channels(1)
+            .queue_depth(8)
+            .writeback_us(500.0)
+            .trace_capacity(64)
+            .build()
+            .unwrap();
+        let mut event = EventDriven::new(timing, cfg);
+        // Three rewrites of the same LBA inside the window: only the
+        // last flushes; the first two coalesce away.
+        for block in 0..3 {
+            event.op(&bg(OpClass::Program, CellMode::Slc, block, Some(7)));
+        }
+        assert_eq!(event.buffered_writes(), 1);
+        let makespan = event.drain();
+        assert_eq!(event.buffered_writes(), 0);
+        // One program dispatched at its 500µs deadline.
+        assert_eq!(makespan, 700.0);
+        let flushes = event
+            .trace()
+            .iter()
+            .filter(|e| e.kind == TraceKind::WbFlush)
+            .count();
+        let coalesced = event
+            .trace()
+            .iter()
+            .filter(|e| e.kind == TraceKind::WbCoalesce)
+            .count();
+        assert_eq!((flushes, coalesced), (1, 2));
+    }
+
+    #[test]
+    fn trace_is_reproducible_and_bounded() {
+        let timing = FlashTiming::default();
+        let cfg = ChannelConfig::builder()
+            .channels(2)
+            .queue_depth(4)
+            .writeback_us(100.0)
+            .trace_capacity(8)
+            .build()
+            .unwrap();
+        let run = |cfg: ChannelConfig| {
+            let mut event = EventDriven::new(timing, cfg);
+            for i in 0..16u32 {
+                event.op(&bg(
+                    OpClass::Program,
+                    CellMode::Mlc,
+                    i,
+                    Some(u64::from(i % 4)),
+                ));
+                event.op(&fg(OpClass::Read, CellMode::Slc, i));
+            }
+            event.drain();
+            event.trace().to_vec()
+        };
+        let a = run(cfg);
+        let b = run(cfg);
+        assert_eq!(a, b, "same config + same ops => byte-identical trace");
+        assert!(a.len() <= 8);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn closed_form_clock_sums_services() {
+        let mut model = ClosedForm::new(FlashTiming::default());
+        model.op(&fg(OpClass::Read, CellMode::Slc, 0));
+        model.op(&fg(OpClass::Program, CellMode::Mlc, 0));
+        assert_eq!(model.now_us(), 25.0 + 680.0);
+        assert_eq!(model.drain(), 25.0 + 680.0);
+        assert!(model.trace().is_empty());
+        assert_eq!(model.read_us(CellMode::Mlc), 50.0);
+        assert_eq!(model.program_us(CellMode::Slc), 200.0);
+        assert_eq!(model.erase_us(CellMode::Mlc), 3300.0);
+    }
+}

@@ -35,6 +35,10 @@ impl Default for FlashTiming {
 
 impl FlashTiming {
     /// Page read latency in `mode`, µs.
+    #[deprecated(
+        note = "query the device's TimingModel (e.g. FlashDevice::timing_model().read_us) \
+                so queueing backends stay in the loop; this free-function shim will go away"
+    )]
     pub fn read_us(&self, mode: CellMode) -> f64 {
         match mode {
             CellMode::Slc => self.slc_read_us,
@@ -43,6 +47,10 @@ impl FlashTiming {
     }
 
     /// Page program latency in `mode`, µs.
+    #[deprecated(
+        note = "query the device's TimingModel (e.g. FlashDevice::timing_model().program_us) \
+                so queueing backends stay in the loop; this free-function shim will go away"
+    )]
     pub fn program_us(&self, mode: CellMode) -> f64 {
         match mode {
             CellMode::Slc => self.slc_program_us,
@@ -52,6 +60,10 @@ impl FlashTiming {
 
     /// Block erase latency, µs. A block containing any MLC page pays the
     /// MLC erase cost; pure-SLC blocks erase faster.
+    #[deprecated(
+        note = "query the device's TimingModel (e.g. FlashDevice::timing_model().erase_us) \
+                so queueing backends stay in the loop; this free-function shim will go away"
+    )]
     pub fn erase_us(&self, worst_mode: CellMode) -> f64 {
         match worst_mode {
             CellMode::Slc => self.slc_erase_us,
@@ -96,6 +108,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(deprecated)]
     fn table2_defaults() {
         let t = FlashTiming::default();
         assert_eq!(t.read_us(CellMode::Slc), 25.0);
@@ -107,6 +120,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn slc_is_strictly_faster() {
         let t = FlashTiming::default();
         assert!(t.read_us(CellMode::Slc) < t.read_us(CellMode::Mlc));

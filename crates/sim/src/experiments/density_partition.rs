@@ -11,7 +11,7 @@
 
 use disk_trace::{PopularitySampler, WorkloadSpec, PAGE_BYTES};
 use flash_ecc::EccLatencyModel;
-use nand_flash::{CellMode, FlashTiming};
+use nand_flash::FlashTiming;
 use storage_model::HddModel;
 
 /// Die-area → capacity scaling, from the 8Gb MLC part in 146mm² the
@@ -108,8 +108,8 @@ pub fn average_latency(
     let total_cov = sampler.coverage(slc_pages + mlc_pages);
     let mlc_cov = total_cov - slc_cov;
     let miss = 1.0 - total_cov;
-    slc_cov * (params.timing.read_us(CellMode::Slc) + ecc_us)
-        + mlc_cov * (params.timing.read_us(CellMode::Mlc) + ecc_us)
+    slc_cov * (params.timing.slc_read_us + ecc_us)
+        + mlc_cov * (params.timing.mlc_read_us + ecc_us)
         + miss * params.hdd.access_latency_us(PAGE_BYTES)
 }
 
@@ -185,7 +185,7 @@ mod tests {
         let sampler = PopularitySampler::new(w.popularity, w.footprint_pages, 5);
         let params = DensityPartitionParams::default();
         let lat = average_latency(&sampler, mb(100.0), 0.5, &params);
-        assert!(lat > params.timing.read_us(CellMode::Slc));
+        assert!(lat > params.timing.slc_read_us);
         assert!(lat < params.hdd.access_latency_us(PAGE_BYTES));
     }
 }

@@ -102,6 +102,14 @@ pub struct HierarchyReport {
     pub dram_latency: LatencyHistogram,
     /// Latency of page accesses served from flash.
     pub flash_latency: LatencyHistogram,
+    /// Device queueing delay of flash-served page accesses — zero under
+    /// the closed-form timing backend, real channel contention under
+    /// the event-driven one. Recorded separately from service so the
+    /// oracle path demonstrably reports wait = 0.
+    pub flash_queue_wait: LatencyHistogram,
+    /// Service component (probe + array + ECC, no queueing) of
+    /// flash-served page accesses.
+    pub flash_service: LatencyHistogram,
     /// Latency of batched disk accesses (one sample per request that
     /// reached the disk).
     pub disk_latency: LatencyHistogram,
@@ -229,6 +237,10 @@ impl Hierarchy {
         reg.histogram_merge("hierarchy.request_latency", &r.latency);
         reg.histogram_merge("hierarchy.dram_latency", &r.dram_latency);
         reg.histogram_merge("hierarchy.flash_latency", &r.flash_latency);
+        // Wait vs. service split of the flash tier, exported without the
+        // hierarchy prefix as the canonical flash-obs contention metrics.
+        reg.histogram_merge("flash.queue_wait_us", &r.flash_queue_wait);
+        reg.histogram_merge("flash.service_us", &r.flash_service);
         reg.histogram_merge("hierarchy.disk_latency", &r.disk_latency);
         reg
     }
@@ -296,7 +308,7 @@ impl Hierarchy {
         for page in req.pages() {
             match req.op {
                 OpKind::Read => {
-                    let (lat, tier) = self.read_page(page);
+                    let (lat, wait, tier) = self.read_page(page);
                     out.latency_us += lat;
                     match tier {
                         ServiceTier::Dram => {
@@ -306,6 +318,8 @@ impl Hierarchy {
                         ServiceTier::Flash => {
                             out.flash_hits += 1;
                             self.report.flash_latency.record(lat);
+                            self.report.flash_queue_wait.record(wait);
+                            self.report.flash_service.record(lat - wait);
                         }
                         ServiceTier::Disk => disk_read_pages += 1,
                     }
@@ -416,7 +430,10 @@ impl Hierarchy {
             self.flush_to_disk(fo.flushed_dirty);
             if fo.tier == ServiceTier::Flash {
                 outs[ri].flash_hits += 1;
-                self.report.flash_latency.record(probe_us + fo.latency_us);
+                let lat = probe_us + fo.latency_us;
+                self.report.flash_latency.record(lat);
+                self.report.flash_queue_wait.record(fo.queue_wait_us);
+                self.report.flash_service.record(lat - fo.queue_wait_us);
             } else {
                 disk_reads[ri] += 1;
             }
@@ -463,23 +480,25 @@ impl Hierarchy {
         t
     }
 
-    fn read_page(&mut self, page: u64) -> (f64, ServiceTier) {
+    fn read_page(&mut self, page: u64) -> (f64, f64, ServiceTier) {
         let mut latency = self.dram_access(false);
         if self.pdc.access(page) {
-            return (latency, ServiceTier::Dram);
+            return (latency, 0.0, ServiceTier::Dram);
         }
         // A PDC miss always installs the page clean; only the hit tier
         // depends on where the data came from.
+        let mut queue_wait = 0.0;
         let tier = if let Some(flash) = &mut self.flash {
             let out = flash.read(page);
             latency += out.latency_us;
+            queue_wait = out.queue_wait_us;
             self.flush_to_disk(out.flushed_dirty);
             out.tier
         } else {
             ServiceTier::Disk
         };
         self.install_in_pdc(page, false);
-        (latency, tier)
+        (latency, queue_wait, tier)
     }
 
     fn write_page(&mut self, page: u64) -> f64 {
