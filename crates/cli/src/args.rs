@@ -51,6 +51,7 @@ const VALUE_KEYS: &[&str] = &[
     "planes",
     "writeback-us",
     "queue-depth",
+    "sched-backend",
 ];
 
 impl Args {

@@ -2,8 +2,8 @@
 //! the flash secondary cache (Figure 2). Managed by the OS as a
 //! write-back LRU over 2KB disk pages.
 
+use crate::fxhash::FxHashMap;
 use crate::lru::LruTracker;
-use std::collections::HashMap;
 
 /// Result of a PDC insertion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,7 +35,7 @@ pub struct PdcEviction {
 pub struct PrimaryDiskCache {
     capacity_pages: usize,
     lru: LruTracker,
-    dirty: HashMap<u64, bool>,
+    dirty: FxHashMap<u64, bool>,
 }
 
 impl PrimaryDiskCache {
@@ -49,7 +49,7 @@ impl PrimaryDiskCache {
         PrimaryDiskCache {
             capacity_pages,
             lru: LruTracker::new(),
-            dirty: HashMap::new(),
+            dirty: FxHashMap::default(),
         }
     }
 

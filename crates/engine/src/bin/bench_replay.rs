@@ -20,7 +20,8 @@
 //!
 //! Usage: `bench_replay [--requests N] [--shards 1,2,4,8] [--batch N]
 //! [--seed N] [--repeat N] [--slow] [--smoke] [--floor PAGES_PER_SEC]
-//! [--scaling-floor RATIO] [--channels 1,4,8] [--out PATH]`
+//! [--scaling-floor RATIO] [--channels 1,4,8] [--sched-backend heap|wheel]
+//! [--max-overhead RATIO] [--out PATH]`
 //!
 //! `--slow` disables every fast-path gate (CDF sampling, StdRng, direct
 //! wear evaluation) so the two paths can be compared on one machine.
@@ -38,13 +39,21 @@
 //! event scheduler is RNG-free), so the run always asserts that the
 //! widest configuration's modeled throughput is at least the 1-channel
 //! number, and the default output moves to `BENCH_channels.json`.
+//!
+//! The matrix also replays the same trace/seed on the closed-form
+//! backend and reports each point's `overhead_ratio` — event-driven
+//! wall-clock over closed-form wall-clock, the simulation tax of
+//! realistic queueing. `--max-overhead RATIO` asserts every point stays
+//! at or under RATIO (the CI smoke step uses 1.25; the release target
+//! is 1.15), and `--sched-backend heap` swaps in the retained
+//! heap-based scheduler for comparison (default: wheel).
 
 use std::time::Instant;
 
 use disk_trace::{DiskRequest, WorkloadSpec};
 use flash_obs::JsonValue;
 use flashcache_core::FlashCacheConfig;
-use nand_flash::{ChannelConfig, FlashConfig, FlashGeometry, TimingBackend};
+use nand_flash::{ChannelConfig, FlashConfig, FlashGeometry, SchedBackend, TimingBackend};
 
 use flashcache_engine::{pool, ShardedCache};
 
@@ -59,6 +68,8 @@ struct Args {
     smoke: bool,
     floor: Option<f64>,
     scaling_floor: Option<f64>,
+    sched_backend: SchedBackend,
+    max_overhead: Option<f64>,
     out: String,
 }
 
@@ -74,6 +85,8 @@ fn parse_args() -> Args {
         smoke: false,
         floor: None,
         scaling_floor: None,
+        sched_backend: SchedBackend::default(),
+        max_overhead: None,
         out: "BENCH_replay.json".to_string(),
     };
     let mut requests_set = false;
@@ -109,6 +122,16 @@ fn parse_args() -> Args {
             "--floor" => args.floor = Some(val("--floor").parse().expect("pages/sec floor")),
             "--scaling-floor" => {
                 args.scaling_floor = Some(val("--scaling-floor").parse().expect("scaling ratio"));
+            }
+            "--sched-backend" => {
+                args.sched_backend = match val("--sched-backend").as_str() {
+                    "heap" => SchedBackend::Heap,
+                    "wheel" => SchedBackend::Wheel,
+                    other => panic!("--sched-backend must be heap or wheel, got {other}"),
+                };
+            }
+            "--max-overhead" => {
+                args.max_overhead = Some(val("--max-overhead").parse().expect("overhead ratio"));
             }
             "--out" => {
                 args.out = val("--out");
@@ -163,11 +186,12 @@ fn cache_config(slow: bool) -> FlashCacheConfig {
 const MATRIX_PLANES: u32 = 2;
 const MATRIX_QUEUE_DEPTH: u32 = 8;
 
-fn channel_cache_config(channels: u32) -> FlashCacheConfig {
+fn channel_cache_config(channels: u32, sched_backend: SchedBackend) -> FlashCacheConfig {
     let channel = ChannelConfig::builder()
         .channels(channels)
         .planes(MATRIX_PLANES)
         .queue_depth(MATRIX_QUEUE_DEPTH)
+        .sched_backend(sched_backend)
         .build()
         .expect("matrix channel config is valid");
     FlashCacheConfig::builder()
@@ -185,39 +209,79 @@ fn channel_cache_config(channels: u32) -> FlashCacheConfig {
         .expect("bench cache config is valid")
 }
 
+/// One single-shard streamed replay; returns (wall seconds, pages,
+/// drained device makespan in µs).
+fn replay_once(config: FlashCacheConfig, spec: &WorkloadSpec, args: &Args) -> (f64, u64, f64) {
+    let mut engine = ShardedCache::new(config, 1).expect("single shard is always valid");
+    let mut generator = spec.generator(args.seed);
+    let mut buf: Vec<DiskRequest> = Vec::with_capacity(args.batch);
+    let wall = Instant::now();
+    let mut remaining = args.requests;
+    let mut pages = 0u64;
+    while remaining > 0 {
+        let take = remaining.min(args.batch);
+        buf.clear();
+        buf.extend(generator.by_ref().take(take));
+        pages += buf.iter().map(|r| r.len as u64).sum::<u64>();
+        engine.submit(&buf);
+        remaining -= take;
+    }
+    let wall_s = wall.elapsed().as_secs_f64();
+    let makespan_us = engine.device_makespan_us();
+    (wall_s, pages, makespan_us)
+}
+
 /// The `--channels` matrix: one single-shard replay per channel count on
 /// the event-driven backend, reporting modeled NAND pages/sec (pages
 /// over the drained device makespan). Modeled time is deterministic, so
 /// the closing assertion (widest config >= 1-channel throughput) holds
 /// on any machine.
+///
+/// A closed-form replay of the same trace/seed anchors the
+/// `overhead_ratio` each point carries: event-driven wall over
+/// closed-form wall, both best-of-`--repeat`. Ratios near 1.0 mean the
+/// scheduler adds (almost) no simulation tax over the arithmetic path.
 fn run_channel_matrix(args: &Args, spec: &WorkloadSpec) {
+    // Closed-form baseline: same trace, same single-shard engine, the
+    // arithmetic timing path the overhead ratio is measured against.
+    let mut closed_form_wall_s = f64::INFINITY;
+    for _ in 0..args.repeat.max(1) {
+        let (wall_s, _, _) = replay_once(cache_config(false), spec, args);
+        closed_form_wall_s = closed_form_wall_s.min(wall_s);
+    }
+    println!(
+        "  closed-form baseline: {:.1} ms wall (best of {})",
+        closed_form_wall_s * 1e3,
+        args.repeat.max(1),
+    );
+
     let mut points: Vec<JsonValue> = Vec::new();
     let mut by_channels: Vec<(u32, f64)> = Vec::new();
+    let mut worst_overhead: Option<(u32, f64)> = None;
     for &ch in &args.channels {
-        let mut engine =
-            ShardedCache::new(channel_cache_config(ch), 1).expect("single shard is always valid");
-        let mut generator = spec.generator(args.seed);
-        let mut buf: Vec<DiskRequest> = Vec::with_capacity(args.batch);
-        let wall = Instant::now();
-        let mut remaining = args.requests;
+        let mut wall_s = f64::INFINITY;
         let mut pages = 0u64;
-        while remaining > 0 {
-            let take = remaining.min(args.batch);
-            buf.clear();
-            buf.extend(generator.by_ref().take(take));
-            pages += buf.iter().map(|r| r.len as u64).sum::<u64>();
-            engine.submit(&buf);
-            remaining -= take;
+        let mut makespan_us = 0.0;
+        for _ in 0..args.repeat.max(1) {
+            let config = channel_cache_config(ch, args.sched_backend);
+            let (run_wall_s, run_pages, run_makespan_us) = replay_once(config, spec, args);
+            wall_s = wall_s.min(run_wall_s);
+            pages = run_pages;
+            makespan_us = run_makespan_us;
         }
-        let wall_s = wall.elapsed().as_secs_f64();
-        let makespan_us = engine.device_makespan_us();
         let modeled_pps = pages as f64 / (makespan_us / 1e6);
+        let overhead = wall_s / closed_form_wall_s;
         by_channels.push((ch, modeled_pps));
+        if worst_overhead.is_none_or(|(_, w)| overhead > w) {
+            worst_overhead = Some((ch, overhead));
+        }
         println!(
-            "  channels={ch}: device makespan {:.1} ms, {:.0} modeled pages/s ({:.1} ms wall)",
+            "  channels={ch}: device makespan {:.1} ms, {:.0} modeled pages/s \
+             ({:.1} ms wall, {:.2}x closed form)",
             makespan_us / 1e3,
             modeled_pps,
             wall_s * 1e3,
+            overhead,
         );
         points.push(JsonValue::Object(vec![
             ("channels".into(), JsonValue::UInt(u64::from(ch))),
@@ -239,6 +303,10 @@ fn run_channel_matrix(args: &Args, spec: &WorkloadSpec) {
                 "wall_ms".into(),
                 JsonValue::Number((wall_s * 1e4).round() / 10.0),
             ),
+            (
+                "overhead_ratio".into(),
+                JsonValue::Number((overhead * 100.0).round() / 100.0),
+            ),
         ]));
     }
 
@@ -255,11 +323,28 @@ fn run_channel_matrix(args: &Args, spec: &WorkloadSpec) {
         ("requests".into(), JsonValue::UInt(args.requests as u64)),
         ("batch".into(), JsonValue::UInt(args.batch as u64)),
         ("seed".into(), JsonValue::UInt(args.seed)),
+        ("repeat".into(), JsonValue::UInt(args.repeat.max(1) as u64)),
+        (
+            "sched_backend".into(),
+            JsonValue::String(
+                match args.sched_backend {
+                    SchedBackend::Heap => "heap",
+                    SchedBackend::Wheel => "wheel",
+                }
+                .into(),
+            ),
+        ),
+        (
+            "closed_form_wall_ms".into(),
+            JsonValue::Number((closed_form_wall_s * 1e4).round() / 10.0),
+        ),
         (
             "measure".into(),
             JsonValue::String(
                 "modeled NAND pages/sec = pages / drained device makespan on \
-                 the event-driven backend; deterministic (RNG-free scheduler)"
+                 the event-driven backend; deterministic (RNG-free scheduler); \
+                 overhead_ratio = event wall / closed-form wall on the same \
+                 trace and seed, best of --repeat runs each"
                     .into(),
             ),
         ),
@@ -282,6 +367,14 @@ fn run_channel_matrix(args: &Args, spec: &WorkloadSpec) {
              ({:.2}x)",
             wide_pps / base_pps
         );
+    }
+    if let (Some(max), Some((ch, worst))) = (args.max_overhead, worst_overhead) {
+        assert!(
+            worst <= max,
+            "event-driven replay at {ch} channels cost {worst:.2}x the closed-form \
+             wall-clock (limit {max:.2}x) — the scheduler is the hotspot again"
+        );
+        println!("OK: worst overhead {worst:.2}x (at {ch} channels) <= limit {max:.2}x");
     }
 }
 

@@ -215,7 +215,10 @@ pub struct FlashConfig {
     pub fast_rng: bool,
     /// Which timing implementation the device resolves at construction.
     pub timing_backend: TimingBackend,
-    /// Channel/plane/queue parameters for the event-driven backend.
+    /// Channel/plane/queue parameters for the event-driven backend,
+    /// including which scheduler core runs it
+    /// ([`ChannelConfig::sched_backend`]: the timer wheel by default,
+    /// the heap oracle for differential testing).
     pub channel: ChannelConfig,
 }
 

@@ -7,6 +7,8 @@
 //! (§4.2), Table 2/3 timing and power, and wear-driven bit-error
 //! injection backed by the `flash-reliability` lifetime model.
 //!
+//! * [`fxhash`] — vendored deterministic hasher for integer-keyed hot
+//!   paths (re-exported by `flashcache-core`);
 //! * [`geometry`] — blocks, physical pages, slots, capacity math;
 //! * [`timing`] — per-operation latency and energy constants;
 //! * [`sched`] — the device-timing API: the [`TimingModel`] trait, the
@@ -38,6 +40,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod device;
+pub mod fxhash;
 pub mod geometry;
 pub mod sampling;
 pub mod sched;
@@ -52,7 +55,7 @@ pub use device::{
 pub use geometry::{BlockId, CellMode, FlashGeometry, PageAddr};
 pub use sched::{
     ChannelConfig, ChannelConfigBuilder, ChannelConfigError, ClosedForm, EventDriven, OpClass,
-    OpRequest, OpTiming, TimingBackend, TimingModel, TraceEntry, TraceKind,
+    OpRequest, OpTiming, SchedBackend, TimingBackend, TimingModel, TraceEntry, TraceKind,
 };
 pub use timing::{FlashPower, FlashTiming};
 pub use verified::{VerifiedError, VerifiedFlash, VerifiedRead};

@@ -11,9 +11,10 @@
 //! survives wear exactly as long as the code strength covers the
 //! failures — the paper's §4.1 contract, demonstrated in software.
 
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+
+use crate::fxhash::FxHashMap;
 
 use flash_ecc::page::{
     PageCodec, PageCodecBank, PageDecodeError, PageDecodeOutcome, PAGE_DATA_BYTES, PAGE_SPARE_BYTES,
@@ -101,7 +102,7 @@ pub struct VerifiedFlash {
     device: FlashDevice,
     codecs: PageCodecBank,
     /// Per-slot (strength, spare bytes) for programmed pages.
-    spares: HashMap<u64, (u8, Vec<u8>)>,
+    spares: FxHashMap<u64, (u8, Vec<u8>)>,
     /// Reusable spare-area scratch for the read path, so each read does
     /// not clone the stored spare into a fresh allocation.
     spare_buf: Vec<u8>,
@@ -114,7 +115,7 @@ impl VerifiedFlash {
         VerifiedFlash {
             device: FlashDevice::new(config),
             codecs: PageCodecBank::new(),
-            spares: HashMap::new(),
+            spares: FxHashMap::default(),
             spare_buf: vec![0u8; PAGE_SPARE_BYTES],
         }
     }
