@@ -2,7 +2,7 @@
 //! with eviction pressure, and write churn with GC.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use flashcache_core::{FlashCache, FlashCacheConfig};
+use flashcache_core::{CacheOp, FlashCache, FlashCacheConfig};
 use nand_flash::{FlashConfig, FlashGeometry};
 
 fn cache(blocks: u32) -> FlashCache {
@@ -23,13 +23,13 @@ fn cache(blocks: u32) -> FlashCache {
 fn bench_read_hit(c: &mut Criterion) {
     let mut cache = cache(64);
     for p in 0..1000u64 {
-        cache.read(p);
+        cache.op(CacheOp::read(p));
     }
     let mut i = 0u64;
     c.bench_function("flashcache_read_hit", |b| {
         b.iter(|| {
             i = (i + 1) % 1000;
-            std::hint::black_box(cache.read(i))
+            std::hint::black_box(cache.op(CacheOp::read(i)))
         })
     });
 }
@@ -40,7 +40,7 @@ fn bench_read_capacity_miss(c: &mut Criterion) {
     c.bench_function("flashcache_read_capacity_miss", |b| {
         b.iter(|| {
             p += 1; // always-cold stream: every read fills and evicts
-            std::hint::black_box(cache.read(p))
+            std::hint::black_box(cache.op(CacheOp::read(p)))
         })
     });
 }
@@ -51,7 +51,7 @@ fn bench_write_churn(c: &mut Criterion) {
     c.bench_function("flashcache_write_churn_gc", |b| {
         b.iter(|| {
             p = (p + 1) % 300; // hot overwrites: exercises GC
-            std::hint::black_box(cache.write(p))
+            std::hint::black_box(cache.op(CacheOp::write(p)))
         })
     });
 }
@@ -68,7 +68,7 @@ fn bench_steady_state_reclaim(c: &mut Criterion) {
         let slots = blocks as u64 * 64;
         let span = slots + slots / 2; // churn set 1.5x capacity
         for p in 0..span {
-            cache.write(p);
+            cache.op(CacheOp::write(p));
         }
         let mut p = span;
         g.bench_function(
@@ -76,7 +76,7 @@ fn bench_steady_state_reclaim(c: &mut Criterion) {
             |b| {
                 b.iter(|| {
                     p = (p + 1) % span;
-                    std::hint::black_box(cache.write(p))
+                    std::hint::black_box(cache.op(CacheOp::write(p)))
                 })
             },
         );

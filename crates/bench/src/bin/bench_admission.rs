@@ -1,0 +1,231 @@
+//! `bench_admission`: the four-way admission/longevity ablation, emitted
+//! as machine-readable JSON (`BENCH_admission.json`).
+//!
+//! Replays one fixed Zipf trace (alpha1, write-bearing) through four
+//! cache variants — unified, split (the paper's design, the baseline),
+//! split + re-reference admission, split + admission + longevity
+//! bucketing — and reports per variant the flash bytes programmed,
+//! erases, mean block wear, read miss rate, and the projected lifetime
+//! relative to the split baseline (∝ 1 / mean block erases).
+//!
+//! Usage: `bench_admission [--requests N] [--seed N] [--smoke]
+//! [--out PATH] [--buckets N] [--window N]`
+//!
+//! The run asserts the PR's acceptance criteria: the full variant must
+//! program fewer flash bytes and project a longer lifetime than the
+//! split baseline while degrading the read miss rate by less than two
+//! points absolute (CI re-checks with `--smoke` on every push).
+
+use disk_trace::WorkloadSpec;
+use flash_obs::JsonValue;
+use flashcache_sim::experiments::admission::{run_ablation, AblationParams, AblationRow};
+
+struct Args {
+    requests: u64,
+    seed: u64,
+    smoke: bool,
+    out: String,
+    buckets: u32,
+    window: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        requests: 200_000,
+        seed: 0x5EED,
+        smoke: false,
+        out: "BENCH_admission.json".to_string(),
+        buckets: 4,
+        window: 65_536,
+    };
+    let mut requests_set = false;
+    let mut window_set = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--requests" => {
+                args.requests = val("--requests").parse().expect("request count");
+                requests_set = true;
+            }
+            "--seed" => args.seed = val("--seed").parse().expect("seed"),
+            "--smoke" => args.smoke = true,
+            "--out" => args.out = val("--out"),
+            "--buckets" => args.buckets = val("--buckets").parse().expect("bucket count"),
+            "--window" => {
+                args.window = val("--window").parse().expect("window");
+                window_set = true;
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    if args.smoke {
+        if !requests_set {
+            args.requests = 20_000;
+        }
+        if !window_set {
+            args.window = 16_384;
+        }
+    }
+    args
+}
+
+fn row_json(row: &AblationRow, baseline: &AblationRow) -> JsonValue {
+    let round2 = |x: f64| (x * 100.0).round() / 100.0;
+    let round4 = |x: f64| (x * 10_000.0).round() / 10_000.0;
+    JsonValue::Object(vec![
+        ("variant".into(), JsonValue::String(row.variant.clone())),
+        (
+            "read_miss_rate".into(),
+            JsonValue::Number(round4(row.read_miss_rate)),
+        ),
+        ("flash_programs".into(), JsonValue::UInt(row.flash_programs)),
+        (
+            "flash_bytes_written".into(),
+            JsonValue::UInt(row.flash_bytes_written),
+        ),
+        (
+            "admitted_write_bytes".into(),
+            JsonValue::UInt(row.admitted_write_bytes),
+        ),
+        ("erases".into(), JsonValue::UInt(row.erases)),
+        (
+            "mean_block_erases".into(),
+            JsonValue::Number(round2(row.mean_block_erases)),
+        ),
+        ("rejected_fills".into(), JsonValue::UInt(row.rejected_fills)),
+        (
+            "rejected_writes".into(),
+            JsonValue::UInt(row.rejected_writes),
+        ),
+        (
+            "coalesced_writes".into(),
+            JsonValue::UInt(row.coalesced_writes),
+        ),
+        ("gc_moved_pages".into(), JsonValue::UInt(row.gc_moved_pages)),
+        (
+            "lifetime_vs_split".into(),
+            JsonValue::Number(round2(row.lifetime_vs(baseline))),
+        ),
+    ])
+}
+
+fn main() {
+    let args = parse_args();
+
+    // alpha1 = Zipf(0.8) over 512MB (§6.2, Table 4); the footprint is
+    // scaled so the half-working-set flash warms up within the trace
+    // (smoke shrinks both further).
+    let workload = if args.smoke {
+        WorkloadSpec::alpha1().scaled(512)
+    } else {
+        WorkloadSpec::alpha1().scaled(16)
+    };
+    let params = AblationParams {
+        workload,
+        warmup_accesses: args.requests / 2,
+        measured_accesses: args.requests,
+        seed: args.seed,
+        reref_k: 1,
+        reref_window: args.window,
+        longevity_buckets: args.buckets,
+    };
+    println!(
+        "bench_admission: {} measured accesses of {} ({}% writes), \
+         reref k={} window={}, {} longevity buckets",
+        params.measured_accesses,
+        params.workload.name,
+        (params.workload.write_fraction * 100.0).round(),
+        params.reref_k,
+        params.reref_window,
+        params.longevity_buckets
+    );
+
+    let rows = run_ablation(&params);
+    let split = rows[1].clone();
+    assert_eq!(split.variant, "split");
+    for row in &rows {
+        println!(
+            "  {:<26} miss {:.4}  programs {:>8}  erases {:>6}  mean wear {:>7.2}  \
+             rejected {:>7}  lifetime vs split {:.2}x",
+            row.variant,
+            row.read_miss_rate,
+            row.flash_programs,
+            row.erases,
+            row.mean_block_erases,
+            row.rejected_fills + row.rejected_writes,
+            row.lifetime_vs(&split),
+        );
+    }
+
+    let doc = JsonValue::Object(vec![
+        (
+            "workload".into(),
+            JsonValue::String(format!(
+                "{} (Zipf 0.8), {}% writes, {} pages footprint",
+                params.workload.name,
+                (params.workload.write_fraction * 100.0).round(),
+                params.workload.footprint_pages
+            )),
+        ),
+        (
+            "warmup_accesses".into(),
+            JsonValue::UInt(params.warmup_accesses),
+        ),
+        (
+            "measured_accesses".into(),
+            JsonValue::UInt(params.measured_accesses),
+        ),
+        ("seed".into(), JsonValue::UInt(params.seed)),
+        ("reref_k".into(), JsonValue::UInt(u64::from(params.reref_k))),
+        ("reref_window".into(), JsonValue::UInt(params.reref_window)),
+        (
+            "longevity_buckets".into(),
+            JsonValue::UInt(u64::from(params.longevity_buckets)),
+        ),
+        (
+            "lifetime_model".into(),
+            JsonValue::String(
+                "projected lifetime ∝ 1 / mean block erase count at end of run, \
+                 normalized to the split baseline"
+                    .into(),
+            ),
+        ),
+        (
+            "variants".into(),
+            JsonValue::Array(rows.iter().map(|r| row_json(r, &split)).collect()),
+        ),
+    ]);
+    std::fs::write(&args.out, doc.render() + "\n").expect("write benchmark output");
+    println!("wrote {}", args.out);
+
+    // Acceptance criteria (vs the split baseline).
+    let full = &rows[3];
+    assert_eq!(full.variant, "split+admission+longevity");
+    assert!(
+        full.flash_bytes_written < split.flash_bytes_written,
+        "admission must reduce flash bytes written: {} vs split {}",
+        full.flash_bytes_written,
+        split.flash_bytes_written
+    );
+    let lifetime = full.lifetime_vs(&split);
+    assert!(
+        lifetime > 1.0,
+        "projected lifetime must improve vs split: {lifetime:.3}x"
+    );
+    assert!(
+        full.read_miss_rate < split.read_miss_rate + 0.02,
+        "read miss rate must stay within 2 points of split: {:.4} vs {:.4}",
+        full.read_miss_rate,
+        split.read_miss_rate
+    );
+    println!(
+        "OK: flash bytes {:.1}% of split, lifetime {lifetime:.2}x, \
+         read miss {:+.2} points",
+        100.0 * full.flash_bytes_written as f64 / split.flash_bytes_written.max(1) as f64,
+        100.0 * (full.read_miss_rate - split.read_miss_rate)
+    );
+}

@@ -23,7 +23,7 @@
 use std::time::Instant;
 
 use flashcache_bench::RunArgs;
-use flashcache_core::{FlashCache, FlashCacheConfig};
+use flashcache_core::{CacheOp, FlashCache, FlashCacheConfig};
 use nand_flash::{FlashConfig, FlashGeometry};
 
 const GEOMETRIES: [u32; 3] = [256, 1024, 4096];
@@ -52,7 +52,7 @@ fn build(blocks: u32, use_index: bool) -> FlashCache {
 fn time_writes(cache: &mut FlashCache, start_page: u64, span: u64, ops: u64) -> f64 {
     let t = Instant::now();
     for i in 0..ops {
-        cache.write(start_page + (i % span));
+        cache.op(CacheOp::write(start_page + (i % span)));
     }
     t.elapsed().as_nanos() as f64 / ops as f64
 }
@@ -76,7 +76,7 @@ fn run_geometry(blocks: u32, measure_ops: u64) -> (Timing, Timing) {
         let mut cache = build(blocks, use_index);
         // Warm past capacity so every measured write reclaims.
         for p in 0..span {
-            cache.write(p);
+            cache.op(CacheOp::write(p));
         }
         if use_index {
             cache

@@ -52,6 +52,8 @@ const VALUE_KEYS: &[&str] = &[
     "writeback-us",
     "queue-depth",
     "sched-backend",
+    "admission",
+    "longevity-buckets",
 ];
 
 impl Args {

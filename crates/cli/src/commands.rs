@@ -13,7 +13,8 @@ use flashcache::trace::spc::{write_spc, SpcReader};
 use flashcache::EngineConfig;
 use flashcache::ObsSink;
 use flashcache::{
-    ControllerPolicy, DiskRequest, FlashCache, FlashCacheConfig, SplitPolicy, WorkloadSpec,
+    AdmissionPolicyConfig, CacheOp, ControllerPolicy, DiskRequest, FlashCache, FlashCacheConfig,
+    SplitPolicy, WorkloadSpec,
 };
 
 /// Top-level usage text.
@@ -46,6 +47,13 @@ SIMULATE:
   --batch N           submit requests in concurrent batches of N (default 1)
   --workers N         worker threads for the shard runtime (default: host
                       parallelism, capped by the shard count)
+
+ADMISSION (simulate, sweep, lifetime):
+  --admission P       flash admission policy: all (default, paper-faithful)
+                      | reref (admit after a re-read in a decay window)
+                      | writecap (token-bucket write cap + dirty coalescing)
+  --longevity-buckets N  route writes into N longevity-bucketed open
+                      blocks in the write region (default 1 = off)
 
 DEVICE PARALLELISM (simulate, sweep, lifetime — any of these flags
 switches flash timing to the event-driven backend):
@@ -132,10 +140,40 @@ fn channel_config(args: &super::Args) -> Result<Option<ChannelConfig>, String> {
         .map_err(|e| e.to_string())
 }
 
+/// Reads the `--admission` / `--longevity-buckets` options shared by
+/// `simulate`, `sweep`, and `lifetime`. The `reref` and `writecap`
+/// presets carry windows sized for the standard 100k-request replays;
+/// fine-grained knobs stay library-level (`FlashCacheConfig::builder`).
+fn admission_config(args: &super::Args) -> Result<(AdmissionPolicyConfig, u32), String> {
+    let admission = match args.get("admission").unwrap_or("all") {
+        "all" => AdmissionPolicyConfig::AdmitAll,
+        "reref" => AdmissionPolicyConfig::ReReference {
+            k: 1,
+            window: 65_536,
+        },
+        "writecap" => AdmissionPolicyConfig::WriteCap {
+            pages_per_window: 2048,
+            window: 4096,
+            coalesce: true,
+        },
+        other => {
+            return Err(format!(
+                "--admission must be all, reref or writecap, got {other}"
+            ))
+        }
+    };
+    let buckets: u32 = args
+        .num("longevity-buckets", 1u32)
+        .map_err(|e| e.to_string())?;
+    Ok((admission, buckets))
+}
+
 fn flash_config(
     flash_mb: u64,
     unified: bool,
     channel: Option<ChannelConfig>,
+    admission: AdmissionPolicyConfig,
+    longevity_buckets: u32,
 ) -> Result<FlashCacheConfig, String> {
     let mut flash = FlashConfig {
         geometry: FlashGeometry::for_mlc_capacity(flash_mb << 20),
@@ -145,7 +183,10 @@ fn flash_config(
         flash.channel = channel;
         flash.timing_backend = TimingBackend::EventDriven;
     }
-    let builder = FlashCacheConfig::builder().flash(flash);
+    let builder = FlashCacheConfig::builder()
+        .flash(flash)
+        .admission(admission)
+        .longevity_buckets(longevity_buckets);
     let builder = if unified {
         builder.unified()
     } else {
@@ -193,8 +234,15 @@ pub fn simulate(args: &super::Args) -> Result<(), String> {
     let batch: usize = args.num("batch", 1usize).map_err(|e| e.to_string())?;
     let workers: usize = args.num("workers", 0usize).map_err(|e| e.to_string())?;
     let channel = channel_config(args)?;
+    let (admission, longevity_buckets) = admission_config(args)?;
     let flash = if flash_mb > 0 {
-        Some(flash_config(flash_mb, args.flag("unified"), channel)?)
+        Some(flash_config(
+            flash_mb,
+            args.flag("unified"),
+            channel,
+            admission,
+            longevity_buckets,
+        )?)
     } else {
         None
     };
@@ -330,20 +378,27 @@ pub fn sweep(args: &super::Args) -> Result<(), String> {
         "flash", "unified miss", "split miss", "unified GC", "split GC"
     );
     let channel = channel_config(args)?;
+    let (admission, longevity_buckets) = admission_config(args)?;
     for &mb in &sizes {
         let mut row = Vec::new();
         for unified in [true, false] {
-            let mut cache = FlashCache::new(flash_config(mb, unified, channel)?)
-                .map_err(|e| format!("{mb}MB: {e}"))?;
+            let mut cache = FlashCache::new(flash_config(
+                mb,
+                unified,
+                channel,
+                admission,
+                longevity_buckets,
+            )?)
+            .map_err(|e| format!("{mb}MB: {e}"))?;
             let mut generator = workload.generator(seed);
             let mut done = 0u64;
             while done < requests {
                 let req = generator.next_request();
                 for page in req.pages() {
                     if req.is_write() {
-                        cache.write(page);
+                        cache.op(CacheOp::write(page));
                     } else {
-                        cache.read(page);
+                        cache.op(CacheOp::read(page));
                     }
                     done += 1;
                     if done >= requests {
@@ -406,10 +461,17 @@ pub fn lifetime(args: &super::Args) -> Result<(), String> {
         "controller", "accesses", "erases", "retired"
     );
     let mut baseline = None;
+    let (admission, longevity_buckets) = admission_config(args)?;
     for (name, policy) in policies {
         let flash_bytes =
             (workload.footprint_pages * flashcache::trace::PAGE_BYTES / 2).max(8 * 256 * 1024);
-        let mut config = flash_config(flash_bytes >> 20, false, channel_config(args)?)?;
+        let mut config = flash_config(
+            flash_bytes >> 20,
+            false,
+            channel_config(args)?,
+            admission,
+            longevity_buckets,
+        )?;
         config.flash.geometry = FlashGeometry::for_mlc_capacity(flash_bytes);
         config.controller = policy;
         if let ControllerPolicy::FixedEcc { strength } = policy {
@@ -424,9 +486,9 @@ pub fn lifetime(args: &super::Args) -> Result<(), String> {
             let req = generator.next_request();
             for page in req.pages() {
                 if req.is_write() {
-                    cache.write(page);
+                    cache.op(CacheOp::write(page));
                 } else {
-                    cache.read(page);
+                    cache.op(CacheOp::read(page));
                 }
                 accesses += 1;
                 if cache.is_dead() || accesses >= budget {

@@ -14,11 +14,90 @@ use std::sync::Arc;
 use flash_obs::{Event, ObsSink, Registry, ServiceTier};
 use nand_flash::{BlockId, CellMode, FlashDevice, OpContext, PageAddr};
 
+use crate::admission::{build_policy, AdmissionPolicy, Longevity};
 use crate::config::{ConfigError, ControllerPolicy, FlashCacheConfig, SplitPolicy};
 use crate::error::CacheError;
 use crate::reclaim::ReclaimIndex;
 use crate::stats::CacheStats;
 use crate::tables::{Fbst, Fcht, Fgst, Fpst, RegionKind};
+
+/// What one [`CacheOp`] asks the cache to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOpKind {
+    /// Look up (and on a miss, fill) a disk page.
+    Read,
+    /// Write a disk page out-of-place into the write region.
+    Write,
+}
+
+/// One typed request against the cache: the unified entry point that
+/// replaces the `read`/`write`/`try_read`/`try_write` sprawl. Build
+/// with [`CacheOp::read`]/[`CacheOp::write`] and submit through
+/// [`FlashCache::op`] or [`FlashCache::try_op`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheOp {
+    /// The disk page (logical block address) being accessed.
+    pub lba: u64,
+    /// Read or write.
+    pub kind: CacheOpKind,
+    /// Device-op context forwarded to the timing backend. The cache
+    /// stamps `lba` onto it; callers only need a non-default context
+    /// to mark background traffic.
+    pub ctx: OpContext,
+}
+
+impl CacheOp {
+    /// A foreground read of `lba`.
+    pub fn read(lba: u64) -> Self {
+        CacheOp {
+            lba,
+            kind: CacheOpKind::Read,
+            ctx: OpContext::foreground(),
+        }
+    }
+
+    /// A foreground write of `lba`.
+    pub fn write(lba: u64) -> Self {
+        CacheOp {
+            lba,
+            kind: CacheOpKind::Write,
+            ctx: OpContext::foreground(),
+        }
+    }
+
+    /// Overrides the device-op context.
+    pub fn with_ctx(mut self, ctx: OpContext) -> Self {
+        self.ctx = ctx;
+        self
+    }
+}
+
+/// What the admission stage decided about one [`CacheOp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionDecision {
+    /// The op never reached the admission stage (flash read hit, or a
+    /// degraded internal-error outcome).
+    #[default]
+    NotApplicable,
+    /// The policy admitted the fill/write into flash.
+    Admitted,
+    /// The policy kept the page out; the caller serves it from disk.
+    Rejected,
+    /// A write was absorbed by an already-dirty cached copy without a
+    /// reprogram (dirty-page coalescing).
+    Coalesced,
+}
+
+/// Result of one [`CacheOp`]: the access outcome plus what the
+/// admission stage decided.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CacheOutcome {
+    /// The access outcome (hit/tier/latency/disk obligations) — the
+    /// same contract as the legacy entry points returned.
+    pub access: AccessOutcome,
+    /// The admission stage's decision for this op.
+    pub admission: AdmissionDecision,
+}
 
 /// Result of one cache access.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -61,10 +140,12 @@ pub(crate) struct OpenBlock {
 }
 
 /// Allocation state of one region.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct Region {
     pub(crate) free: VecDeque<BlockId>,
-    pub(crate) open: Option<OpenBlock>,
+    /// Open blocks, one per longevity bucket (index = bucket). The
+    /// read region and unbucketed write regions have exactly one.
+    pub(crate) open: Vec<Option<OpenBlock>>,
     /// Block reserved as the GC compaction destination.
     pub(crate) spare: Option<BlockId>,
     /// Live pages across the region (for the GC watermark).
@@ -73,18 +154,30 @@ pub(crate) struct Region {
     pub(crate) invalid_pages: u64,
 }
 
+impl Region {
+    fn new(buckets: usize) -> Self {
+        Region {
+            free: VecDeque::new(),
+            open: vec![None; buckets.max(1)],
+            spare: None,
+            valid_pages: 0,
+            invalid_pages: 0,
+        }
+    }
+}
+
 /// The hardware-assisted, software-managed flash disk cache.
 ///
 /// # Examples
 ///
 /// ```
-/// use flashcache_core::{AccessOutcome, FlashCache, FlashCacheConfig};
+/// use flashcache_core::{CacheOp, FlashCache, FlashCacheConfig};
 ///
 /// let mut cache = FlashCache::new(FlashCacheConfig::default()).unwrap();
-/// let first = cache.read(42);
-/// assert!(!first.hit && first.needs_disk_read);
-/// let second = cache.read(42);
-/// assert!(second.hit);
+/// let first = cache.op(CacheOp::read(42));
+/// assert!(!first.access.hit && first.access.needs_disk_read);
+/// let second = cache.op(CacheOp::read(42));
+/// assert!(second.access.hit);
 /// ```
 #[derive(Debug)]
 pub struct FlashCache {
@@ -116,6 +209,13 @@ pub struct FlashCache {
     /// Per-operation accumulators, reset at the start of each access.
     pub(crate) op_flushed: u32,
     pub(crate) op_background_us: f64,
+    /// Admission policy gating fills and host writes (boxed: the three
+    /// shipped policies carry very different state).
+    pub(crate) admission: Box<dyn AdmissionPolicy>,
+    /// Longevity predictor routing admitted writes to buckets.
+    pub(crate) longevity: Longevity,
+    /// Host writes programmed per write-region longevity bucket.
+    pub(crate) longevity_writes: Vec<u64>,
     pub(crate) stats: CacheStats,
     /// Attached observability sink (trace events + metric flushing).
     pub(crate) sink: Option<Arc<ObsSink>>,
@@ -163,8 +263,15 @@ impl FlashCache {
             },
         );
         let fpst = Fpst::new(geometry, config.initial_ecc, config.default_mode);
-        let mut read_region = Region::default();
-        let mut write_region = Region::default();
+        // Longevity buckets apply to the write region only; clamp so every
+        // bucket can hold an open block (write_blocks >= 2 in split mode).
+        let wbuckets = if unified {
+            1
+        } else {
+            (config.longevity_buckets.max(1)).min(write_blocks.max(1)) as usize
+        };
+        let mut read_region = Region::new(1);
+        let mut write_region = Region::new(wbuckets);
         for b in 0..first_write {
             read_region.free.push_back(BlockId(b));
         }
@@ -200,6 +307,9 @@ impl FlashCache {
             usable_slots,
             op_flushed: 0,
             op_background_us: 0.0,
+            admission: build_policy(&config.admission),
+            longevity: Longevity::new(wbuckets as u32, decay_interval),
+            longevity_writes: vec![0; wbuckets],
             stats: CacheStats::default(),
             sink: flash_obs::global_sink(),
             obs_flushed: false,
@@ -265,6 +375,16 @@ impl FlashCache {
             ("flash.reclaim.index_hits", s.reclaim_index_hits),
             ("flash.reclaim.scan_fallbacks", s.reclaim_scan_fallbacks),
             ("flash.reclaim.index_skips", self.reclaim.skips()),
+            ("flash.admission.rejected_fills", s.admission_rejected_fills),
+            (
+                "flash.admission.rejected_writes",
+                s.admission_rejected_writes,
+            ),
+            (
+                "flash.admission.coalesced_writes",
+                s.admission_coalesced_writes,
+            ),
+            ("flash.admission.bytes_written", s.admission_bytes_written),
         ];
         for (name, v) in c {
             // Pre-resolved handle + indexed add: the export burst does
@@ -290,6 +410,20 @@ impl FlashCache {
         reg.gauge_set("flash.usable_slots", self.usable_slots as f64);
         reg.gauge_set("flash.slc_fraction", self.slc_fraction());
         reg.gauge_set("flash.miss_rate", self.fgst.miss_rate);
+        // Longevity metrics appear only when placement is actually
+        // bucketed, mirroring the shard-prefix discipline: the default
+        // single-bucket registry stays byte-identical to pre-admission
+        // exports.
+        if self.longevity_writes.len() > 1 {
+            reg.gauge_set(
+                "flash.longevity.buckets",
+                self.longevity_writes.len() as f64,
+            );
+            for (i, &w) in self.longevity_writes.iter().enumerate() {
+                let id = reg.handle(&format!("flash.longevity.bucket.{i}.writes"));
+                reg.add(id, w);
+            }
+        }
         reg
     }
 
@@ -436,12 +570,18 @@ impl FlashCache {
         }
     }
 
-    fn region(&self, kind: RegionKind) -> &Region {
+    pub(crate) fn region(&self, kind: RegionKind) -> &Region {
         if self.unified || kind == RegionKind::Read {
             &self.read_region
         } else {
             &self.write_region
         }
+    }
+
+    /// Index of the last (longest-lived) longevity bucket of `kind`'s
+    /// region. The read region always has exactly one bucket.
+    pub(crate) fn top_bucket(&self, kind: RegionKind) -> u32 {
+        (self.region(kind).open.len() - 1) as u32
     }
 
     /// Reconciles the reclaim index with `b`'s FBST state. Call after
@@ -497,36 +637,71 @@ impl FlashCache {
         }
     }
 
-    /// Services a read of `disk_page` (§5.1 read path).
+    /// Services `op` through the unified pipeline (§5.1 read/write
+    /// paths with the admission stage in front).
     ///
-    /// Infallible wrapper over [`FlashCache::try_read`]: an internal
+    /// Infallible wrapper over [`FlashCache::try_op`]: an internal
     /// [`CacheError`] is degraded into a bypassed, disk-bound outcome
     /// (with `uncorrectable` set for corruption-class errors) and
     /// counted in [`CacheStats::internal_errors`].
-    pub fn read(&mut self, disk_page: u64) -> AccessOutcome {
-        match self.try_read(disk_page) {
+    pub fn op(&mut self, op: CacheOp) -> CacheOutcome {
+        match self.try_op(op) {
             Ok(out) => out,
-            Err(e) => self.degraded_outcome(&e, true),
+            Err(e) => CacheOutcome {
+                access: self.degraded_outcome(&e, op.kind == CacheOpKind::Read),
+                admission: AdmissionDecision::NotApplicable,
+            },
         }
     }
 
-    /// Services a read of `disk_page`, surfacing internal errors as
-    /// typed [`CacheError`]s instead of panicking or degrading.
+    /// Services `op`, surfacing internal errors as typed
+    /// [`CacheError`]s instead of panicking or degrading.
     ///
     /// # Errors
     ///
     /// [`CacheError`] when a management table and the device disagree or
     /// a device operation fails mid-access. The cache aborts the access
     /// at the failure point; the caller should satisfy the request from
-    /// disk.
+    /// disk (reads) or write the dirty data to disk itself (writes).
+    pub fn try_op(&mut self, op: CacheOp) -> Result<CacheOutcome, CacheError> {
+        match op.kind {
+            CacheOpKind::Read => self.op_read(op),
+            CacheOpKind::Write => self.op_write(op),
+        }
+    }
+
+    /// Services a read of `disk_page` (§5.1 read path).
+    #[deprecated(
+        since = "0.9.0",
+        note = "use FlashCache::op(CacheOp::read(lba)).access"
+    )]
+    pub fn read(&mut self, disk_page: u64) -> AccessOutcome {
+        self.op(CacheOp::read(disk_page)).access
+    }
+
+    /// Services a read of `disk_page`, surfacing internal errors.
+    ///
+    /// # Errors
+    ///
+    /// See [`FlashCache::try_op`].
+    #[deprecated(
+        since = "0.9.0",
+        note = "use FlashCache::try_op(CacheOp::read(lba)) and take `.access`"
+    )]
     pub fn try_read(&mut self, disk_page: u64) -> Result<AccessOutcome, CacheError> {
+        self.try_op(CacheOp::read(disk_page)).map(|o| o.access)
+    }
+
+    /// §5.1 read path with the admission gate on the two fill points.
+    fn op_read(&mut self, op: CacheOp) -> Result<CacheOutcome, CacheError> {
+        let disk_page = op.lba;
         self.begin_op();
         self.stats.reads += 1;
         if let Some(addr) = self.fcht.lookup(disk_page) {
             let live_t = self.live_strength[self.gidx(addr)];
             let out = self
                 .device
-                .read_page_with(addr, OpContext::foreground().with_lba(disk_page))
+                .read_page_with(addr, op.ctx.with_lba(disk_page))
                 .map_err(|source| CacheError::TableCorruption { addr, source })?;
             self.stats.flash_reads += 1;
             self.fbst.get_mut(addr.block).last_access = self.tick;
@@ -570,18 +745,22 @@ impl FlashCache {
                 self.maybe_promote_hot(addr, count)?;
                 self.stats.read_hits += 1;
                 self.fgst.record(true, latency);
-                return Ok(self.finish(AccessOutcome {
+                let access = self.finish(AccessOutcome {
                     hit: true,
                     tier: ServiceTier::Flash,
                     latency_us: latency,
                     queue_wait_us: out.wait_us,
                     ..AccessOutcome::default()
-                }));
+                });
+                return Ok(CacheOutcome {
+                    access,
+                    admission: AdmissionDecision::NotApplicable,
+                });
             }
             // Uncorrectable hit: account the wasted flash read, then miss.
             self.fgst.record(false, 0.0);
-            let filled = self.fill_from_disk(disk_page, RegionKind::Read)?;
-            return Ok(self.finish(AccessOutcome {
+            let (filled, admission) = self.admitted_fill(disk_page)?;
+            let access = self.finish(AccessOutcome {
                 hit: false,
                 tier: ServiceTier::Disk,
                 latency_us: latency,
@@ -590,46 +769,83 @@ impl FlashCache {
                 uncorrectable: true,
                 bypassed: !filled,
                 ..AccessOutcome::default()
-            }));
+            });
+            return Ok(CacheOutcome { access, admission });
         }
         // Plain miss: fetch from disk, fill the read cache.
         self.fgst.record(false, 0.0);
-        let filled = self.fill_from_disk(disk_page, RegionKind::Read)?;
-        Ok(self.finish(AccessOutcome {
+        let (filled, admission) = self.admitted_fill(disk_page)?;
+        let access = self.finish(AccessOutcome {
             hit: false,
             needs_disk_read: true,
             bypassed: !filled,
             ..AccessOutcome::default()
-        }))
+        });
+        Ok(CacheOutcome { access, admission })
+    }
+
+    /// Runs the admission gate in front of a read-miss fill. Returns
+    /// whether a copy was cached and the decision taken.
+    fn admitted_fill(&mut self, disk_page: u64) -> Result<(bool, AdmissionDecision), CacheError> {
+        if self.admission.admit_fill(disk_page, self.tick) {
+            let filled = self.fill_from_disk(disk_page, RegionKind::Read)?;
+            Ok((filled, AdmissionDecision::Admitted))
+        } else {
+            self.stats.admission_rejected_fills += 1;
+            Ok((false, AdmissionDecision::Rejected))
+        }
     }
 
     /// Services a write of `disk_page` (§5.1 write path): always an
     /// out-of-place write into the write region.
-    ///
-    /// Infallible wrapper over [`FlashCache::try_write`]; see
-    /// [`FlashCache::read`] for the degradation contract.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use FlashCache::op(CacheOp::write(lba)).access"
+    )]
     pub fn write(&mut self, disk_page: u64) -> AccessOutcome {
-        match self.try_write(disk_page) {
-            Ok(out) => out,
-            Err(e) => self.degraded_outcome(&e, false),
-        }
+        self.op(CacheOp::write(disk_page)).access
     }
 
-    /// Services a write of `disk_page`, surfacing internal errors as
-    /// typed [`CacheError`]s.
+    /// Services a write of `disk_page`, surfacing internal errors.
     ///
     /// # Errors
     ///
-    /// [`CacheError`] when a management table and the device disagree or
-    /// a device operation fails mid-access. The caller still owns the
-    /// dirty data and must write it to disk itself.
+    /// See [`FlashCache::try_op`].
+    #[deprecated(
+        since = "0.9.0",
+        note = "use FlashCache::try_op(CacheOp::write(lba)) and take `.access`"
+    )]
     pub fn try_write(&mut self, disk_page: u64) -> Result<AccessOutcome, CacheError> {
+        self.try_op(CacheOp::write(disk_page)).map(|o| o.access)
+    }
+
+    /// §5.1 write path with the admission gate, dirty-page coalescing,
+    /// and longevity-bucketed placement in front of the program.
+    fn op_write(&mut self, op: CacheOp) -> Result<CacheOutcome, CacheError> {
+        let disk_page = op.lba;
         self.begin_op();
         self.stats.writes += 1;
         let mut hit = false;
         if let Some(addr) = self.fcht.lookup(disk_page) {
             hit = true;
             self.stats.write_hits += 1;
+            // Dirty-page coalescing (WriteCap only): an already-dirty
+            // cached copy absorbs the overwrite in place — the stale
+            // data was never flushed, so updating it owes no program.
+            if self.admission.coalesces_dirty_overwrites() && self.fpst.get(addr).dirty {
+                self.stats.admission_coalesced_writes += 1;
+                self.fgst.record(true, 0.0);
+                self.maybe_background_read_gc()?;
+                let access = self.finish(AccessOutcome {
+                    hit: true,
+                    tier: ServiceTier::Flash,
+                    ..AccessOutcome::default()
+                });
+                return Ok(CacheOutcome {
+                    access,
+                    admission: AdmissionDecision::Coalesced,
+                });
+            }
             // Invalidate the stale copy (read- or write-region alike);
             // the new data supersedes it, so no flush is owed.
             self.invalidate_for_overwrite(addr);
@@ -639,17 +855,35 @@ impl FlashCache {
         } else {
             RegionKind::Write
         };
-        let programmed = match self.allocate_slot(target, false)? {
-            Some(addr) => {
-                let lat = self.program_slot(addr, disk_page, true, 0)?;
-                self.op_background_us += lat;
-                true
-            }
-            None => false,
+        let (programmed, admission) = if self.admission.admit_write(disk_page, self.tick) {
+            let bucket = if self.unified {
+                0
+            } else {
+                self.longevity.bucket_for_write(disk_page, self.tick)
+            };
+            let programmed = match self.allocate_slot(target, false, bucket)? {
+                Some(addr) => {
+                    let lat = self.program_slot(addr, disk_page, true, 0)?;
+                    self.op_background_us += lat;
+                    self.stats.admission_bytes_written +=
+                        self.device.geometry().page_data_bytes as u64;
+                    let bi = (bucket as usize).min(self.longevity_writes.len() - 1);
+                    self.longevity_writes[bi] += 1;
+                    true
+                }
+                None => false,
+            };
+            (programmed, AdmissionDecision::Admitted)
+        } else {
+            // Rejected: the dirty data bypasses flash; the caller owns
+            // the disk write (the hierarchy already routes `bypassed`
+            // write-backs to disk).
+            self.stats.admission_rejected_writes += 1;
+            (false, AdmissionDecision::Rejected)
         };
         self.fgst.record(hit, 0.0);
         self.maybe_background_read_gc()?;
-        Ok(self.finish(AccessOutcome {
+        let access = self.finish(AccessOutcome {
             hit,
             tier: if programmed {
                 ServiceTier::Flash
@@ -658,7 +892,8 @@ impl FlashCache {
             },
             bypassed: !programmed,
             ..AccessOutcome::default()
-        }))
+        });
+        Ok(CacheOutcome { access, admission })
     }
 
     /// Marks every dirty page clean and returns how many disk writes the
@@ -685,7 +920,7 @@ impl FlashCache {
     /// Fills `disk_page` into `kind` after a disk fetch. Returns false if
     /// no space could be allocated (worn-out device).
     fn fill_from_disk(&mut self, disk_page: u64, kind: RegionKind) -> Result<bool, CacheError> {
-        match self.allocate_slot(kind, false)? {
+        match self.allocate_slot(kind, false, 0)? {
             Some(addr) => {
                 let lat = self.program_slot(addr, disk_page, false, 0)?;
                 self.op_background_us += lat;
@@ -819,7 +1054,7 @@ impl FlashCache {
         // Invalidate *before* allocating: allocation may trigger GC, which
         // must not relocate the page we are about to migrate ourselves.
         self.invalidate_for_overwrite(addr);
-        let Some(dst) = self.allocate_slot(kind, true)? else {
+        let Some(dst) = self.allocate_slot(kind, true, self.top_bucket(kind))? else {
             // Promotion failed for lack of space; the page falls out of
             // the cache (its content was just served, and a dirty copy
             // still owes a disk write).

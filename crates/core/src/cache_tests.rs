@@ -2,6 +2,8 @@
 //! writes, GC, eviction, wear levelling, controller reconfiguration, and
 //! full structural invariants after heavy churn.
 
+#![allow(deprecated)] // legacy entry-point shims are intentionally exercised
+
 use nand_flash::{CellMode, FlashConfig, FlashGeometry, WearConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -49,6 +49,41 @@ impl Default for SplitPolicy {
     }
 }
 
+/// Which flash admission policy gates DRAM-evicted pages (fills and
+/// host writes) out of the flash cache.
+///
+/// All parameters are integers so configs stay `Eq` (the sharded
+/// engine's [`EngineConfig`] relies on it); windows are measured in
+/// cache accesses — the same logical clock as the FPST counter decay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicyConfig {
+    /// Admit every fill and write — the paper-faithful baseline.
+    #[default]
+    AdmitAll,
+    /// Ghost-counter admission (Flashield-style): a page must be
+    /// touched `k` more times within `window` accesses of its first
+    /// appearance before it earns flash space.
+    ReReference {
+        /// Re-references required before admission (`>= 1`).
+        k: u8,
+        /// Decay window in cache accesses (`>= 1`).
+        window: u64,
+    },
+    /// Token-bucket cap on flash write bandwidth (WLFC-style): at most
+    /// `pages_per_window` host writes per `window` accesses are
+    /// programmed; the rest go straight to disk. Fills are never
+    /// capped.
+    WriteCap {
+        /// Admitted host writes allowed per window (`>= 1`).
+        pages_per_window: u64,
+        /// Refill window in cache accesses (`>= 1`).
+        window: u64,
+        /// Absorb overwrites of already-dirty cached pages in place
+        /// (no reprogram — the flash already owes that page's flush).
+        coalesce: bool,
+    },
+}
+
 /// Flash memory controller reconfiguration policy (§4, §5.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ControllerPolicy {
@@ -133,6 +168,15 @@ pub struct FlashCacheConfig {
     /// changes which side answers queries (kept for before/after
     /// benchmarking).
     pub use_reclaim_index: bool,
+    /// Admission policy gating fills and host writes out of the flash
+    /// (default [`AdmissionPolicyConfig::AdmitAll`], the paper's
+    /// behaviour).
+    pub admission: AdmissionPolicyConfig,
+    /// Longevity buckets in the write region: admitted host writes are
+    /// routed into per-bucket open blocks by predicted re-write
+    /// interval. `1` (default) disables bucketing — the pre-admission
+    /// single open block. Ignored under [`SplitPolicy::Unified`].
+    pub longevity_buckets: u32,
 }
 
 impl Default for FlashCacheConfig {
@@ -155,6 +199,8 @@ impl Default for FlashCacheConfig {
             reconfig_margin: 0,
             counter_decay_interval: 0,
             use_reclaim_index: true,
+            admission: AdmissionPolicyConfig::default(),
+            longevity_buckets: 1,
         }
     }
 }
@@ -234,6 +280,47 @@ impl FlashCacheConfig {
             return Err(ConfigError::new(
                 "cache needs at least 4 flash blocks".to_string(),
             ));
+        }
+        match self.admission {
+            AdmissionPolicyConfig::AdmitAll => {}
+            AdmissionPolicyConfig::ReReference { k, window } => {
+                if k == 0 {
+                    return Err(ConfigError::new(
+                        "re-reference admission needs k >= 1 (k = 0 admits \
+                         everything; use AdmitAll)"
+                            .to_string(),
+                    ));
+                }
+                if window == 0 {
+                    return Err(ConfigError::new(
+                        "re-reference admission window must be nonzero".to_string(),
+                    ));
+                }
+            }
+            AdmissionPolicyConfig::WriteCap {
+                pages_per_window,
+                window,
+                ..
+            } => {
+                if pages_per_window == 0 {
+                    return Err(ConfigError::new(
+                        "write cap of 0 pages per window would reject every \
+                         write; use a positive rate"
+                            .to_string(),
+                    ));
+                }
+                if window == 0 {
+                    return Err(ConfigError::new(
+                        "write cap window must be nonzero".to_string(),
+                    ));
+                }
+            }
+        }
+        if self.longevity_buckets == 0 || self.longevity_buckets > 16 {
+            return Err(ConfigError::new(format!(
+                "longevity_buckets must be in 1..=16, got {}",
+                self.longevity_buckets
+            )));
         }
         Ok(())
     }
@@ -363,6 +450,19 @@ impl FlashCacheConfigBuilder {
         self
     }
 
+    /// Sets the flash admission policy gating fills and host writes.
+    pub fn admission(mut self, admission: AdmissionPolicyConfig) -> Self {
+        self.config.admission = admission;
+        self
+    }
+
+    /// Sets the number of longevity buckets in the write region
+    /// (`1..=16`; `1` disables bucketing).
+    pub fn longevity_buckets(mut self, longevity_buckets: u32) -> Self {
+        self.config.longevity_buckets = longevity_buckets;
+        self
+    }
+
     /// Validates the assembled configuration and returns it.
     ///
     /// # Errors
@@ -459,6 +559,61 @@ mod tests {
             .wear_weights(8.0, 0.5)
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn admission_validation_rejects_degenerate_knobs() {
+        // k = 0 would admit everything; explicitly rejected.
+        assert!(FlashCacheConfig::builder()
+            .admission(AdmissionPolicyConfig::ReReference { k: 0, window: 100 })
+            .build()
+            .is_err());
+        assert!(FlashCacheConfig::builder()
+            .admission(AdmissionPolicyConfig::ReReference { k: 1, window: 0 })
+            .build()
+            .is_err());
+        // Zero-rate cap rejects every write; rejected at build time.
+        assert!(FlashCacheConfig::builder()
+            .admission(AdmissionPolicyConfig::WriteCap {
+                pages_per_window: 0,
+                window: 100,
+                coalesce: false,
+            })
+            .build()
+            .is_err());
+        assert!(FlashCacheConfig::builder()
+            .admission(AdmissionPolicyConfig::WriteCap {
+                pages_per_window: 8,
+                window: 0,
+                coalesce: false,
+            })
+            .build()
+            .is_err());
+        assert!(FlashCacheConfig::builder()
+            .longevity_buckets(0)
+            .build()
+            .is_err());
+        assert!(FlashCacheConfig::builder()
+            .longevity_buckets(17)
+            .build()
+            .is_err());
+        let c = FlashCacheConfig::builder()
+            .admission(AdmissionPolicyConfig::ReReference { k: 2, window: 64 })
+            .longevity_buckets(4)
+            .build()
+            .unwrap();
+        assert_eq!(
+            c.admission,
+            AdmissionPolicyConfig::ReReference { k: 2, window: 64 }
+        );
+        assert_eq!(c.longevity_buckets, 4);
+    }
+
+    #[test]
+    fn admission_defaults_are_paper_faithful() {
+        let c = FlashCacheConfig::default();
+        assert_eq!(c.admission, AdmissionPolicyConfig::AdmitAll);
+        assert_eq!(c.longevity_buckets, 1);
     }
 
     #[test]

@@ -2,6 +2,8 @@
 //! geometries, soft-error storms, region exhaustion, mode interactions,
 //! and recovery behaviour.
 
+#![allow(deprecated)] // legacy entry-point shims are intentionally exercised
+
 use nand_flash::{CellMode, FlashConfig, FlashGeometry, WearConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -17,20 +17,21 @@
 //! # Examples
 //!
 //! ```
-//! use flashcache_core::{FlashCache, FlashCacheConfig};
+//! use flashcache_core::{CacheOp, FlashCache, FlashCacheConfig};
 //!
 //! let mut cache = FlashCache::new(FlashCacheConfig::default()).unwrap();
 //! // Miss, fill, hit.
-//! assert!(cache.read(7).needs_disk_read);
-//! assert!(cache.read(7).hit);
+//! assert!(cache.op(CacheOp::read(7)).access.needs_disk_read);
+//! assert!(cache.op(CacheOp::read(7)).access.hit);
 //! // Writes go to the write region out-of-place.
-//! let w = cache.write(7);
-//! assert!(w.hit);
+//! let w = cache.op(CacheOp::write(7));
+//! assert!(w.access.hit);
 //! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod admission;
 pub mod cache;
 #[cfg(test)]
 mod cache_tests;
@@ -49,9 +50,11 @@ pub mod snapshot;
 pub mod stats;
 pub mod tables;
 
-pub use cache::{AccessOutcome, FlashCache};
+pub use admission::{AdmissionPolicy, AdmitAll, ReReference, WriteCap};
+pub use cache::{AccessOutcome, AdmissionDecision, CacheOp, CacheOpKind, CacheOutcome, FlashCache};
 pub use config::{
-    ConfigError, ControllerPolicy, FlashCacheConfig, FlashCacheConfigBuilder, SplitPolicy,
+    AdmissionPolicyConfig, ConfigError, ControllerPolicy, FlashCacheConfig,
+    FlashCacheConfigBuilder, SplitPolicy,
 };
 pub use descriptor::{DescriptorOp, FlashDescriptor};
 pub use error::CacheError;

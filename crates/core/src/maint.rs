@@ -32,8 +32,9 @@ impl FlashCache {
     }
 
     fn block_is_reserved(&self, b: BlockId) -> bool {
-        let check =
-            |r: &crate::cache::Region| r.open.map(|o| o.id) == Some(b) || r.spare == Some(b);
+        let check = |r: &crate::cache::Region| {
+            r.open.iter().flatten().any(|o| o.id == b) || r.spare == Some(b)
+        };
         check(&self.read_region) || check(&self.write_region)
     }
 
@@ -55,22 +56,26 @@ impl FlashCache {
 
     /// Allocates the next programmable slot in `kind`, making space if
     /// needed. `want_slc` forces the destination physical page into SLC
-    /// mode (hot-page promotion). Returns `None` when the device can no
-    /// longer provide space (worn out).
+    /// mode (hot-page promotion); `bucket` selects which longevity open
+    /// block the slot comes from (clamped to the region's bucket count —
+    /// always 0 for the read region). Returns `None` when the device can
+    /// no longer provide space (worn out).
     pub(crate) fn allocate_slot(
         &mut self,
         kind: RegionKind,
         want_slc: bool,
+        bucket: u32,
     ) -> Result<Option<PageAddr>, CacheError> {
         let mut attempts = 0u32;
         let limit = 2 * self.device.geometry().blocks + 8;
         loop {
-            if let Some(addr) = self.take_from_open(kind, want_slc) {
+            if let Some(addr) = self.take_from_open(kind, want_slc, bucket) {
                 return Ok(Some(addr));
             }
             let region = self.region_mut(kind);
+            let bi = (bucket as usize).min(region.open.len() - 1);
             if let Some(b) = region.free.pop_front() {
-                region.open = Some(OpenBlock {
+                region.open[bi] = Some(OpenBlock {
                     id: b,
                     next_slot: 0,
                 });
@@ -82,7 +87,7 @@ impl FlashCache {
                 // of sitting pinned forever.
                 let region = self.region_mut(kind);
                 if let Some(spare) = region.spare.take() {
-                    region.open = Some(OpenBlock {
+                    region.open[bi] = Some(OpenBlock {
                         id: spare,
                         next_slot: 0,
                     });
@@ -146,17 +151,24 @@ impl FlashCache {
         None
     }
 
-    /// Advances the open block's pointer to the next slot compatible with
-    /// the request, honouring per-physical-page mode configuration.
-    fn take_from_open(&mut self, kind: RegionKind, want_slc: bool) -> Option<PageAddr> {
-        let mut ob = self.region_mut(kind).open?;
+    /// Advances `bucket`'s open-block pointer to the next slot compatible
+    /// with the request, honouring per-physical-page mode configuration.
+    fn take_from_open(
+        &mut self,
+        kind: RegionKind,
+        want_slc: bool,
+        bucket: u32,
+    ) -> Option<PageAddr> {
+        let region = self.region_mut(kind);
+        let bi = (bucket as usize).min(region.open.len() - 1);
+        let mut ob = region.open[bi]?;
         let spb = self.device.geometry().slots_per_block();
         let result = self.advance_slot(ob.id, &mut ob.next_slot, want_slc);
         let region = self.region_mut(kind);
         if result.is_none() && ob.next_slot >= spb {
-            region.open = None;
+            region.open[bi] = None;
         } else {
-            region.open = Some(ob);
+            region.open[bi] = Some(ob);
         }
         result
     }
@@ -412,7 +424,7 @@ impl FlashCache {
         }
         let access = self.fpst.access_count(src);
         let want_slc = access >= self.config.hot_threshold && self.policy_allows_slc();
-        let Some(dst) = self.gc_dest_slot(kind, want_slc) else {
+        let Some(dst) = self.gc_dest_slot(kind, want_slc, self.top_bucket(kind)) else {
             self.drop_valid_page(src, true);
             return Ok(false);
         };
@@ -441,22 +453,25 @@ impl FlashCache {
     }
 
     /// A destination slot for relocation: never recurses into
-    /// `make_space`; falls back to consuming the spare block.
-    fn gc_dest_slot(&mut self, kind: RegionKind, want_slc: bool) -> Option<PageAddr> {
+    /// `make_space`; falls back to consuming the spare block. GC
+    /// survivors have proven longevity, so callers route them to the
+    /// region's top bucket.
+    fn gc_dest_slot(&mut self, kind: RegionKind, want_slc: bool, bucket: u32) -> Option<PageAddr> {
         loop {
-            if let Some(a) = self.take_from_open(kind, want_slc) {
+            if let Some(a) = self.take_from_open(kind, want_slc, bucket) {
                 return Some(a);
             }
             let region = self.region_mut(kind);
+            let bi = (bucket as usize).min(region.open.len() - 1);
             if let Some(b) = region.free.pop_front() {
-                region.open = Some(OpenBlock {
+                region.open[bi] = Some(OpenBlock {
                     id: b,
                     next_slot: 0,
                 });
                 continue;
             }
             if let Some(s) = region.spare.take() {
-                region.open = Some(OpenBlock {
+                region.open[bi] = Some(OpenBlock {
                     id: s,
                     next_slot: 0,
                 });

@@ -17,8 +17,13 @@ pub struct RegionSnapshot {
     pub kind: RegionKind,
     /// Block ids on the free list, in allocation order.
     pub free_blocks: Vec<u32>,
-    /// The open block and its next programmable slot, if any.
+    /// The first (bucket-0) open block and its next programmable slot,
+    /// if any — the whole story for single-bucket regions.
     pub open_block: Option<(u32, u32)>,
+    /// Per-longevity-bucket open blocks (`(block, next_slot)`); entry 0
+    /// mirrors `open_block`. Length 1 unless the write region runs
+    /// bucketed placement.
+    pub open_blocks: Vec<Option<(u32, u32)>>,
     /// The reserved GC-compaction spare, if any.
     pub spare_block: Option<u32>,
     /// Live pages across the region.
@@ -29,10 +34,16 @@ pub struct RegionSnapshot {
 
 impl RegionSnapshot {
     fn from_region(kind: RegionKind, r: &Region) -> Self {
+        let open_blocks: Vec<Option<(u32, u32)>> = r
+            .open
+            .iter()
+            .map(|o| o.map(|o| (o.id.0, o.next_slot)))
+            .collect();
         RegionSnapshot {
             kind,
             free_blocks: r.free.iter().map(|b| b.0).collect(),
-            open_block: r.open.map(|o| (o.id.0, o.next_slot)),
+            open_block: open_blocks.first().copied().flatten(),
+            open_blocks,
             spare_block: r.spare.map(|b| b.0),
             valid_pages: r.valid_pages,
             invalid_pages: r.invalid_pages,
@@ -77,10 +88,10 @@ pub struct WearSummary {
 /// # Examples
 ///
 /// ```
-/// use flashcache_core::{FlashCache, FlashCacheConfig};
+/// use flashcache_core::{CacheOp, FlashCache, FlashCacheConfig};
 ///
 /// let mut cache = FlashCache::new(FlashCacheConfig::default()).unwrap();
-/// cache.read(7);
+/// cache.op(CacheOp::read(7));
 /// let snap = cache.snapshot();
 /// assert_eq!(snap.cached_pages, 1);
 /// assert!(snap.regions[0].valid_pages >= 1);
@@ -165,19 +176,33 @@ impl fmt::Display for CacheSnapshot {
             self.tick, self.cached_pages, self.usable_slots, self.slc_fraction
         )?;
         for r in &self.regions {
-            writeln!(
-                f,
-                "{}: free={:?} open={:?} spare={:?} valid={} invalid={}",
-                match r.kind {
-                    RegionKind::Read => "read",
-                    RegionKind::Write => "write",
-                },
-                r.free_blocks,
-                r.open_block,
-                r.spare_block,
-                r.valid_pages,
-                r.invalid_pages
-            )?;
+            let name = match r.kind {
+                RegionKind::Read => "read",
+                RegionKind::Write => "write",
+            };
+            if r.open_blocks.len() > 1 {
+                writeln!(
+                    f,
+                    "{}: free={:?} open={:?} spare={:?} valid={} invalid={}",
+                    name,
+                    r.free_blocks,
+                    r.open_blocks,
+                    r.spare_block,
+                    r.valid_pages,
+                    r.invalid_pages
+                )?;
+            } else {
+                writeln!(
+                    f,
+                    "{}: free={:?} open={:?} spare={:?} valid={} invalid={}",
+                    name,
+                    r.free_blocks,
+                    r.open_block,
+                    r.spare_block,
+                    r.valid_pages,
+                    r.invalid_pages
+                )?;
+            }
         }
         for b in &self.blocks {
             writeln!(
@@ -204,6 +229,7 @@ impl fmt::Display for CacheSnapshot {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the legacy entry-point shims too
 mod tests {
     use super::*;
     use crate::config::FlashCacheConfig;

@@ -62,6 +62,19 @@ pub struct CacheStats {
     /// entry points (`read`/`write` catching a
     /// [`CacheError`](crate::CacheError) from their `try_` twins).
     pub internal_errors: u64,
+    /// Read-miss fills the admission policy kept out of flash (the
+    /// request was still served from disk; nothing was cached).
+    pub admission_rejected_fills: u64,
+    /// Host writes the admission policy sent straight to disk instead
+    /// of programming into the write region.
+    pub admission_rejected_writes: u64,
+    /// Host writes absorbed in place by an already-dirty cached copy
+    /// (dirty-page coalescing; no reprogram was issued).
+    pub admission_coalesced_writes: u64,
+    /// Bytes of admitted host writes programmed into flash — the
+    /// quantity a [`WriteCap`](crate::admission::WriteCap) policy
+    /// bounds. Excludes fills and GC relocation traffic.
+    pub admission_bytes_written: u64,
 }
 
 impl CacheStats {
@@ -118,6 +131,10 @@ impl CacheStats {
         self.reclaim_index_hits += other.reclaim_index_hits;
         self.reclaim_scan_fallbacks += other.reclaim_scan_fallbacks;
         self.internal_errors += other.internal_errors;
+        self.admission_rejected_fills += other.admission_rejected_fills;
+        self.admission_rejected_writes += other.admission_rejected_writes;
+        self.admission_coalesced_writes += other.admission_coalesced_writes;
+        self.admission_bytes_written += other.admission_bytes_written;
     }
 
     /// GC overhead: GC time relative to all time the cache spent working
@@ -221,6 +238,8 @@ mod tests {
             reads: 4,
             writes: 7,
             gc_time_us: 0.5,
+            admission_rejected_writes: 3,
+            admission_bytes_written: 4096,
             ..CacheStats::default()
         };
         let mut m = a;
@@ -229,6 +248,8 @@ mod tests {
         assert_eq!(m.read_hits, 2);
         assert_eq!(m.writes, 7);
         assert_eq!(m.internal_errors, 1);
+        assert_eq!(m.admission_rejected_writes, 3);
+        assert_eq!(m.admission_bytes_written, 4096);
         assert!((m.gc_time_us - 2.0).abs() < 1e-12);
         // Merging the zero stats is the identity.
         let mut z = a;

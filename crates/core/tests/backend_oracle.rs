@@ -9,6 +9,8 @@
 //! closed-form arithmetic the differential oracle for every scheduler
 //! change.
 
+#![allow(deprecated)] // legacy entry-point shims are intentionally exercised
+
 use std::sync::Arc;
 
 use disk_trace::{OpKind, WorkloadSpec};

@@ -9,6 +9,8 @@
 //! identical ordering keys (invalid count, LRU timestamp, wear cost) —
 //! ties may break toward different blocks, keys may not differ.
 
+#![allow(deprecated)] // legacy entry-point shims are intentionally exercised
+
 use proptest::prelude::*;
 
 use flashcache_core::{FlashCache, FlashCacheConfig, SplitPolicy};

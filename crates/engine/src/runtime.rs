@@ -37,7 +37,7 @@ use std::time::Duration;
 
 use disk_trace::OpKind;
 use flash_obs::ServiceTier;
-use flashcache_core::{AccessOutcome, FlashCache};
+use flashcache_core::{AccessOutcome, CacheOp, FlashCache};
 
 use crate::ring::{self, Consumer, Producer};
 
@@ -368,8 +368,8 @@ fn service(
             panic!("injected worker panic (test hook)");
         }
         match op {
-            OpKind::Read => cache.read(page),
-            OpKind::Write => cache.write(page),
+            OpKind::Read => cache.op(CacheOp::read(page)).access,
+            OpKind::Write => cache.op(CacheOp::write(page)).access,
         }
     }));
     match result {

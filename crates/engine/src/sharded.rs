@@ -7,7 +7,8 @@ use disk_trace::{DiskRequest, OpKind};
 use flash_obs::{ObsSink, Registry, ServiceTier};
 use flashcache_core::tables::Fgst;
 use flashcache_core::{
-    AccessOutcome, CacheError, CacheStats, ConfigError, FlashCache, FlashCacheConfig,
+    AccessOutcome, AdmissionPolicyConfig, CacheError, CacheOp, CacheOutcome, CacheStats,
+    ConfigError, FlashCache, FlashCacheConfig,
 };
 
 use crate::pool;
@@ -33,6 +34,13 @@ pub struct EngineConfig {
     /// by the persistent runtime.
     #[doc(hidden)]
     pub panic_page: Option<u64>,
+    /// Admission-policy override applied to every shard's configuration
+    /// (each shard gets its own independent policy state). `None` keeps
+    /// whatever the [`FlashCacheConfig`] carries.
+    pub admission: Option<AdmissionPolicyConfig>,
+    /// Longevity-bucket override applied to every shard's write region.
+    /// `None` keeps the [`FlashCacheConfig`] value.
+    pub longevity_buckets: Option<u32>,
 }
 
 impl Default for EngineConfig {
@@ -41,6 +49,8 @@ impl Default for EngineConfig {
             persistent_workers: true,
             workers: None,
             panic_page: None,
+            admission: None,
+            longevity_buckets: None,
         }
     }
 }
@@ -236,6 +246,12 @@ impl ShardedCache {
                 .flash
                 .seed
                 .wrapping_add((i as u64).wrapping_mul(SEED_STRIDE));
+            if let Some(a) = engine.admission {
+                c.admission = a;
+            }
+            if let Some(b) = engine.longevity_buckets {
+                c.longevity_buckets = b;
+            }
             built.push(FlashCache::new(c)?);
         }
         let threads = engine.workers.unwrap_or_else(pool::default_threads).max(1);
@@ -365,8 +381,8 @@ impl ShardedCache {
             let mut outs = Vec::with_capacity(ops.len());
             for (ri, page, op) in ops {
                 let out = match op {
-                    OpKind::Read => shard.read(page),
-                    OpKind::Write => shard.write(page),
+                    OpKind::Read => shard.op(CacheOp::read(page)).access,
+                    OpKind::Write => shard.op(CacheOp::write(page)).access,
                 };
                 busy += out.latency_us + out.background_us;
                 outs.push((ri, out));
@@ -422,8 +438,8 @@ impl ShardedCache {
             let mut busy = 0.0;
             for &(ri, page, op) in ops {
                 let out = match op {
-                    OpKind::Read => shard.read(page),
-                    OpKind::Write => shard.write(page),
+                    OpKind::Read => shard.op(CacheOp::read(page)).access,
+                    OpKind::Write => shard.op(CacheOp::write(page)).access,
                 };
                 busy += out.latency_us + out.background_us;
                 let slot = &mut merged[ri as usize];
@@ -560,8 +576,8 @@ impl ShardedCache {
             let mut seen = false;
             for page in req.pages() {
                 let out = match req.op {
-                    OpKind::Read => shard.read(page),
-                    OpKind::Write => shard.write(page),
+                    OpKind::Read => shard.op(CacheOp::read(page)).access,
+                    OpKind::Write => shard.op(CacheOp::write(page)).access,
                 };
                 busy += out.latency_us + out.background_us;
                 if seen {
@@ -580,17 +596,32 @@ impl ShardedCache {
         merged
     }
 
+    /// Services one typed operation through its owning shard (serial
+    /// path; does not contribute to the modeled batch times).
+    pub fn op(&mut self, op: CacheOp) -> CacheOutcome {
+        let s = self.shard_of(op.lba);
+        self.shards_mut()[s].op(op)
+    }
+
+    /// Fallible single-operation entry exposing the typed [`CacheError`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the owning shard's [`CacheError`].
+    pub fn try_op(&mut self, op: CacheOp) -> Result<CacheOutcome, CacheError> {
+        let s = self.shard_of(op.lba);
+        self.shards_mut()[s].try_op(op)
+    }
+
     /// Reads one page through its owning shard (serial path; does not
     /// contribute to the modeled batch times).
     pub fn read(&mut self, disk_page: u64) -> AccessOutcome {
-        let s = self.shard_of(disk_page);
-        self.shards_mut()[s].read(disk_page)
+        self.op(CacheOp::read(disk_page)).access
     }
 
     /// Writes one page through its owning shard (serial path).
     pub fn write(&mut self, disk_page: u64) -> AccessOutcome {
-        let s = self.shard_of(disk_page);
-        self.shards_mut()[s].write(disk_page)
+        self.op(CacheOp::write(disk_page)).access
     }
 
     /// Fallible single-page read exposing the typed [`CacheError`].
@@ -599,8 +630,7 @@ impl ShardedCache {
     ///
     /// Propagates the owning shard's [`CacheError`].
     pub fn try_read(&mut self, disk_page: u64) -> Result<AccessOutcome, CacheError> {
-        let s = self.shard_of(disk_page);
-        self.shards_mut()[s].try_read(disk_page)
+        self.try_op(CacheOp::read(disk_page)).map(|o| o.access)
     }
 
     /// Fallible single-page write exposing the typed [`CacheError`].
@@ -609,8 +639,7 @@ impl ShardedCache {
     ///
     /// Propagates the owning shard's [`CacheError`].
     pub fn try_write(&mut self, disk_page: u64) -> Result<AccessOutcome, CacheError> {
-        let s = self.shard_of(disk_page);
-        self.shards_mut()[s].try_write(disk_page)
+        self.try_op(CacheOp::write(disk_page)).map(|o| o.access)
     }
 
     /// Marks every dirty page clean across all shards and returns the
@@ -798,6 +827,7 @@ fn prefixed(i: usize, reg: &Registry) -> Registry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use flashcache_core::AdmissionDecision;
     use nand_flash::{FlashConfig, FlashGeometry};
 
     fn config(blocks: u32) -> FlashCacheConfig {
@@ -833,6 +863,32 @@ mod tests {
         let e = ShardedCache::new(config(32), 4).unwrap();
         assert_eq!(e.shard_count(), 4);
         assert_eq!(e.shards()[0].device().geometry().blocks, 8);
+    }
+
+    #[test]
+    fn engine_config_overrides_admission_on_every_shard() {
+        let reref = AdmissionPolicyConfig::ReReference { k: 1, window: 512 };
+        let engine = EngineConfig {
+            admission: Some(reref),
+            longevity_buckets: Some(2),
+            ..EngineConfig::default()
+        };
+        let mut e = ShardedCache::with_engine_config(config(32), 4, engine).unwrap();
+        for shard in e.shards() {
+            assert_eq!(shard.config().admission, reref);
+            assert_eq!(shard.config().longevity_buckets, 2);
+        }
+        // The gate holds on the first touch of a cold page...
+        let cold = e.op(CacheOp::read(7));
+        assert_eq!(cold.admission, AdmissionDecision::Rejected);
+        assert!(cold.access.needs_disk_read && !cold.access.hit);
+        // ...and the re-read earns flash space, wherever the page shards.
+        assert_eq!(
+            e.op(CacheOp::read(7)).admission,
+            AdmissionDecision::Admitted
+        );
+        assert!(e.op(CacheOp::read(7)).access.hit);
+        assert_eq!(e.stats().admission_rejected_fills, 1);
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! totals equal the fieldwise sum of the per-shard stats for arbitrary
 //! seeds and shard counts.
 
+#![allow(deprecated)] // legacy entry-point shims are intentionally exercised
+
 use std::sync::Arc;
 
 use disk_trace::{DiskRequest, OpKind, WorkloadSpec};
@@ -215,6 +217,7 @@ fn worker_panic_degrades_without_deadlock() {
         persistent_workers: true,
         workers: Some(2),
         panic_page: Some(poison_page),
+        ..EngineConfig::default()
     };
     let mut engine = ShardedCache::with_engine_config(config(), 4, engine_cfg).expect("4 shards");
     let batch: Vec<DiskRequest> = (0..256u64).map(DiskRequest::read).collect();

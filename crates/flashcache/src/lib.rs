@@ -21,13 +21,14 @@
 //! ## Quickstart
 //!
 //! ```
-//! use flashcache::{FlashCache, FlashCacheConfig};
+//! use flashcache::{CacheOp, FlashCache, FlashCacheConfig};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let config = FlashCacheConfig::builder().build()?;
 //! let mut cache = FlashCache::new(config)?;
-//! assert!(cache.read(7).needs_disk_read); // cold miss fills the cache
-//! assert!(cache.read(7).hit);             // now served from flash
+//! // Cold miss fills the cache; the refetch is served from flash.
+//! assert!(cache.op(CacheOp::read(7)).access.needs_disk_read);
+//! assert!(cache.op(CacheOp::read(7)).access.hit);
 //! println!("{}", cache.stats());
 //! # Ok(())
 //! # }
@@ -51,8 +52,9 @@ pub use storage_model as storage;
 pub use disk_trace::{DiskRequest, OpKind, WorkloadSpec};
 pub use flash_obs::{ObsSink, ServiceTier};
 pub use flashcache_core::{
-    AccessOutcome, CacheError, CacheSnapshot, CacheStats, ConfigError, ControllerPolicy,
-    FlashCache, FlashCacheConfig, FlashCacheConfigBuilder, PrimaryDiskCache, SplitPolicy,
+    AccessOutcome, AdmissionDecision, AdmissionPolicyConfig, CacheError, CacheOp, CacheOpKind,
+    CacheOutcome, CacheSnapshot, CacheStats, ConfigError, ControllerPolicy, FlashCache,
+    FlashCacheConfig, FlashCacheConfigBuilder, PrimaryDiskCache, SplitPolicy,
 };
 pub use flashcache_engine::{EngineConfig, EngineError, ShardedCache};
 pub use flashcache_sim::{Hierarchy, HierarchyConfig, ServerConfig};

@@ -2,7 +2,7 @@
 //! replaying traces straight into a [`FlashCache`].
 
 use disk_trace::{TraceGenerator, WorkloadSpec, PAGE_BYTES};
-use flashcache_core::{FlashCache, FlashCacheConfig};
+use flashcache_core::{CacheOp, FlashCache, FlashCacheConfig};
 use nand_flash::FlashGeometry;
 
 /// Builds a cache configuration whose MLC capacity is `bytes`.
@@ -57,9 +57,9 @@ pub fn drive_cache(
         let req = generator.next_request();
         for page in req.pages() {
             if req.is_write() {
-                cache.write(page);
+                cache.op(CacheOp::write(page));
             } else {
-                cache.read(page);
+                cache.op(CacheOp::read(page));
             }
             done += 1;
             if checked && done.is_multiple_of(INVARIANT_CHECK_INTERVAL) {

@@ -4,6 +4,7 @@
 //! `flashcache-bench` crate hosts the binaries that print them in the
 //! paper's row/series format.
 
+pub mod admission;
 pub mod curves;
 pub mod density_partition;
 pub mod driver;

@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use disk_trace::{DiskRequest, OpKind, PAGE_BYTES};
 use flash_obs::{EventRing, ObsSink, Registry, ServiceTier, Snapshot};
-use flashcache_core::{FlashCache, FlashCacheConfig, PrimaryDiskCache};
+use flashcache_core::{CacheOp, FlashCache, FlashCacheConfig, PrimaryDiskCache};
 use flashcache_engine::{EngineConfig, EngineError, ShardedCache};
 use storage_model::{ActivityTracker, DramModel, DramPowerBreakdown, HddModel};
 
@@ -489,7 +489,7 @@ impl Hierarchy {
         // depends on where the data came from.
         let mut queue_wait = 0.0;
         let tier = if let Some(flash) = &mut self.flash {
-            let out = flash.read(page);
+            let out = flash.op(CacheOp::read(page)).access;
             latency += out.latency_us;
             queue_wait = out.queue_wait_us;
             self.flush_to_disk(out.flushed_dirty);
@@ -520,7 +520,10 @@ impl Hierarchy {
     /// disk when there is no flash).
     fn write_back(&mut self, page: u64) {
         if let Some(flash) = &mut self.flash {
-            let out = flash.write(page);
+            // A `bypassed` outcome covers both worn-out devices and
+            // admission rejections: either way the dirty page goes to
+            // disk instead of flash.
+            let out = flash.op(CacheOp::write(page)).access;
             let flushed = out.flushed_dirty + u32::from(out.bypassed);
             self.flush_to_disk(flushed);
         } else {

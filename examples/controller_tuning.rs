@@ -7,7 +7,7 @@
 //! ```
 
 use flashcache::nand::{FlashConfig, FlashGeometry};
-use flashcache::{ControllerPolicy, FlashCache, FlashCacheConfig, WorkloadSpec};
+use flashcache::{CacheOp, ControllerPolicy, FlashCache, FlashCacheConfig, WorkloadSpec};
 
 fn run(config: FlashCacheConfig, label: &str) {
     let mut cache = FlashCache::new(config).expect("valid config");
@@ -22,9 +22,9 @@ fn run(config: FlashCacheConfig, label: &str) {
             let req = generator.next_request();
             for page in req.pages() {
                 if req.is_write() {
-                    cache.write(page);
+                    cache.op(CacheOp::write(page));
                 } else {
-                    cache.read(page);
+                    cache.op(CacheOp::read(page));
                 }
                 n += 1;
             }

@@ -10,7 +10,7 @@
 //! ```
 
 use flashcache::nand::{FlashConfig, FlashGeometry, WearConfig};
-use flashcache::{ControllerPolicy, FlashCache, FlashCacheConfig, WorkloadSpec};
+use flashcache::{CacheOp, ControllerPolicy, FlashCache, FlashCacheConfig, WorkloadSpec};
 
 fn run_to_failure(policy: ControllerPolicy) -> (u64, flashcache::CacheStats) {
     let mut builder = FlashCacheConfig::builder()
@@ -35,9 +35,9 @@ fn run_to_failure(policy: ControllerPolicy) -> (u64, flashcache::CacheStats) {
         let req = generator.next_request();
         for page in req.pages() {
             if req.is_write() {
-                cache.write(page);
+                cache.op(CacheOp::write(page));
             } else {
-                cache.read(page);
+                cache.op(CacheOp::read(page));
             }
             accesses += 1;
             if cache.is_dead() {

@@ -6,7 +6,7 @@
 //! ```
 
 use flashcache::nand::{FlashConfig, FlashGeometry};
-use flashcache::{FlashCache, FlashCacheConfig};
+use flashcache::{CacheOp, FlashCache, FlashCacheConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 64MB (MLC) flash disk cache with the paper's defaults:
@@ -21,14 +21,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Cold read: the cache reports that the disk must be consulted and
     // fills itself in the background.
-    let first = cache.read(1000);
+    let first = cache.op(CacheOp::read(1000)).access;
     println!(
         "first read : hit={} needs_disk={} latency={:.0}us",
         first.hit, first.needs_disk_read, first.latency_us
     );
 
     // Warm read: served from flash at MLC read latency + ECC decode.
-    let second = cache.read(1000);
+    let second = cache.op(CacheOp::read(1000)).access;
     println!(
         "second read: hit={} latency={:.0}us (MLC read + BCH decode)",
         second.hit, second.latency_us
@@ -36,17 +36,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Writes always go out-of-place into the write region.
     for i in 0..5_000u64 {
-        cache.write(i % 600);
+        cache.op(CacheOp::write(i % 600));
     }
     // Reads of recently written pages hit the write cache.
-    assert!(cache.read(42).hit);
+    assert!(cache.op(CacheOp::read(42)).access.hit);
 
     // Re-read one page often enough and the controller migrates it from
     // MLC to a fast SLC page (§5.2.2).
     for _ in 0..20 {
-        cache.read(1000);
+        cache.op(CacheOp::read(1000));
     }
-    let hot = cache.read(1000);
+    let hot = cache.op(CacheOp::read(1000)).access;
     println!(
         "hot read   : latency={:.0}us (now SLC: 25us array + decode)",
         hot.latency_us

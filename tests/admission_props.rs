@@ -1,0 +1,189 @@
+//! Property and storm tests for the admission/longevity stage.
+//!
+//! The load-bearing contract: `AdmitAll` with a single longevity bucket
+//! is the paper-faithful oracle — a cache configured that way explicitly
+//! must be byte-identical to a default-configured cache on any trace.
+//! On top of that, structural invariants must survive every policy and
+//! bucket count, and `WriteCap` must actually bound the admitted write
+//! bytes while leaving read caching untouched.
+
+use proptest::prelude::*;
+
+use flashcache::core::AdmissionPolicyConfig;
+use flashcache::nand::{FlashConfig, FlashGeometry};
+use flashcache::{CacheOp, FlashCache, FlashCacheConfig};
+
+fn small_config() -> FlashCacheConfig {
+    FlashCacheConfig {
+        flash: FlashConfig {
+            geometry: FlashGeometry {
+                blocks: 16,
+                pages_per_block: 8,
+                ..FlashGeometry::default()
+            },
+            ..FlashConfig::default()
+        },
+        ..FlashCacheConfig::default()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Read(u64),
+    Write(u64),
+    Flush,
+}
+
+fn op_strategy(pages: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (0..pages).prop_map(Op::Read),
+        4 => (0..pages).prop_map(Op::Write),
+        1 => Just(Op::Flush),
+    ]
+}
+
+fn apply(cache: &mut FlashCache, op: Op) {
+    match op {
+        Op::Read(p) => {
+            cache.op(CacheOp::read(p));
+        }
+        Op::Write(p) => {
+            cache.op(CacheOp::write(p));
+        }
+        Op::Flush => {
+            cache.flush_writes();
+        }
+    }
+}
+
+fn policy_strategy() -> impl Strategy<Value = AdmissionPolicyConfig> {
+    prop_oneof![
+        Just(AdmissionPolicyConfig::AdmitAll),
+        (1u8..4, 16u64..2048)
+            .prop_map(|(k, window)| AdmissionPolicyConfig::ReReference { k, window }),
+        (1u64..64, 16u64..2048, any::<bool>()).prop_map(|(pages_per_window, window, coalesce)| {
+            AdmissionPolicyConfig::WriteCap {
+                pages_per_window,
+                window,
+                coalesce,
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The admission gate held shut is invisible: explicitly configuring
+    /// `AdmitAll` + 1 longevity bucket produces the same snapshot, stats
+    /// and telemetry registry as the untouched default config.
+    #[test]
+    fn admit_all_single_bucket_is_the_identity(
+        ops in prop::collection::vec(op_strategy(300), 1..400),
+    ) {
+        let mut default_cache = FlashCache::new(small_config()).unwrap();
+        let mut explicit = small_config();
+        explicit.admission = AdmissionPolicyConfig::AdmitAll;
+        explicit.longevity_buckets = 1;
+        let mut explicit_cache = FlashCache::new(explicit).unwrap();
+        for &op in &ops {
+            apply(&mut default_cache, op);
+            apply(&mut explicit_cache, op);
+        }
+        prop_assert_eq!(default_cache.snapshot(), explicit_cache.snapshot());
+        prop_assert_eq!(default_cache.stats(), explicit_cache.stats());
+        prop_assert_eq!(default_cache.export_metrics(), explicit_cache.export_metrics());
+    }
+
+    /// Under `AdmitAll` the new counters never move.
+    #[test]
+    fn admit_all_never_rejects(
+        ops in prop::collection::vec(op_strategy(200), 1..200),
+    ) {
+        let mut cache = FlashCache::new(small_config()).unwrap();
+        for &op in &ops {
+            apply(&mut cache, op);
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.admission_rejected_fills, 0);
+        prop_assert_eq!(s.admission_rejected_writes, 0);
+        prop_assert_eq!(s.admission_coalesced_writes, 0);
+    }
+
+    /// Structural invariants hold for every policy × bucket-count combo
+    /// under arbitrary op sequences.
+    #[test]
+    fn invariants_hold_under_any_policy(
+        ops in prop::collection::vec(op_strategy(300), 1..400),
+        policy in policy_strategy(),
+        buckets in 1u32..6,
+    ) {
+        let mut config = small_config();
+        config.admission = policy;
+        config.longevity_buckets = buckets;
+        let mut cache = FlashCache::new(config).unwrap();
+        for &op in &ops {
+            apply(&mut cache, op);
+        }
+        cache.check_invariants().map_err(|e| {
+            TestCaseError::fail(format!("invariant violated: {e}"))
+        })?;
+        // The cache still serves after the sequence.
+        let out = cache.op(CacheOp::read(0)).access;
+        prop_assert!(out.hit || out.needs_disk_read);
+    }
+}
+
+/// A write storm cannot push more than the cap's allowance into flash,
+/// and the pages cached by reads beforehand keep hitting throughout.
+#[test]
+fn write_cap_bounds_flash_write_bytes_under_storm() {
+    const CAP: u64 = 8;
+    const WINDOW: u64 = 128;
+    let mut config = small_config();
+    config.admission = AdmissionPolicyConfig::WriteCap {
+        pages_per_window: CAP,
+        window: WINDOW,
+        coalesce: false,
+    };
+    let mut cache = FlashCache::new(config).unwrap();
+    let page_bytes = u64::from(cache.device().geometry().page_data_bytes);
+
+    // Pre-fill a handful of read pages (fills are never capped)...
+    let warm: Vec<u64> = (0..8).collect();
+    for &p in &warm {
+        cache.op(CacheOp::read(p));
+        assert!(cache.op(CacheOp::read(p)).access.hit);
+    }
+    assert_eq!(cache.stats().admission_bytes_written, 0, "fills are free");
+
+    // ...then storm distinct pages far beyond the cap.
+    for p in 0..4_000u64 {
+        cache.op(CacheOp::write(1_000 + p));
+    }
+    let s = cache.stats();
+    // Token-bucket allowance: one refill per touched window plus the
+    // initial grant bounds the admitted write bytes.
+    let windows = cache.tick() / WINDOW + 1;
+    let allowance_bytes = windows * CAP * page_bytes;
+    assert!(
+        s.admission_bytes_written <= allowance_bytes,
+        "cap breached: {} bytes admitted, allowance {}",
+        s.admission_bytes_written,
+        allowance_bytes
+    );
+    assert!(
+        s.admission_rejected_writes > 3_000,
+        "most storm writes must bounce: {} rejected",
+        s.admission_rejected_writes
+    );
+
+    // The read working set survived the storm.
+    for &p in &warm {
+        assert!(
+            cache.op(CacheOp::read(p)).access.hit,
+            "pre-filled page {p} must still hit after the storm"
+        );
+    }
+    cache.check_invariants().unwrap();
+}

@@ -1,0 +1,143 @@
+//! Differential tests for the unified cache-op API: the deprecated
+//! `read`/`write`/`try_read`/`try_write` entry points are thin shims
+//! over [`FlashCache::op`], so driving two identically-configured
+//! caches — one through the shims, one through ops — must produce
+//! byte-identical outcomes, snapshots, stats, and telemetry registries.
+
+#![allow(deprecated)] // legacy entry-point shims are intentionally exercised
+
+use flashcache::core::AdmissionPolicyConfig;
+use flashcache::nand::{FlashConfig, FlashGeometry};
+use flashcache::{CacheOp, FlashCache, FlashCacheConfig};
+
+fn small_config() -> FlashCacheConfig {
+    FlashCacheConfig {
+        flash: FlashConfig {
+            geometry: FlashGeometry {
+                blocks: 16,
+                pages_per_block: 8,
+                ..FlashGeometry::default()
+            },
+            ..FlashConfig::default()
+        },
+        ..FlashCacheConfig::default()
+    }
+}
+
+/// Deterministic mixed trace: Zipf-ish revisits plus a cold tail.
+fn trace(len: u64) -> impl Iterator<Item = (bool, u64)> {
+    (0..len).map(|i| {
+        let is_write = i % 3 == 1;
+        let page = if i % 4 == 0 { i % 7 } else { (i * 31) % 200 };
+        (is_write, page)
+    })
+}
+
+#[test]
+fn shims_and_ops_are_byte_identical() {
+    let mut shimmed = FlashCache::new(small_config()).unwrap();
+    let mut opped = FlashCache::new(small_config()).unwrap();
+    for (is_write, page) in trace(4_000) {
+        let (a, b) = if is_write {
+            (shimmed.write(page), opped.op(CacheOp::write(page)).access)
+        } else {
+            (shimmed.read(page), opped.op(CacheOp::read(page)).access)
+        };
+        assert_eq!(a, b, "outcome diverged at page {page} (write={is_write})");
+    }
+    assert_eq!(shimmed.flush_writes(), opped.flush_writes());
+    assert_eq!(shimmed.snapshot(), opped.snapshot());
+    assert_eq!(shimmed.stats(), opped.stats());
+    assert_eq!(shimmed.export_metrics(), opped.export_metrics());
+    shimmed.check_invariants().unwrap();
+    opped.check_invariants().unwrap();
+}
+
+#[test]
+fn try_shims_match_try_op() {
+    let mut shimmed = FlashCache::new(small_config()).unwrap();
+    let mut opped = FlashCache::new(small_config()).unwrap();
+    for (is_write, page) in trace(1_000) {
+        let (a, b) = if is_write {
+            (
+                shimmed.try_write(page).unwrap(),
+                opped.try_op(CacheOp::write(page)).unwrap().access,
+            )
+        } else {
+            (
+                shimmed.try_read(page).unwrap(),
+                opped.try_op(CacheOp::read(page)).unwrap().access,
+            )
+        };
+        assert_eq!(a, b, "try outcome diverged at page {page}");
+    }
+    assert_eq!(shimmed.snapshot(), opped.snapshot());
+    assert_eq!(shimmed.stats(), opped.stats());
+}
+
+#[test]
+fn outcome_reports_admission_decisions() {
+    use flashcache::AdmissionDecision;
+
+    // Default (AdmitAll): fills and writes are admitted; flash read
+    // hits never reach the admission stage.
+    let mut cache = FlashCache::new(small_config()).unwrap();
+    assert_eq!(
+        cache.op(CacheOp::read(3)).admission,
+        AdmissionDecision::Admitted,
+        "cold fill is admitted"
+    );
+    assert_eq!(
+        cache.op(CacheOp::read(3)).admission,
+        AdmissionDecision::NotApplicable,
+        "flash hit bypasses admission"
+    );
+    assert_eq!(
+        cache.op(CacheOp::write(4)).admission,
+        AdmissionDecision::Admitted
+    );
+    assert_eq!(cache.stats().admission_rejected_fills, 0);
+    assert_eq!(cache.stats().admission_rejected_writes, 0);
+
+    // ReReference: the first touch of a page is rejected.
+    let mut config = small_config();
+    config.admission = AdmissionPolicyConfig::ReReference { k: 1, window: 1024 };
+    let mut cache = FlashCache::new(config).unwrap();
+    let first = cache.op(CacheOp::read(9));
+    assert_eq!(first.admission, AdmissionDecision::Rejected);
+    assert!(first.access.needs_disk_read, "rejected fill still serves");
+    assert!(!first.access.hit);
+    let second = cache.op(CacheOp::read(9));
+    assert_eq!(second.admission, AdmissionDecision::Admitted);
+    assert_eq!(cache.stats().admission_rejected_fills, 1);
+
+    // WriteCap with coalescing: a dirty overwrite is absorbed in place.
+    let mut config = small_config();
+    config.admission = AdmissionPolicyConfig::WriteCap {
+        pages_per_window: 64,
+        window: 1024,
+        coalesce: true,
+    };
+    let mut cache = FlashCache::new(config).unwrap();
+    assert_eq!(
+        cache.op(CacheOp::write(5)).admission,
+        AdmissionDecision::Admitted
+    );
+    let again = cache.op(CacheOp::write(5));
+    assert_eq!(again.admission, AdmissionDecision::Coalesced);
+    assert!(again.access.hit, "coalesced overwrite is a flash hit");
+    assert_eq!(cache.stats().admission_coalesced_writes, 1);
+}
+
+#[test]
+fn cache_op_constructors_roundtrip() {
+    use flashcache::CacheOpKind;
+
+    let r = CacheOp::read(42);
+    assert_eq!(r.lba, 42);
+    assert_eq!(r.kind, CacheOpKind::Read);
+    let w = CacheOp::write(7);
+    assert_eq!(w.kind, CacheOpKind::Write);
+    let ctx = flashcache::nand::OpContext::background();
+    assert_eq!(w.with_ctx(ctx).ctx, ctx);
+}

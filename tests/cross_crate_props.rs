@@ -2,6 +2,8 @@
 //! against the cache hierarchy must preserve structural invariants and
 //! model-level contracts.
 
+#![allow(deprecated)] // legacy entry-point shims are intentionally exercised
+
 use proptest::prelude::*;
 
 use flashcache::ecc::page::{PageCodec, PAGE_DATA_BYTES};

@@ -7,6 +7,8 @@
 //! and become GC candidates; the split cache confines write damage to
 //! the write region, leaving read blocks clean.
 
+#![allow(deprecated)] // legacy entry-point shims are intentionally exercised
+
 use flashcache::core::tables::RegionKind;
 use flashcache::nand::{FlashConfig, FlashGeometry};
 use flashcache::{FlashCache, FlashCacheConfig, SplitPolicy};

@@ -2,6 +2,8 @@
 //! through the cache hierarchy to power accounting, plus end-to-end ECC
 //! behaviour against the real BCH implementation.
 
+#![allow(deprecated)] // legacy entry-point shims are intentionally exercised
+
 use flashcache::ecc::page::{PageCodec, PageDecodeOutcome, PAGE_DATA_BYTES};
 use flashcache::nand::{FlashConfig, FlashGeometry, WearConfig};
 use flashcache::sim::hierarchy::{Hierarchy, HierarchyConfig};
