@@ -84,11 +84,55 @@ fn bench_steady_state_reclaim(c: &mut Criterion) {
     g.finish();
 }
 
+/// Batched lookups through `op_batch` versus the scalar `op` loop on
+/// the same mixed stream — measures what the prefetch pipeline buys
+/// when outcomes are byte-identical by contract.
+fn bench_op_batch(c: &mut Criterion) {
+    const BATCH: usize = 256;
+    let mut g = c.benchmark_group("flashcache_op_batch");
+    for (tag, pipeline) in [("pipelined", true), ("scalar_loop", false)] {
+        let mut cache = FlashCache::new(FlashCacheConfig {
+            flash: FlashConfig {
+                geometry: FlashGeometry {
+                    blocks: 64,
+                    pages_per_block: 32,
+                    ..FlashGeometry::default()
+                },
+                ..FlashConfig::default()
+            },
+            batch_pipeline: pipeline,
+            ..FlashCacheConfig::default()
+        })
+        .expect("valid config");
+        for p in 0..1500u64 {
+            cache.op(CacheOp::write(p));
+        }
+        let mut p = 0u64;
+        let mut ops = Vec::with_capacity(BATCH);
+        let mut outs = Vec::with_capacity(BATCH);
+        g.bench_function(BenchmarkId::from_parameter(tag), |b| {
+            b.iter(|| {
+                ops.clear();
+                outs.clear();
+                for _ in 0..BATCH {
+                    // Mixed hit/miss stream spread over 2x the resident set.
+                    p = p.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                    ops.push(CacheOp::read(p % 3000));
+                }
+                cache.op_batch_into(&ops, &mut outs);
+                std::hint::black_box(outs.len())
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_read_hit,
     bench_read_capacity_miss,
     bench_write_churn,
+    bench_op_batch,
     bench_steady_state_reclaim
 );
 criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Criterion micro-benchmarks of the FCHT probe flavours: the SWAR
+//! group probe (8 ctrl bytes per u64 load) versus the byte-at-a-time
+//! oracle, across load factors and hit/miss mixes.
+//!
+//! Besides the criterion groups, the bench enforces an optional floor:
+//! set `FLASHCACHE_PROBE_FLOOR=<ratio>` (CI uses `1.3`) and the
+//! miss-heavy lookup workload at 0.875 load must show SWAR at least
+//! that many times faster than bytewise, measured with `Instant`
+//! directly so the gate works even under the vendored criterion stub.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use criterion::{criterion_group, Criterion};
+
+use flashcache_core::tables::Fcht;
+use nand_flash::{BlockId, PageAddr};
+
+/// Buckets in the benchmark table. Matches the committed replay
+/// geometry's order of magnitude so probe chains resemble production.
+const BUCKETS: usize = 1 << 17;
+
+fn addr(i: u64) -> PageAddr {
+    PageAddr::new(BlockId((i >> 6) as u32), (i & 63) as u32)
+}
+
+/// Builds a table at `load` (fraction of buckets occupied) with keys
+/// spread by a multiplicative hash so chains form naturally.
+fn filled(load: f64, swar: bool) -> (Fcht, Vec<u64>) {
+    let mut t = Fcht::with_capacity(BUCKETS * 7 / 8 - 1);
+    t.set_swar_probe(swar);
+    let n = (BUCKETS as f64 * load) as u64;
+    let keys: Vec<u64> = (0..n)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect();
+    for &k in &keys {
+        t.insert(k, addr(k & 0xFFFF));
+    }
+    (t, keys)
+}
+
+fn bench_lookup_flavours(c: &mut Criterion) {
+    for &(load, tag) in &[(0.5, "load0.5"), (0.7, "load0.7"), (0.875, "load0.875")] {
+        for &(swar, flavour) in &[(false, "bytewise"), (true, "swar")] {
+            let (t, keys) = filled(load, swar);
+            let mut i = 0usize;
+            c.bench_function(&format!("fcht_hit_{tag}_{flavour}"), |b| {
+                b.iter(|| {
+                    i = (i + 1) % keys.len();
+                    black_box(t.lookup(keys[i]))
+                })
+            });
+            // Misses walk the full chain to the first empty — the
+            // worst case and the one SWAR compresses the most.
+            let mut m = 1u64;
+            c.bench_function(&format!("fcht_miss_{tag}_{flavour}"), |b| {
+                b.iter(|| {
+                    m = m.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                    black_box(t.lookup(m | 1 << 63))
+                })
+            });
+        }
+    }
+}
+
+fn bench_churn_flavours(c: &mut Criterion) {
+    for &(swar, flavour) in &[(false, "bytewise"), (true, "swar")] {
+        let (mut t, keys) = filled(0.7, swar);
+        let mut i = 0usize;
+        c.bench_function(&format!("fcht_churn_load0.7_{flavour}"), |b| {
+            b.iter(|| {
+                i = (i + 1) % keys.len();
+                let k = keys[i];
+                t.remove(k);
+                black_box(t.insert(k, addr(k & 0xFFFF)))
+            })
+        });
+    }
+}
+
+/// Measures miss-heavy lookups at 0.875 load in both flavours and
+/// asserts the SWAR speedup clears `FLASHCACHE_PROBE_FLOOR` when set.
+fn enforce_probe_floor() {
+    let Some(floor) = std::env::var("FLASHCACHE_PROBE_FLOOR")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+    else {
+        return;
+    };
+    let miss_heavy = |swar: bool| -> f64 {
+        let (t, _) = filled(0.875, swar);
+        let mut m = 1u64;
+        // Warm up, then time.
+        for _ in 0..100_000 {
+            m = m.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            black_box(t.lookup(m | 1 << 63));
+        }
+        let start = Instant::now();
+        for _ in 0..1_000_000 {
+            m = m.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            black_box(t.lookup(m | 1 << 63));
+        }
+        start.elapsed().as_secs_f64()
+    };
+    // Best-of-3 each to shed scheduler noise.
+    let bytewise = (0..3).map(|_| miss_heavy(false)).fold(f64::MAX, f64::min);
+    let swar = (0..3).map(|_| miss_heavy(true)).fold(f64::MAX, f64::min);
+    let speedup = bytewise / swar;
+    println!(
+        "probe floor check: bytewise {bytewise:.3}s, swar {swar:.3}s, \
+         speedup {speedup:.2}x (floor {floor}x)"
+    );
+    assert!(
+        speedup >= floor,
+        "SWAR miss-heavy speedup {speedup:.2}x below FLASHCACHE_PROBE_FLOOR={floor}x"
+    );
+}
+
+criterion_group!(benches, bench_lookup_flavours, bench_churn_flavours);
+
+fn main() {
+    enforce_probe_floor();
+    benches();
+}

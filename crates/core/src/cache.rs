@@ -289,11 +289,13 @@ impl FlashCache {
         } else {
             config.counter_decay_interval
         };
+        // One mapping per slot at most: sized so lookups never rehash.
+        let mut fcht = Fcht::with_capacity(usable_slots as usize);
+        fcht.set_swar_probe(config.fcht_swar_probe);
         Ok(FlashCache {
             live_strength: vec![config.initial_ecc; usable_slots as usize],
             device,
-            // One mapping per slot at most: sized so lookups never rehash.
-            fcht: Fcht::with_capacity(usable_slots as usize),
+            fcht,
             fpst,
             fbst,
             fgst: Fgst::default(),
@@ -385,6 +387,7 @@ impl FlashCache {
                 s.admission_coalesced_writes,
             ),
             ("flash.admission.bytes_written", s.admission_bytes_written),
+            ("flash.fcht.probe_groups", self.fcht.probe_groups()),
         ];
         for (name, v) in c {
             // Pre-resolved handle + indexed add: the export burst does
@@ -410,6 +413,10 @@ impl FlashCache {
         reg.gauge_set("flash.usable_slots", self.usable_slots as f64);
         reg.gauge_set("flash.slc_fraction", self.slc_fraction());
         reg.gauge_set("flash.miss_rate", self.fgst.miss_rate);
+        // Longest probe is a high-water mark, not additive: exported as
+        // a gauge so merging shard registries keeps the (overwritten)
+        // last value rather than a meaningless sum.
+        reg.gauge_set("flash.fcht.max_probe_len", self.fcht.max_probe_len() as f64);
         // Longevity metrics appear only when placement is actually
         // bucketed, mirroring the shard-prefix discipline: the default
         // single-bucket registry stays byte-identical to pre-admission
@@ -667,6 +674,61 @@ impl FlashCache {
         match op.kind {
             CacheOpKind::Read => self.op_read(op),
             CacheOpKind::Write => self.op_write(op),
+        }
+    }
+
+    /// Services a batch of ops, returning one outcome per op in order.
+    ///
+    /// Semantically this is exactly `ops.iter().map(|&op| self.op(op))`:
+    /// ops execute sequentially in their original order, so outcomes,
+    /// snapshots, stats, and exported metrics are byte-identical to the
+    /// scalar loop for every batch size. What the batch adds is a
+    /// software-pipelined *lookup front*: while op `j` executes, the
+    /// FCHT lines of op `j + K` are prefetched (a pure hint — see
+    /// DESIGN.md §17), overlapping the LLC misses of independent
+    /// requests. Gated by [`FlashCacheConfig::batch_pipeline`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use flashcache_core::{CacheOp, FlashCache, FlashCacheConfig};
+    ///
+    /// let mut cache = FlashCache::new(FlashCacheConfig::default()).unwrap();
+    /// let ops = [CacheOp::write(7), CacheOp::read(7), CacheOp::read(9)];
+    /// let outs = cache.op_batch(&ops);
+    /// assert_eq!(outs.len(), 3);
+    /// assert!(outs[1].access.hit); // the write cached page 7
+    /// ```
+    pub fn op_batch(&mut self, ops: &[CacheOp]) -> Vec<CacheOutcome> {
+        let mut out = Vec::with_capacity(ops.len());
+        self.op_batch_into(ops, &mut out);
+        out
+    }
+
+    /// [`FlashCache::op_batch`] into a caller-owned buffer (appended;
+    /// not cleared), so hot loops can reuse one allocation.
+    pub fn op_batch_into(&mut self, ops: &[CacheOp], out: &mut Vec<CacheOutcome>) {
+        out.reserve(ops.len());
+        if !self.config.batch_pipeline {
+            for &op in ops {
+                out.push(self.op(op));
+            }
+            return;
+        }
+        // Pipeline window: far enough ahead to cover an LLC miss at
+        // replay op rates, small enough that the prefetched lines are
+        // still resident when their op executes. Swept 4/8/16/32 on the
+        // replay benchmark; 4 was fastest and larger windows only evict
+        // their own prefetches.
+        const WINDOW: usize = 4;
+        for op in ops.iter().take(WINDOW) {
+            self.fcht.prefetch(op.lba);
+        }
+        for (j, &op) in ops.iter().enumerate() {
+            if let Some(ahead) = ops.get(j + WINDOW) {
+                self.fcht.prefetch(ahead.lba);
+            }
+            out.push(self.op(op));
         }
     }
 

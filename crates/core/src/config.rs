@@ -177,6 +177,18 @@ pub struct FlashCacheConfig {
     /// interval. `1` (default) disables bucketing — the pre-admission
     /// single open block. Ignored under [`SplitPolicy::Unified`].
     pub longevity_buckets: u32,
+    /// Probe the FCHT eight control bytes at a time (SWAR group
+    /// probing) instead of byte-at-a-time. Probe order — and therefore
+    /// every table decision, layout, and outcome — is identical either
+    /// way; disabling keeps the byte-wise probe as a differential
+    /// oracle (kept for before/after benchmarking).
+    pub fcht_swar_probe: bool,
+    /// Software-pipeline the lookup stage of
+    /// [`crate::cache::FlashCache::op_batch`]: hash and prefetch the
+    /// FCHT lines of ops a window ahead while executing the current op.
+    /// Prefetches are pure hints, so outcomes, snapshots, stats, and
+    /// exported metrics are byte-identical with the gate off.
+    pub batch_pipeline: bool,
 }
 
 impl Default for FlashCacheConfig {
@@ -201,6 +213,8 @@ impl Default for FlashCacheConfig {
             use_reclaim_index: true,
             admission: AdmissionPolicyConfig::default(),
             longevity_buckets: 1,
+            fcht_swar_probe: true,
+            batch_pipeline: true,
         }
     }
 }
@@ -463,6 +477,20 @@ impl FlashCacheConfigBuilder {
         self
     }
 
+    /// Selects SWAR group probing (`true`, default) or the byte-wise
+    /// differential-oracle probe for the FCHT.
+    pub fn fcht_swar_probe(mut self, fcht_swar_probe: bool) -> Self {
+        self.config.fcht_swar_probe = fcht_swar_probe;
+        self
+    }
+
+    /// Enables (default) or disables the prefetch-pipelined lookup
+    /// stage of `FlashCache::op_batch`.
+    pub fn batch_pipeline(mut self, batch_pipeline: bool) -> Self {
+        self.config.batch_pipeline = batch_pipeline;
+        self
+    }
+
     /// Validates the assembled configuration and returns it.
     ///
     /// # Errors
@@ -614,6 +642,22 @@ mod tests {
         let c = FlashCacheConfig::default();
         assert_eq!(c.admission, AdmissionPolicyConfig::AdmitAll);
         assert_eq!(c.longevity_buckets, 1);
+    }
+
+    #[test]
+    fn probe_and_pipeline_gates_default_on() {
+        // The bench and CI smoke assume the shipped configuration is
+        // the fast one; the oracles are opt-in.
+        let c = FlashCacheConfig::default();
+        assert!(c.fcht_swar_probe);
+        assert!(c.batch_pipeline);
+        let oracle = FlashCacheConfig::builder()
+            .fcht_swar_probe(false)
+            .batch_pipeline(false)
+            .build()
+            .unwrap();
+        assert!(!oracle.fcht_swar_probe);
+        assert!(!oracle.batch_pipeline);
     }
 
     #[test]

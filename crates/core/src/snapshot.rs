@@ -229,16 +229,16 @@ impl fmt::Display for CacheSnapshot {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // exercises the legacy entry-point shims too
 mod tests {
     use super::*;
+    use crate::cache::CacheOp;
     use crate::config::FlashCacheConfig;
 
     #[test]
     fn snapshot_reflects_cache_state() {
         let mut cache = FlashCache::new(FlashCacheConfig::default()).unwrap();
         for p in 0..10u64 {
-            cache.read(p);
+            cache.op(CacheOp::read(p));
         }
         let snap = cache.snapshot();
         assert_eq!(snap.cached_pages, 10);
@@ -254,7 +254,7 @@ mod tests {
     #[test]
     fn display_renders_regions_and_blocks() {
         let mut cache = FlashCache::new(FlashCacheConfig::default()).unwrap();
-        cache.read(1);
+        cache.op(CacheOp::read(1));
         let text = cache.snapshot().to_string();
         assert!(text.contains("read: free="));
         assert!(text.contains("b0:"));

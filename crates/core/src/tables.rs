@@ -2,6 +2,8 @@
 //! FCHT, FPST, FBST and FGST. In the paper these live in DRAM and are
 //! consulted by OS code; their total overhead is under 2% of flash size.
 
+use std::cell::Cell;
+
 use nand_flash::{BlockId, CellMode, FlashGeometry, PageAddr};
 
 /// Which cache region a block belongs to.
@@ -17,6 +19,26 @@ pub enum RegionKind {
 /// store a 7-bit hash fragment (high bit clear), so the two cases never
 /// collide.
 const CTRL_EMPTY: u8 = 0x80;
+
+/// Control bytes probed per SWAR group load.
+const GROUP: usize = 8;
+
+/// `0x01` broadcast to every byte lane.
+const LSB: u64 = 0x0101_0101_0101_0101;
+
+/// `0x80` broadcast to every byte lane. Because [`CTRL_EMPTY`] is the
+/// only control value with the high bit set, `word & MSB` detects empty
+/// buckets *exactly* — no verification needed.
+const MSB: u64 = 0x8080_8080_8080_8080;
+
+/// Where a probe for a key terminated.
+enum Probe {
+    /// The key is resident at this bucket.
+    Found(usize),
+    /// The key is absent; this is the first empty bucket of its chain
+    /// (where an insert would place it).
+    Vacant(usize),
+}
 
 /// FlashCache hash table: disk page → flash page mapping.
 ///
@@ -34,6 +56,15 @@ const CTRL_EMPTY: u8 = 0x80;
 /// LLC. Fibonacci hashing on the high product bits, linear probing,
 /// and backward-shift deletion instead of tombstones keep churn from
 /// degrading probe lengths.
+///
+/// Probing comes in two gauge-identical flavours, selected by
+/// [`Fcht::set_swar_probe`]: the default SWAR probe loads eight control
+/// bytes per `u64` and finds tag candidates and empties with bitwise
+/// tricks, while the byte-wise probe walks one bucket at a time. Both
+/// visit candidate buckets in the same order, so every table decision
+/// (which bucket an insert lands in, which entries a deletion shifts
+/// back) — and hence the table layout and the probe counters — is
+/// byte-identical across the gate.
 #[derive(Debug)]
 pub struct Fcht {
     /// Per-bucket control byte: [`CTRL_EMPTY`] or the hash fragment.
@@ -46,6 +77,15 @@ pub struct Fcht {
     /// `64 - log2(buckets)`: maps a 64-bit hash to a bucket.
     shift: u32,
     len: usize,
+    /// Probe eight control bytes per load (SWAR) instead of one.
+    swar: bool,
+    /// Packed probe statistics (`Cell`: lookups are `&self`), updated
+    /// with a single load/store per probe to keep the counters off the
+    /// hot path's critical cost. Bits 16.. count 8-byte control groups
+    /// touched by probes; bits ..16 hold the longest probe observed in
+    /// buckets (saturating at `u16::MAX`). Identical across probe
+    /// modes.
+    probe_stats: Cell<u64>,
 }
 
 impl Default for Fcht {
@@ -79,7 +119,33 @@ impl Fcht {
             locs: vec![0; buckets],
             shift: 64 - buckets.trailing_zeros(),
             len: 0,
+            swar: true,
+            probe_stats: Cell::new(0),
         }
+    }
+
+    /// Selects SWAR group probing (`true`, the default) or the
+    /// byte-wise differential-oracle probe. Purely an execution-mode
+    /// switch: layout and results never depend on it.
+    pub fn set_swar_probe(&mut self, swar: bool) {
+        self.swar = swar;
+    }
+
+    /// `true` when probes run the SWAR group path.
+    pub fn swar_probe(&self) -> bool {
+        self.swar
+    }
+
+    /// Lifetime count of 8-byte control groups touched by probes.
+    pub fn probe_groups(&self) -> u64 {
+        self.probe_stats.get() >> 16
+    }
+
+    /// Longest probe observed so far, in buckets from the home bucket
+    /// to the terminating bucket, inclusive (saturating at
+    /// `u16::MAX` — far beyond any survivable probe length).
+    pub fn max_probe_len(&self) -> u64 {
+        self.probe_stats.get() & 0xFFFF
     }
 
     /// Number of cached disk pages.
@@ -124,24 +190,133 @@ impl Fcht {
         PageAddr::new(BlockId((loc >> 32) as u32), loc as u32)
     }
 
-    /// Looks up the flash location of a disk page. The probe loop reads
-    /// only control bytes until the fragment matches; keys and
-    /// locations stay untouched on the common miss/advance steps.
+    /// Credits one finished probe that ended at bucket `i` after
+    /// starting at `home`. Both counters derive O(1) from those two
+    /// positions — the walk is contiguous (mod table size) in both
+    /// probe flavours, so `aligned-group span` = groups touched and
+    /// `bucket span` = probe length — keeping the probe loops
+    /// instrumentation-free and the two flavours' counters identical
+    /// by construction.
     #[inline]
-    pub fn lookup(&self, disk_page: u64) -> Option<PageAddr> {
+    fn note_probe(&self, home: usize, i: usize) {
+        let mask = self.ctrl.len() - 1;
+        let groups = ((i / GROUP).wrapping_sub(home / GROUP) & (mask / GROUP)) as u64 + 1;
+        let len = ((i.wrapping_sub(home) & mask) as u64 + 1).min(0xFFFF);
+        // Branchless single read-modify-write of the packed word.
+        let st = self.probe_stats.get();
+        self.probe_stats
+            .set(((st + (groups << 16)) & !0xFFFF) | len.max(st & 0xFFFF));
+    }
+
+    /// Loads aligned control group `g` as a little-endian word: byte
+    /// lane `k` holds bucket `g * GROUP + k`, so `trailing_zeros / 8`
+    /// walks candidate buckets in ascending probe order.
+    #[inline]
+    fn load_group(&self, g: usize) -> u64 {
+        u64::from_le_bytes(self.ctrl[g * GROUP..(g + 1) * GROUP].try_into().unwrap())
+    }
+
+    /// Byte-at-a-time probe: the original loop, retained as the
+    /// differential oracle for the SWAR path. Reads only control bytes
+    /// until the fragment matches; keys stay untouched on the common
+    /// advance steps.
+    #[inline]
+    fn probe_bytewise(&self, disk_page: u64) -> Probe {
         let mask = self.ctrl.len() - 1;
         let h = Self::hash(disk_page);
         let frag = Self::frag(h);
-        let mut i = (h >> self.shift) as usize;
+        let home = (h >> self.shift) as usize;
+        let mut i = home;
         loop {
             let c = self.ctrl[i];
             if c == CTRL_EMPTY {
-                return None;
+                self.note_probe(home, i);
+                return Probe::Vacant(i);
             }
             if c == frag && self.keys[i] == disk_page {
-                return Some(Self::unpack(self.locs[i]));
+                self.note_probe(home, i);
+                return Probe::Found(i);
             }
             i = (i + 1) & mask;
+        }
+    }
+
+    /// SWAR group probe: loads eight control bytes per `u64`. Empties
+    /// are exact (`word & MSB`, see [`MSB`]); tag candidates come from
+    /// the classic zero-byte trick on `word ^ broadcast(frag)`, which
+    /// never misses a true zero byte and only false-positives *above*
+    /// the first true zero — harmless, because candidates are visited
+    /// in ascending bucket order and verified against the control byte
+    /// and key before use. Capacity is a power of two ≥ 8, so groups
+    /// tile the table exactly and wrap-around lands on a group
+    /// boundary.
+    #[inline]
+    fn probe_swar(&self, disk_page: u64) -> Probe {
+        let gmask = self.ctrl.len() / GROUP - 1;
+        let h = Self::hash(disk_page);
+        let frag = Self::frag(h);
+        let home = (h >> self.shift) as usize;
+        let mut g = home / GROUP;
+        // The first group may start mid-chain: ignore lanes before the
+        // home bucket so the probe semantics match the byte-wise walk.
+        let mut live = !0u64 << ((home % GROUP) * 8);
+        loop {
+            let word = self.load_group(g);
+            let empties = word & MSB & live;
+            let x = word ^ (LSB * frag as u64);
+            let mut cands = x.wrapping_sub(LSB) & !x & MSB & live;
+            if empties != 0 {
+                // Buckets past the first empty terminate the chain.
+                cands &= empties ^ empties.wrapping_sub(1);
+            }
+            while cands != 0 {
+                let i = g * GROUP + cands.trailing_zeros() as usize / 8;
+                if self.ctrl[i] == frag && self.keys[i] == disk_page {
+                    self.note_probe(home, i);
+                    return Probe::Found(i);
+                }
+                cands &= cands - 1;
+            }
+            if empties != 0 {
+                let i = g * GROUP + empties.trailing_zeros() as usize / 8;
+                self.note_probe(home, i);
+                return Probe::Vacant(i);
+            }
+            g = (g + 1) & gmask;
+            live = !0;
+        }
+    }
+
+    /// Probes for `disk_page` through the configured mode. Terminates
+    /// because the load factor never reaches 1 (inserts grow at 7/8).
+    #[inline]
+    fn probe(&self, disk_page: u64) -> Probe {
+        if self.swar {
+            self.probe_swar(disk_page)
+        } else {
+            self.probe_bytewise(disk_page)
+        }
+    }
+
+    /// Issues a best-effort prefetch of the cache lines a probe of
+    /// `disk_page` touches first: the home bucket's control group and
+    /// its key/location words. A pure hint — no architectural effect —
+    /// which is what lets `FlashCache::op_batch` overlap the probe
+    /// misses of independent ops without perturbing results.
+    #[inline]
+    pub fn prefetch(&self, disk_page: u64) {
+        let home = self.home(disk_page);
+        prefetch_read(self.ctrl.as_ptr().wrapping_add(home & !(GROUP - 1)));
+        prefetch_read(self.keys.as_ptr().wrapping_add(home).cast());
+        prefetch_read(self.locs.as_ptr().wrapping_add(home).cast());
+    }
+
+    /// Looks up the flash location of a disk page.
+    #[inline]
+    pub fn lookup(&self, disk_page: u64) -> Option<PageAddr> {
+        match self.probe(disk_page) {
+            Probe::Found(i) => Some(Self::unpack(self.locs[i])),
+            Probe::Vacant(_) => None,
         }
     }
 
@@ -150,48 +325,36 @@ impl Fcht {
         if (self.len + 1) * 8 > self.ctrl.len() * 7 {
             self.grow();
         }
-        let mask = self.ctrl.len() - 1;
-        let h = Self::hash(disk_page);
-        let frag = Self::frag(h);
-        let mut i = (h >> self.shift) as usize;
-        loop {
-            let c = self.ctrl[i];
-            if c == CTRL_EMPTY {
-                self.ctrl[i] = frag;
+        match self.probe(disk_page) {
+            Probe::Found(i) => {
+                let old = Self::unpack(self.locs[i]);
+                self.locs[i] = Self::pack(addr);
+                Some(old)
+            }
+            Probe::Vacant(i) => {
+                self.ctrl[i] = Self::frag(Self::hash(disk_page));
                 self.keys[i] = disk_page;
                 self.locs[i] = Self::pack(addr);
                 self.len += 1;
-                return None;
+                None
             }
-            if c == frag && self.keys[i] == disk_page {
-                let old = Self::unpack(self.locs[i]);
-                self.locs[i] = Self::pack(addr);
-                return Some(old);
-            }
-            i = (i + 1) & mask;
         }
     }
 
     /// Removes a mapping.
     pub fn remove(&mut self, disk_page: u64) -> Option<PageAddr> {
         let mask = self.ctrl.len() - 1;
-        let h = Self::hash(disk_page);
-        let frag = Self::frag(h);
-        let mut i = (h >> self.shift) as usize;
-        loop {
-            let c = self.ctrl[i];
-            if c == CTRL_EMPTY {
-                return None;
-            }
-            if c == frag && self.keys[i] == disk_page {
-                break;
-            }
-            i = (i + 1) & mask;
-        }
+        let i = match self.probe(disk_page) {
+            Probe::Found(i) => i,
+            Probe::Vacant(_) => return None,
+        };
         let removed = Self::unpack(self.locs[i]);
         // Backward-shift deletion: walk the probe chain after the hole
         // and pull back every entry whose home bucket lies at or before
-        // the hole, so chains stay contiguous without tombstones.
+        // the hole, so chains stay contiguous without tombstones. The
+        // walk is bucket-wise and oblivious to SWAR group boundaries —
+        // a chain (or the hole it compacts) may span groups freely, and
+        // the resulting layout is what both probe flavours then see.
         let mut hole = i;
         let mut j = i;
         loop {
@@ -232,6 +395,25 @@ impl Fcht {
             self.locs[i] = old_locs[b];
         }
     }
+}
+
+/// Best-effort read prefetch into the nearest cache level: a no-op on
+/// architectures without a stable hint instruction.
+#[inline(always)]
+fn prefetch_read(p: *const u8) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch is a hint; it never faults, even on invalid
+    // addresses.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(p.cast());
+    }
+    #[cfg(target_arch = "aarch64")]
+    // SAFETY: PRFM is a hint; it never faults.
+    unsafe {
+        core::arch::asm!("prfm pldl1keep, [{0}]", in(reg) p, options(nostack, preserves_flags));
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    let _ = p;
 }
 
 /// Per-flash-page entry of the Flash page status table (§3.2).
@@ -647,6 +829,23 @@ mod tests {
         }
     }
 
+    /// Keys whose home bucket (in a table of `buckets`) is `want`,
+    /// found by brute force — lets tests place probe chains exactly.
+    fn keys_with_home(buckets: usize, want: usize, n: usize) -> Vec<u64> {
+        let shift = 64 - buckets.trailing_zeros();
+        (0..)
+            .filter(|&k| (Fcht::hash(k) >> shift) as usize == want)
+            .take(n)
+            .collect()
+    }
+
+    /// A table pre-sized to `buckets` buckets (no growth below 7/8 load).
+    fn sized(buckets: usize) -> Fcht {
+        let t = Fcht::with_capacity(buckets * 7 / 8 - 1);
+        assert_eq!(t.ctrl.len(), buckets);
+        t
+    }
+
     #[test]
     fn fcht_roundtrip() {
         let mut t = Fcht::new();
@@ -659,6 +858,128 @@ mod tests {
         assert_eq!(t.insert(42, b), Some(a));
         assert_eq!(t.remove(42), Some(b));
         assert_eq!(t.lookup(42), None);
+    }
+
+    #[test]
+    fn swar_and_bytewise_probes_stay_in_lock_step() {
+        // Deterministic churn at high load: every mutation and every
+        // lookup must agree between the two probe flavours, including
+        // the layout left behind (compared via the counters, which
+        // count groups identically) and the lookup answers.
+        let mut swar = Fcht::with_capacity(64);
+        let mut byte = Fcht::with_capacity(64);
+        byte.set_swar_probe(false);
+        assert!(swar.swar_probe() && !byte.swar_probe());
+        let mut state = 0x1234_5678u64;
+        let mut step = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        for round in 0..2_000 {
+            let k = step() % 96; // dense key space => real collisions
+            let addr = PageAddr::new(BlockId((round % 7) as u32), (round % 5) as u32);
+            match round % 3 {
+                0 => assert_eq!(swar.insert(k, addr), byte.insert(k, addr), "round {round}"),
+                1 => assert_eq!(swar.remove(k), byte.remove(k), "round {round}"),
+                _ => assert_eq!(swar.lookup(k), byte.lookup(k), "round {round}"),
+            }
+            assert_eq!(swar.len(), byte.len());
+        }
+        for k in 0..96 {
+            assert_eq!(swar.lookup(k), byte.lookup(k), "final state, key {k}");
+        }
+        assert_eq!(swar.probe_groups(), byte.probe_groups());
+        assert_eq!(swar.max_probe_len(), byte.max_probe_len());
+        assert!(swar.probe_groups() > 0);
+        assert!(swar.max_probe_len() >= 1);
+    }
+
+    #[test]
+    fn backward_shift_across_group_boundary() {
+        // A chain that starts in group 0 (bucket 6) and spills across
+        // the boundary into group 1: deleting the head must pull the
+        // spilled entries back across the boundary, in both modes.
+        for swar_mode in [true, false] {
+            let mut t = sized(16);
+            t.set_swar_probe(swar_mode);
+            let keys = keys_with_home(16, 6, 4);
+            for (s, &k) in keys.iter().enumerate() {
+                t.insert(k, PageAddr::new(BlockId(9), s as u32));
+            }
+            // Chain occupies buckets 6, 7 (group 0), 8, 9 (group 1).
+            assert_eq!(
+                t.ctrl[6..10].iter().filter(|&&c| c != CTRL_EMPTY).count(),
+                4
+            );
+            assert_eq!(t.remove(keys[0]), Some(PageAddr::new(BlockId(9), 0)));
+            // Survivors shifted back; bucket 9 is the new hole.
+            assert_eq!(t.ctrl[9], CTRL_EMPTY, "swar={swar_mode}");
+            for (s, &k) in keys.iter().enumerate().skip(1) {
+                assert_eq!(
+                    t.lookup(k),
+                    Some(PageAddr::new(BlockId(9), s as u32)),
+                    "swar={swar_mode}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn swar_probe_wraps_around_the_table_end() {
+        // Home in the last group, chain wrapping to bucket 0: the group
+        // cursor must wrap too (capacity is a multiple of the group
+        // size, so the wrap lands exactly on a group boundary).
+        for swar_mode in [true, false] {
+            let mut t = sized(16);
+            t.set_swar_probe(swar_mode);
+            let keys = keys_with_home(16, 14, 4);
+            for (s, &k) in keys.iter().enumerate() {
+                t.insert(k, PageAddr::new(BlockId(1), s as u32));
+            }
+            assert!(t.ctrl[0] != CTRL_EMPTY && t.ctrl[1] != CTRL_EMPTY);
+            for (s, &k) in keys.iter().enumerate() {
+                assert_eq!(
+                    t.lookup(k),
+                    Some(PageAddr::new(BlockId(1), s as u32)),
+                    "swar={swar_mode}"
+                );
+            }
+            // Absent key with the same home walks the whole wrapped
+            // chain and still terminates at the first empty.
+            let absent = keys_with_home(16, 14, 5)[4];
+            assert_eq!(t.lookup(absent), None, "swar={swar_mode}");
+            assert_eq!(t.remove(keys[1]), Some(PageAddr::new(BlockId(1), 1)));
+            assert_eq!(t.lookup(keys[3]), Some(PageAddr::new(BlockId(1), 3)));
+        }
+    }
+
+    #[test]
+    fn stale_keys_beyond_an_empty_are_never_resurrected() {
+        // Backward-shift leaves old key bytes behind CTRL_EMPTY
+        // markers; a SWAR candidate false-positive on such a lane must
+        // be rejected by the control-byte check.
+        let mut t = sized(16);
+        let keys = keys_with_home(16, 3, 2);
+        t.insert(keys[0], PageAddr::new(BlockId(0), 0));
+        t.insert(keys[1], PageAddr::new(BlockId(0), 1));
+        t.remove(keys[1]);
+        // keys[1]'s bytes may still sit in the keys array at bucket 4.
+        assert_eq!(t.lookup(keys[1]), None);
+        assert_eq!(t.lookup(keys[0]), Some(PageAddr::new(BlockId(0), 0)));
+    }
+
+    #[test]
+    fn probe_counters_accumulate_and_prefetch_is_inert() {
+        let mut t = Fcht::with_capacity(32);
+        assert_eq!((t.probe_groups(), t.max_probe_len()), (0, 0));
+        t.insert(7, PageAddr::new(BlockId(0), 0));
+        let after_insert = t.probe_groups();
+        assert!(after_insert >= 1);
+        t.prefetch(7); // hint only: no counter movement, no state change
+        assert_eq!(t.probe_groups(), after_insert);
+        assert_eq!(t.lookup(7), Some(PageAddr::new(BlockId(0), 0)));
+        assert!(t.probe_groups() > after_insert);
+        assert!(t.max_probe_len() >= 1);
     }
 
     #[test]

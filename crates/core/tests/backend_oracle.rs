@@ -9,13 +9,11 @@
 //! closed-form arithmetic the differential oracle for every scheduler
 //! change.
 
-#![allow(deprecated)] // legacy entry-point shims are intentionally exercised
-
 use std::sync::Arc;
 
 use disk_trace::{OpKind, WorkloadSpec};
 use flash_obs::ObsSink;
-use flashcache_core::{AccessOutcome, FlashCache, FlashCacheConfig};
+use flashcache_core::{AccessOutcome, CacheOp, FlashCache, FlashCacheConfig};
 use nand_flash::{ChannelConfig, FlashConfig, FlashGeometry, TimingBackend};
 
 /// Small geometry so the trace overflows the cache and exercises fills,
@@ -46,8 +44,8 @@ fn drive(cache: &mut FlashCache, seed: u64, n: usize) -> Vec<AccessOutcome> {
     for req in &reqs {
         for page in req.pages() {
             outs.push(match req.op {
-                OpKind::Read => cache.read(page),
-                OpKind::Write => cache.write(page),
+                OpKind::Read => cache.op(CacheOp::read(page)).access,
+                OpKind::Write => cache.op(CacheOp::write(page)).access,
             });
         }
     }

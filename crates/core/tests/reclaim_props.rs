@@ -9,25 +9,23 @@
 //! identical ordering keys (invalid count, LRU timestamp, wear cost) —
 //! ties may break toward different blocks, keys may not differ.
 
-#![allow(deprecated)] // legacy entry-point shims are intentionally exercised
-
 use proptest::prelude::*;
 
-use flashcache_core::{FlashCache, FlashCacheConfig, SplitPolicy};
+use flashcache_core::{CacheOp, FlashCache, FlashCacheConfig, SplitPolicy};
 use nand_flash::{FlashConfig, FlashGeometry, WearConfig};
 
 #[derive(Debug, Clone, Copy)]
-enum CacheOp {
+enum Op {
     Read(u64),
     Write(u64),
     Flush,
 }
 
-fn cache_op(pages: u64) -> impl Strategy<Value = CacheOp> {
+fn op_strategy(pages: u64) -> impl Strategy<Value = Op> {
     prop_oneof![
-        4 => (0..pages).prop_map(CacheOp::Read),
-        4 => (0..pages).prop_map(CacheOp::Write),
-        1 => Just(CacheOp::Flush),
+        4 => (0..pages).prop_map(Op::Read),
+        4 => (0..pages).prop_map(Op::Write),
+        1 => Just(Op::Flush),
     ]
 }
 
@@ -53,16 +51,16 @@ fn tiny_config(blocks: u32, unified: bool) -> FlashCacheConfig {
     }
 }
 
-fn run_workload(mut cache: FlashCache, ops: &[CacheOp]) -> Result<(), TestCaseError> {
+fn run_workload(mut cache: FlashCache, ops: &[Op]) -> Result<(), TestCaseError> {
     for (i, op) in ops.iter().enumerate() {
         match *op {
-            CacheOp::Read(p) => {
-                cache.read(p);
+            Op::Read(p) => {
+                cache.op(CacheOp::read(p));
             }
-            CacheOp::Write(p) => {
-                cache.write(p);
+            Op::Write(p) => {
+                cache.op(CacheOp::write(p));
             }
-            CacheOp::Flush => {
+            Op::Flush => {
                 cache.flush_writes();
             }
         }
@@ -81,7 +79,7 @@ proptest! {
     #[test]
     fn index_matches_scan_oracles_split(
         blocks in 8u32..24,
-        ops in prop::collection::vec(cache_op(160), 50..400),
+        ops in prop::collection::vec(op_strategy(160), 50..400),
     ) {
         let cache = FlashCache::new(tiny_config(blocks, false)).unwrap();
         run_workload(cache, &ops)?;
@@ -92,7 +90,7 @@ proptest! {
     #[test]
     fn index_matches_scan_oracles_unified(
         blocks in 8u32..24,
-        ops in prop::collection::vec(cache_op(160), 50..400),
+        ops in prop::collection::vec(op_strategy(160), 50..400),
     ) {
         let cache = FlashCache::new(tiny_config(blocks, true)).unwrap();
         run_workload(cache, &ops)?;
@@ -102,7 +100,7 @@ proptest! {
     /// the index is still maintained, and both stay consistent.
     #[test]
     fn scan_dispatch_keeps_index_consistent(
-        ops in prop::collection::vec(cache_op(120), 50..250),
+        ops in prop::collection::vec(op_strategy(120), 50..250),
     ) {
         let mut config = tiny_config(12, false);
         config.use_reclaim_index = false;
@@ -122,7 +120,7 @@ fn index_consistent_through_wear_out() {
     let mut cache = FlashCache::new(config).unwrap();
     let mut i = 0u64;
     while !cache.is_dead() && i < 200_000 {
-        cache.write(i % 64);
+        cache.op(CacheOp::write(i % 64));
         if i.is_multiple_of(512) {
             cache.check_invariants().unwrap();
         }

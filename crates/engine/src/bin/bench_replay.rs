@@ -19,12 +19,15 @@
 //! that was actually available.
 //!
 //! Usage: `bench_replay [--requests N] [--shards 1,2,4,8] [--batch N]
-//! [--seed N] [--repeat N] [--slow] [--smoke] [--floor PAGES_PER_SEC]
-//! [--scaling-floor RATIO] [--channels 1,4,8] [--sched-backend heap|wheel]
-//! [--max-overhead RATIO] [--out PATH]`
+//! [--seed N] [--repeat N] [--slow] [--batch-pipeline on|off] [--smoke]
+//! [--floor PAGES_PER_SEC] [--scaling-floor RATIO] [--channels 1,4,8]
+//! [--sched-backend heap|wheel] [--max-overhead RATIO] [--out PATH]`
 //!
 //! `--slow` disables every fast-path gate (CDF sampling, StdRng, direct
 //! wear evaluation) so the two paths can be compared on one machine.
+//! `--batch-pipeline off` disables the batched-op prefetch pipeline and
+//! SWAR group probing (the scalar oracle) for a one-flag A/B of the
+//! batched lookup path; results are byte-identical either way.
 //! `--floor` makes the run assert a single-shard pages/sec floor — the
 //! CI smoke step uses it to catch fast-path regressions.
 //! `--scaling-floor` asserts max-shard pages/sec >= RATIO x the
@@ -65,6 +68,7 @@ struct Args {
     seed: u64,
     repeat: usize,
     slow: bool,
+    batch_pipeline: bool,
     smoke: bool,
     floor: Option<f64>,
     scaling_floor: Option<f64>,
@@ -82,6 +86,7 @@ fn parse_args() -> Args {
         seed: 0x5EED,
         repeat: 1,
         slow: false,
+        batch_pipeline: true,
         smoke: false,
         floor: None,
         scaling_floor: None,
@@ -118,6 +123,13 @@ fn parse_args() -> Args {
             "--seed" => args.seed = val("--seed").parse().expect("seed"),
             "--repeat" => args.repeat = val("--repeat").parse().expect("repeat count"),
             "--slow" => args.slow = true,
+            "--batch-pipeline" => {
+                args.batch_pipeline = match val("--batch-pipeline").as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => panic!("--batch-pipeline must be on or off, got {other}"),
+                };
+            }
             "--smoke" => args.smoke = true,
             "--floor" => args.floor = Some(val("--floor").parse().expect("pages/sec floor")),
             "--scaling-floor" => {
@@ -160,7 +172,7 @@ fn parse_args() -> Args {
 /// the same oracle configuration for a same-window ratio.
 const PRE_PR_BASELINE_PAGES_PER_SEC: f64 = 1_415_000.0;
 
-fn cache_config(slow: bool) -> FlashCacheConfig {
+fn cache_config(slow: bool, batch_pipeline: bool) -> FlashCacheConfig {
     // Same shape as bench_shard: 512 blocks × 64 pages, big enough for
     // real GC/eviction churn, small enough that the Zipf tail misses.
     let mut flash = FlashConfig {
@@ -175,8 +187,13 @@ fn cache_config(slow: bool) -> FlashCacheConfig {
         flash.fast_rng = false;
         flash.wear.cache_evaluations = false;
     }
+    // `--batch-pipeline off` replays on the full scalar oracle: no
+    // prefetch pipeline and byte-wise FCHT probing, the before-side of
+    // the batched-op A/B (results are byte-identical either way).
     FlashCacheConfig::builder()
         .flash(flash)
+        .batch_pipeline(batch_pipeline)
+        .fcht_swar_probe(batch_pipeline)
         .build()
         .expect("bench cache config is valid")
 }
@@ -221,7 +238,7 @@ fn replay_once(config: FlashCacheConfig, spec: &WorkloadSpec, args: &Args) -> (f
     while remaining > 0 {
         let take = remaining.min(args.batch);
         buf.clear();
-        buf.extend(generator.by_ref().take(take));
+        generator.fill(take, &mut buf);
         pages += buf.iter().map(|r| r.len as u64).sum::<u64>();
         engine.submit(&buf);
         remaining -= take;
@@ -246,7 +263,7 @@ fn run_channel_matrix(args: &Args, spec: &WorkloadSpec) {
     // arithmetic timing path the overhead ratio is measured against.
     let mut closed_form_wall_s = f64::INFINITY;
     for _ in 0..args.repeat.max(1) {
-        let (wall_s, _, _) = replay_once(cache_config(false), spec, args);
+        let (wall_s, _, _) = replay_once(cache_config(false, args.batch_pipeline), spec, args);
         closed_form_wall_s = closed_form_wall_s.min(wall_s);
     }
     println!(
@@ -416,6 +433,20 @@ fn main() {
         },
     );
 
+    // Actual hardware parallelism, straight from the OS: scale-out
+    // points are honest only when read against this number.
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if let Some(&widest) = args.shards.iter().max() {
+        if widest > host_cpus {
+            println!(
+                "WARNING: {widest} shards on {host_cpus} host CPU(s) — worker threads \
+                 serialize, so multi-shard points measure scheduling overhead, not scale-out"
+            );
+        }
+    }
+
     let mut points: Vec<JsonValue> = Vec::new();
     let mut single_shard_pps = None;
     let mut max_shard_point: Option<(usize, f64)> = None;
@@ -426,8 +457,8 @@ fn main() {
         let mut stats = None;
         let mut workers = 1;
         for _ in 0..args.repeat.max(1) {
-            let mut engine =
-                ShardedCache::new(cache_config(args.slow), n).expect("shard count divides blocks");
+            let mut engine = ShardedCache::new(cache_config(args.slow, args.batch_pipeline), n)
+                .expect("shard count divides blocks");
             engine.set_threads(pool::default_threads().min(n));
             workers = engine.workers();
             let mut generator = spec.generator(args.seed);
@@ -435,12 +466,12 @@ fn main() {
             let wall = Instant::now();
             let mut remaining = args.requests;
             let mut run_pages = 0u64;
-            // Streaming replay: each batch is drawn from the generator
-            // and submitted without materializing the full trace.
+            // Streaming replay: each batch is refilled in one generator
+            // call and submitted without materializing the full trace.
             while remaining > 0 {
                 let take = remaining.min(args.batch);
                 buf.clear();
-                buf.extend(generator.by_ref().take(take));
+                generator.fill(take, &mut buf);
                 run_pages += buf.iter().map(|r| r.len as u64).sum::<u64>();
                 engine.submit(&buf);
                 remaining -= take;
@@ -505,9 +536,10 @@ fn main() {
         ("requests".into(), JsonValue::UInt(args.requests as u64)),
         ("batch".into(), JsonValue::UInt(args.batch as u64)),
         ("seed".into(), JsonValue::UInt(args.seed)),
+        ("host_cpus".into(), JsonValue::UInt(host_cpus as u64)),
         (
-            "host_cpus".into(),
-            JsonValue::UInt(pool::default_threads() as u64),
+            "batch_pipeline".into(),
+            JsonValue::Bool(args.batch_pipeline),
         ),
         (
             "path".into(),
@@ -547,6 +579,9 @@ fn main() {
             flash.wear.cache_evaluations,
             "wear cache_evaluations must default on"
         );
+        let cache = FlashCacheConfig::default();
+        assert!(cache.batch_pipeline, "batch_pipeline must default on");
+        assert!(cache.fcht_swar_probe, "fcht_swar_probe must default on");
     }
     if let (Some(floor), Some(pps)) = (args.floor, single_shard_pps) {
         assert!(

@@ -129,6 +129,36 @@ impl<T> Producer<T> {
         Ok(())
     }
 
+    /// Pushes as many items from `items` as currently fit, returning
+    /// how many were taken (a prefix of the slice). One Release store
+    /// of `tail` publishes the whole batch, so a full batch costs the
+    /// consumer a single Acquire instead of one per item.
+    #[inline]
+    pub fn push_slice(&mut self, items: &[T]) -> usize
+    where
+        T: Copy,
+    {
+        let inner = &*self.inner;
+        let tail = inner.tail.0.load(Ordering::Relaxed);
+        let mut free = inner.mask + 1 - tail.wrapping_sub(self.cached_head);
+        if free < items.len() {
+            self.cached_head = inner.head.0.load(Ordering::Acquire);
+            free = inner.mask + 1 - tail.wrapping_sub(self.cached_head);
+        }
+        let n = items.len().min(free);
+        for (k, &item) in items[..n].iter().enumerate() {
+            // SAFETY: slots [tail, tail + n) lie outside [head, tail)
+            // so the consumer does not touch them; we are the only
+            // producer, and they become visible only via the store
+            // below.
+            unsafe { (*inner.buf[tail.wrapping_add(k) & inner.mask].get()).write(item) };
+        }
+        if n > 0 {
+            inner.tail.0.store(tail.wrapping_add(n), Ordering::Release);
+        }
+        n
+    }
+
     /// Ring capacity (always a power of two).
     pub fn capacity(&self) -> usize {
         self.inner.mask + 1
@@ -153,6 +183,36 @@ impl<T> Consumer<T> {
         let item = unsafe { (*inner.buf[head & inner.mask].get()).assume_init_read() };
         inner.head.0.store(head.wrapping_add(1), Ordering::Release);
         Some(item)
+    }
+
+    /// Pops up to `max` items into `out` (appended; not cleared),
+    /// returning how many were taken. One Release store of `head`
+    /// retires the whole chunk — the batched dual of
+    /// [`Producer::push_slice`].
+    #[inline]
+    pub fn pop_chunk(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        let inner = &*self.inner;
+        let head = inner.head.0.load(Ordering::Relaxed);
+        let mut avail = self.cached_tail.wrapping_sub(head);
+        if avail < max {
+            self.cached_tail = inner.tail.0.load(Ordering::Acquire);
+            avail = self.cached_tail.wrapping_sub(head);
+        }
+        let n = avail.min(max);
+        out.reserve(n);
+        for k in 0..n {
+            // SAFETY: slots [head, head + n) are inside [head, tail),
+            // published by the producer's Release store; we are the
+            // only consumer and hand them back only via the store
+            // below.
+            let item =
+                unsafe { (*inner.buf[head.wrapping_add(k) & inner.mask].get()).assume_init_read() };
+            out.push(item);
+        }
+        if n > 0 {
+            inner.head.0.store(head.wrapping_add(n), Ordering::Release);
+        }
+        n
     }
 
     /// `true` if no item is currently available. A `false` answer is
@@ -225,6 +285,86 @@ mod tests {
         drop(tx);
         drop(rx);
         assert_eq!(DROPS.load(Ordering::Relaxed), 3, "in-flight items drop");
+    }
+
+    #[test]
+    fn slice_roundtrip_partial_fills() {
+        let (mut tx, mut rx) = pair::<u32>(4);
+        assert_eq!(tx.push_slice(&[1, 2, 3, 4, 5, 6]), 4, "prefix that fits");
+        assert_eq!(tx.push_slice(&[7]), 0, "full ring takes nothing");
+        let mut got = Vec::new();
+        assert_eq!(rx.pop_chunk(&mut got, 3), 3);
+        assert_eq!(got, [1, 2, 3]);
+        assert_eq!(tx.push_slice(&[7, 8]), 2, "space reclaimed by the chunk");
+        assert_eq!(rx.pop_chunk(&mut got, 16), 3, "capped by availability");
+        assert_eq!(got, [1, 2, 3, 4, 7, 8]);
+        assert_eq!(rx.pop_chunk(&mut got, 16), 0);
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn slice_ops_interoperate_with_scalar_ops() {
+        let (mut tx, mut rx) = pair::<usize>(8);
+        let mut next = 0usize; // produced
+        let mut expect = 0usize; // consumed
+        let mut buf = Vec::new();
+        for round in 0..5_000 {
+            match round % 3 {
+                0 => {
+                    let items: Vec<usize> = (next..next + 3).collect();
+                    next += tx.push_slice(&items);
+                }
+                1 if tx.push(next).is_ok() => next += 1,
+                _ => {}
+            }
+            if round % 2 == 0 {
+                buf.clear();
+                rx.pop_chunk(&mut buf, 4);
+                for &v in &buf {
+                    assert_eq!(v, expect);
+                    expect += 1;
+                }
+            } else if let Some(v) = rx.pop() {
+                assert_eq!(v, expect);
+                expect += 1;
+            }
+        }
+        while let Some(v) = rx.pop() {
+            assert_eq!(v, expect);
+            expect += 1;
+        }
+        assert_eq!(expect, next);
+    }
+
+    #[test]
+    fn cross_thread_slices() {
+        let (mut tx, mut rx) = pair::<u64>(16);
+        let n = 100_000u64;
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                let mut sent = 0u64;
+                while sent < n {
+                    let batch: Vec<u64> = (sent..(sent + 7).min(n)).collect();
+                    let took = tx.push_slice(&batch) as u64;
+                    if took == 0 {
+                        std::thread::yield_now();
+                    }
+                    sent += took;
+                }
+            });
+            let mut expect = 0u64;
+            let mut buf = Vec::new();
+            while expect < n {
+                buf.clear();
+                if rx.pop_chunk(&mut buf, 64) == 0 {
+                    std::thread::yield_now();
+                }
+                for &v in &buf {
+                    assert_eq!(v, expect);
+                    expect += 1;
+                }
+            }
+        });
     }
 
     #[test]

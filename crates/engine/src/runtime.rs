@@ -37,7 +37,7 @@ use std::time::Duration;
 
 use disk_trace::OpKind;
 use flash_obs::ServiceTier;
-use flashcache_core::{AccessOutcome, CacheOp, FlashCache};
+use flashcache_core::{AccessOutcome, CacheOp, CacheOutcome, FlashCache};
 
 use crate::ring::{self, Consumer, Producer};
 
@@ -57,6 +57,12 @@ const SPIN_SWEEPS: u32 = 256;
 
 /// Park timeout bounding the cost of a lost wakeup.
 const PARK_TIMEOUT: Duration = Duration::from_micros(200);
+
+/// Requests a worker pops from one shard's ring per sweep: large enough
+/// to amortize the ring's atomic handoff and feed `op_batch`'s prefetch
+/// pipeline, small enough that completions keep flowing back while a
+/// batch is in flight.
+const CHUNK: usize = 64;
 
 /// The engine's shards, shared between the submitter and the workers.
 ///
@@ -226,12 +232,14 @@ impl Runtime {
         self.errors.load(Ordering::Acquire)
     }
 
-    /// Tries to enqueue one operation for shard `s`, handing it back if
-    /// the shard's request ring is full (caller drains completions and
-    /// retries — that is what guarantees progress).
+    /// Enqueues as many of `items` for shard `s` as fit right now,
+    /// returning how many were taken. One Release store publishes the
+    /// whole prefix; the caller drains completions and retries the
+    /// remainder — that retry-after-drain is what guarantees progress
+    /// when a ring fills.
     #[inline]
-    pub(crate) fn push(&mut self, s: usize, item: Req) -> Result<(), Req> {
-        self.req[s].push(item)
+    pub(crate) fn push_slice(&mut self, s: usize, items: &[Req]) -> usize {
+        self.req[s].push_slice(items)
     }
 
     /// Unparks the worker owning shard `s` if it is (about to go)
@@ -292,24 +300,40 @@ fn degraded(op: OpKind) -> AccessOutcome {
 
 fn worker_loop(mut ctx: WorkerCtx) {
     let mut idle_sweeps = 0u32;
+    // Reused scratch: the hot path allocates nothing after warm-up.
+    let mut reqs: Vec<Req> = Vec::with_capacity(CHUNK);
+    let mut ops: Vec<CacheOp> = Vec::with_capacity(CHUNK);
+    let mut outs: Vec<CacheOutcome> = Vec::with_capacity(CHUNK);
+    let mut done: Vec<Done> = Vec::with_capacity(CHUNK);
     loop {
         let mut serviced = 0usize;
         for sh in ctx.shards.iter_mut() {
-            while let Some((ri, page, op)) = sh.req.pop() {
-                serviced += 1;
-                let out = service(sh, page, op, ctx.panic_page, &ctx.errors);
-                let mut item = (ri, out);
+            loop {
+                reqs.clear();
+                if sh.req.pop_chunk(&mut reqs, CHUNK) == 0 {
+                    break;
+                }
+                serviced += reqs.len();
+                done.clear();
+                if ctx.panic_page.is_some() || sh.poisoned {
+                    // Op-at-a-time fallback: keeps the panic-injection
+                    // hook and poisoned-shard accounting exact per op.
+                    for &(ri, page, op) in &reqs {
+                        done.push((ri, service(sh, page, op, ctx.panic_page, &ctx.errors)));
+                    }
+                } else {
+                    service_chunk(sh, &reqs, &mut ops, &mut outs, &mut done, &ctx.errors);
+                }
                 // The submitter drains completions whenever it stalls,
                 // so a full ring always makes progress; yielding lets
                 // it run when cores are scarce.
-                loop {
-                    match sh.done.push(item) {
-                        Ok(()) => break,
-                        Err(back) => {
-                            item = back;
-                            std::thread::yield_now();
-                        }
+                let mut sent = 0;
+                while sent < done.len() {
+                    let took = sh.done.push_slice(&done[sent..]);
+                    if took == 0 {
+                        std::thread::yield_now();
                     }
+                    sent += took;
                 }
             }
         }
@@ -344,6 +368,54 @@ fn worker_loop(mut ctx: WorkerCtx) {
             ctx.sleeping.store(false, Ordering::SeqCst);
         }
         idle_sweeps = 0;
+    }
+}
+
+/// Services a popped chunk through [`FlashCache::op_batch_into`] under
+/// one `catch_unwind`. Because the batch executes ops sequentially in
+/// order, a panic at op `k` leaves exactly `k` completed outcomes in
+/// `outs`; those are reported as-is and the rest degrade — the same
+/// completions and error count the op-at-a-time path would produce.
+fn service_chunk(
+    sh: &mut WorkerShard,
+    reqs: &[Req],
+    ops: &mut Vec<CacheOp>,
+    outs: &mut Vec<CacheOutcome>,
+    done: &mut Vec<Done>,
+    errors: &AtomicU64,
+) {
+    ops.clear();
+    outs.clear();
+    for &(_, page, op) in reqs {
+        ops.push(match op {
+            OpKind::Read => CacheOp::read(page),
+            OpKind::Write => CacheOp::write(page),
+        });
+    }
+    // SAFETY: ring handoff gives this worker exclusive access to the
+    // shard for the duration of the chunk (quiescence contract).
+    let cache = unsafe { &mut *sh.cache };
+    let result = catch_unwind(AssertUnwindSafe(|| cache.op_batch_into(ops, outs)));
+    match result {
+        Ok(()) => {
+            for (&(ri, _, _), out) in reqs.iter().zip(outs.iter()) {
+                done.push((ri, out.access));
+            }
+        }
+        Err(_) => {
+            sh.poisoned = true;
+            errors.fetch_add((reqs.len() - outs.len()) as u64, Ordering::AcqRel);
+            for (k, &(ri, _, op)) in reqs.iter().enumerate() {
+                done.push((
+                    ri,
+                    if k < outs.len() {
+                        outs[k].access
+                    } else {
+                        degraded(op)
+                    },
+                ));
+            }
+        }
     }
 }
 

@@ -188,6 +188,11 @@ pub struct ShardedCache {
     done_bufs: Vec<Vec<Done>>,
     /// Reused per-batch GC-time snapshots (runtime path).
     gc_before: Vec<f64>,
+    /// Reused typed-op staging buffer (single/inline paths): the batch
+    /// handed to [`FlashCache::op_batch_into`].
+    op_buf: Vec<CacheOp>,
+    /// Reused outcome buffer filled by [`FlashCache::op_batch_into`].
+    out_buf: Vec<CacheOutcome>,
     /// Accumulated per-shard flash busy time over batched submissions,
     /// µs (foreground + background + GC).
     shard_busy_us: Vec<f64>,
@@ -264,6 +269,8 @@ impl ShardedCache {
             groups: vec![Vec::new(); shards],
             done_bufs: vec![Vec::new(); shards],
             gc_before: Vec::with_capacity(shards),
+            op_buf: Vec::new(),
+            out_buf: Vec::new(),
             shard_busy_us: vec![0.0; shards],
             makespan_us: 0.0,
             batches: 0,
@@ -427,20 +434,34 @@ impl ShardedCache {
                 self.groups[s].push((ri as u32, page, req.op));
             }
         }
+        let ShardedCache {
+            slab,
+            groups,
+            op_buf,
+            out_buf,
+            shard_busy_us,
+            ..
+        } = self;
         // SAFETY: `&mut self` and no in-flight runtime batch.
-        let shards = unsafe { self.slab.shards_mut() };
+        let shards = unsafe { slab.shards_mut() };
         let mut merged = vec![AccessOutcome::default(); batch.len()];
         let mut seen = vec![false; batch.len()];
         let mut makespan = 0.0f64;
-        for (si, ops) in self.groups.iter().enumerate() {
+        for (si, ops) in groups.iter().enumerate() {
             let shard = &mut shards[si];
             let gc_before = shard.stats().gc_time_us;
+            op_buf.clear();
+            for &(_, page, op) in ops.iter() {
+                op_buf.push(match op {
+                    OpKind::Read => CacheOp::read(page),
+                    OpKind::Write => CacheOp::write(page),
+                });
+            }
+            out_buf.clear();
+            shard.op_batch_into(op_buf, out_buf);
             let mut busy = 0.0;
-            for &(ri, page, op) in ops {
-                let out = match op {
-                    OpKind::Read => shard.op(CacheOp::read(page)).access,
-                    OpKind::Write => shard.op(CacheOp::write(page)).access,
-                };
+            for (&(ri, _, _), out) in ops.iter().zip(out_buf.iter()) {
+                let out = out.access;
                 busy += out.latency_us + out.background_us;
                 let slot = &mut merged[ri as usize];
                 if !seen[ri as usize] {
@@ -451,7 +472,7 @@ impl ShardedCache {
                 }
             }
             busy += shard.stats().gc_time_us - gc_before;
-            self.shard_busy_us[si] += busy;
+            shard_busy_us[si] += busy;
             makespan = makespan.max(busy);
         }
         self.makespan_us += makespan;
@@ -492,36 +513,51 @@ impl ShardedCache {
                 .extend(shards.iter().map(|s| s.stats().gc_time_us));
         }
         let ShardedCache {
-            runtime, done_bufs, ..
+            runtime,
+            done_bufs,
+            groups,
+            ..
         } = self;
         for b in done_bufs.iter_mut() {
             b.clear();
         }
-        let rt = runtime.as_mut().expect("runtime spawned");
-        let mut total_pushed = 0usize;
-        let mut total_done = 0usize;
+        // Partition up front so each shard's work goes into its ring as
+        // contiguous slices — one Release store per slice instead of
+        // one per operation. Per-shard order is unchanged (groups keep
+        // batch order), so completions and merges stay byte-identical
+        // to the streaming path.
+        for g in groups.iter_mut() {
+            g.clear();
+        }
         for (ri, req) in batch.iter().enumerate() {
             for page in req.pages() {
                 let s = (mix(page) % n as u64) as usize;
-                let mut item = (ri as u32, page, req.op);
-                loop {
-                    match rt.push(s, item) {
-                        Ok(()) => break,
-                        Err(back) => {
-                            item = back;
-                            rt.wake(s);
-                            let moved = rt.drain(done_bufs);
-                            total_done += moved;
-                            if moved == 0 {
-                                // One CPU: the owning worker cannot run
-                                // until we yield our timeslice.
-                                std::thread::yield_now();
-                            }
-                        }
+                groups[s].push((ri as u32, page, req.op));
+            }
+        }
+        let rt = runtime.as_mut().expect("runtime spawned");
+        let mut total_pushed = 0usize;
+        let mut total_done = 0usize;
+        for (s, ops) in groups.iter().enumerate() {
+            let mut sent = 0usize;
+            while sent < ops.len() {
+                let took = rt.push_slice(s, &ops[sent..]);
+                sent += took;
+                total_pushed += took;
+                if took > 0 {
+                    rt.wake(s);
+                } else {
+                    // Ring full: drain completions so the worker can
+                    // retire in-flight work and free slots.
+                    rt.wake(s);
+                    let moved = rt.drain(done_bufs);
+                    total_done += moved;
+                    if moved == 0 {
+                        // One CPU: the owning worker cannot run until
+                        // we yield our timeslice.
+                        std::thread::yield_now();
                     }
                 }
-                rt.wake(s);
-                total_pushed += 1;
             }
         }
         while total_done < total_pushed {
@@ -567,18 +603,38 @@ impl ShardedCache {
     /// which matters because `shards = 1` is the replay fast path's
     /// single-threaded hot loop.
     fn submit_single(&mut self, batch: &[DiskRequest]) -> Vec<AccessOutcome> {
-        let shard = &mut self.shards_mut()[0];
+        let ShardedCache {
+            slab,
+            op_buf,
+            out_buf,
+            ..
+        } = self;
+        // SAFETY: `&mut self` and no in-flight runtime batch.
+        let shard = &mut unsafe { slab.shards_mut() }[0];
         let gc_before = shard.stats().gc_time_us;
+        op_buf.clear();
+        for req in batch {
+            for page in req.pages() {
+                op_buf.push(match req.op {
+                    OpKind::Read => CacheOp::read(page),
+                    OpKind::Write => CacheOp::write(page),
+                });
+            }
+        }
+        out_buf.clear();
+        // One pipelined batch through the shard: ops execute in the
+        // same order the scalar loop ran them, so outcomes and busy
+        // sums below are byte-identical to the pre-batch path.
+        shard.op_batch_into(op_buf, out_buf);
         let mut busy = 0.0;
         let mut merged = Vec::with_capacity(batch.len());
+        let mut k = 0usize;
         for req in batch {
             let mut slot = AccessOutcome::default();
             let mut seen = false;
-            for page in req.pages() {
-                let out = match req.op {
-                    OpKind::Read => shard.op(CacheOp::read(page)).access,
-                    OpKind::Write => shard.op(CacheOp::write(page)).access,
-                };
+            for _ in req.pages() {
+                let out = out_buf[k].access;
+                k += 1;
                 busy += out.latency_us + out.background_us;
                 if seen {
                     merge_outcome(&mut slot, out);

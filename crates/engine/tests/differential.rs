@@ -18,13 +18,11 @@
 //! totals equal the fieldwise sum of the per-shard stats for arbitrary
 //! seeds and shard counts.
 
-#![allow(deprecated)] // legacy entry-point shims are intentionally exercised
-
 use std::sync::Arc;
 
 use disk_trace::{DiskRequest, OpKind, WorkloadSpec};
 use flash_obs::ObsSink;
-use flashcache_core::{AccessOutcome, FlashCache, FlashCacheConfig, ServiceTier};
+use flashcache_core::{AccessOutcome, CacheOp, FlashCache, FlashCacheConfig, ServiceTier};
 use flashcache_engine::{EngineConfig, ShardedCache};
 use nand_flash::{FlashConfig, FlashGeometry};
 use proptest::prelude::*;
@@ -53,8 +51,8 @@ fn drive_bare(cache: &mut FlashCache, req: &DiskRequest) -> AccessOutcome {
     let mut first = true;
     for page in req.pages() {
         let out = match req.op {
-            OpKind::Read => cache.read(page),
-            OpKind::Write => cache.write(page),
+            OpKind::Read => cache.op(CacheOp::read(page)).access,
+            OpKind::Write => cache.op(CacheOp::write(page)).access,
         };
         if first {
             merged = out;
@@ -132,9 +130,9 @@ fn serial_entry_points_match_bare_cache() {
     for page in 0..2_000u64 {
         let p = page * 7 % 4_096;
         if page % 4 == 0 {
-            assert_eq!(engine.write(p), bare.write(p));
+            assert_eq!(engine.write(p), bare.op(CacheOp::write(p)).access);
         } else {
-            assert_eq!(engine.read(p), bare.read(p));
+            assert_eq!(engine.read(p), bare.op(CacheOp::read(p)).access);
         }
     }
     assert_eq!(engine.stats(), bare.stats());

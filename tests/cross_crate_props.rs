@@ -2,14 +2,12 @@
 //! against the cache hierarchy must preserve structural invariants and
 //! model-level contracts.
 
-#![allow(deprecated)] // legacy entry-point shims are intentionally exercised
-
 use proptest::prelude::*;
 
 use flashcache::ecc::page::{PageCodec, PAGE_DATA_BYTES};
 use flashcache::nand::{FlashConfig, FlashGeometry};
 use flashcache::reliability::CellLifetimeModel;
-use flashcache::{FlashCache, FlashCacheConfig, SplitPolicy};
+use flashcache::{CacheOp, FlashCache, FlashCacheConfig, SplitPolicy};
 
 fn tiny_cache(split_write_fraction: Option<f64>) -> FlashCache {
     FlashCache::new(FlashCacheConfig {
@@ -59,8 +57,8 @@ proptest! {
         let mut cache = tiny_cache(write_fraction);
         for op in &ops {
             match *op {
-                Op::Read(p) => { cache.read(p); }
-                Op::Write(p) => { cache.write(p); }
+                Op::Read(p) => { cache.op(CacheOp::read(p)); }
+                Op::Write(p) => { cache.op(CacheOp::write(p)); }
                 Op::Flush => { cache.flush_writes(); }
             }
         }
@@ -68,7 +66,7 @@ proptest! {
             TestCaseError::fail(format!("invariant violated: {e}"))
         })?;
         // A read after the sequence always succeeds (hit or clean miss).
-        let out = cache.read(0);
+        let out = cache.op(CacheOp::read(0)).access;
         prop_assert!(out.hit || out.needs_disk_read);
     }
 
@@ -83,14 +81,14 @@ proptest! {
         let mut cache = tiny_cache(Some(0.25));
         for op in &warm {
             match *op {
-                Op::Read(p) => { cache.read(p); }
-                Op::Write(p) => { cache.write(p); }
+                Op::Read(p) => { cache.op(CacheOp::read(p)); }
+                Op::Write(p) => { cache.op(CacheOp::write(p)); }
                 Op::Flush => { cache.flush_writes(); }
             }
         }
-        let w = cache.write(page);
+        let w = cache.op(CacheOp::write(page)).access;
         if !w.bypassed {
-            prop_assert!(cache.read(page).hit, "acknowledged write must be readable");
+            prop_assert!(cache.op(CacheOp::read(page)).access.hit, "acknowledged write must be readable");
         }
     }
 

@@ -7,11 +7,9 @@
 //! and become GC candidates; the split cache confines write damage to
 //! the write region, leaving read blocks clean.
 
-#![allow(deprecated)] // legacy entry-point shims are intentionally exercised
-
 use flashcache::core::tables::RegionKind;
 use flashcache::nand::{FlashConfig, FlashGeometry};
-use flashcache::{FlashCache, FlashCacheConfig, SplitPolicy};
+use flashcache::{CacheOp, FlashCache, FlashCacheConfig, SplitPolicy};
 
 /// Geometry approximating the figure: a handful of small blocks.
 /// (Slots per block is 2x the physical pages; with MLC defaults one
@@ -49,12 +47,13 @@ fn run_scenario(split: SplitPolicy) -> FlashCache {
     // traffic spread over many pages with occasional rewrites of a few.
     for round in 0..6u64 {
         for p in 0..30u64 {
-            cache.read(p + round * 7 % 13);
-            cache.read(p);
+            cache.op(CacheOp::read(p + round * 7 % 13));
+            cache.op(CacheOp::read(p));
         }
         for hot in [3u64, 9, 17] {
-            cache.write(hot);
-            cache.write(hot); // second write invalidates the first copy
+            cache.op(CacheOp::write(hot));
+            // The second write invalidates the first copy.
+            cache.op(CacheOp::write(hot));
         }
     }
     cache
@@ -106,14 +105,14 @@ fn out_of_place_write_invalidates_and_appends() {
     // two generations of invalid pages behind.
     let mut cache = FlashCache::new(config(SplitPolicy::default())).unwrap();
     for p in [1u64, 2, 3] {
-        cache.write(p);
+        cache.op(CacheOp::write(p));
     }
     let programs_gen1 = cache.stats().flash_programs;
     for p in [1u64, 2, 3] {
-        cache.write(p);
+        cache.op(CacheOp::write(p));
     }
     for p in [1u64, 2, 3] {
-        cache.write(p);
+        cache.op(CacheOp::write(p));
     }
     let stats = cache.stats();
     // Three pages written three times = at least nine programs (GC may

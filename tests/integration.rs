@@ -2,14 +2,12 @@
 //! through the cache hierarchy to power accounting, plus end-to-end ECC
 //! behaviour against the real BCH implementation.
 
-#![allow(deprecated)] // legacy entry-point shims are intentionally exercised
-
 use flashcache::ecc::page::{PageCodec, PageDecodeOutcome, PAGE_DATA_BYTES};
 use flashcache::nand::{FlashConfig, FlashGeometry, WearConfig};
 use flashcache::sim::hierarchy::{Hierarchy, HierarchyConfig};
 use flashcache::trace::TraceStats;
 use flashcache::{
-    ControllerPolicy, DiskRequest, FlashCache, FlashCacheConfig, SplitPolicy, WorkloadSpec,
+    CacheOp, ControllerPolicy, DiskRequest, FlashCache, FlashCacheConfig, SplitPolicy, WorkloadSpec,
 };
 
 fn small_flash(blocks: u32) -> FlashCacheConfig {
@@ -108,9 +106,9 @@ fn real_bch_agrees_with_device_error_counts() {
     // Churn writes to age the device.
     let mut uncorrectable_seen = 0u64;
     for i in 0..400_000u64 {
-        cache.write(i % 100);
+        cache.op(CacheOp::write(i % 100));
         if i % 10 == 0 {
-            cache.read(i % 100);
+            cache.op(CacheOp::read(i % 100));
         }
         if cache.is_dead() {
             break;
@@ -164,7 +162,7 @@ fn unified_and_split_preserve_every_acknowledged_write() {
         let mut flushed_total = 0u64;
         for i in 0..5_000u64 {
             let page = (i * 37) % 900;
-            let out = cache.write(page);
+            let out = cache.op(CacheOp::write(page)).access;
             flushed_total += out.flushed_dirty as u64;
             if !out.bypassed {
                 acknowledged.insert(page);
@@ -196,9 +194,9 @@ fn full_workload_suite_replays_against_the_cache() {
             let req = generator.next_request();
             for page in req.pages() {
                 if req.is_write() {
-                    cache.write(page);
+                    cache.op(CacheOp::write(page));
                 } else {
-                    cache.read(page);
+                    cache.op(CacheOp::read(page));
                 }
             }
         }
@@ -229,17 +227,17 @@ fn dead_cache_degrades_to_passthrough_without_corruption() {
     while !cache.is_dead() && steps < 2_000_000 {
         let p = steps % 64;
         if steps.is_multiple_of(3) {
-            cache.read(p);
+            cache.op(CacheOp::read(p));
         } else {
-            cache.write(p);
+            cache.op(CacheOp::write(p));
         }
         steps += 1;
     }
     assert!(cache.is_dead(), "extreme wear must kill the device");
     // Post-mortem behaviour: every access bypasses cleanly.
-    let r = cache.read(1);
+    let r = cache.op(CacheOp::read(1)).access;
     assert!(r.bypassed && r.needs_disk_read && !r.hit);
-    let w = cache.write(1);
+    let w = cache.op(CacheOp::write(1)).access;
     assert!(w.bypassed);
     assert_eq!(cache.cached_pages(), 0);
     cache.check_invariants().unwrap();
